@@ -1,0 +1,640 @@
+//! The continuous query engine: Algorithms 1–3 of the paper.
+//!
+//! [`ContinuousQueryEngine`] is constructed once per registered query and
+//! invoked once per streaming edge (after the edge has been added to the
+//! data graph). Depending on the [`Strategy`] it either:
+//!
+//! * runs the SJ-Tree search — for each leaf (in selectivity order), perform
+//!   an anchored subgraph-isomorphism search around the new edge, insert the
+//!   discovered matches into the match store, and let the recursive hash
+//!   join propagate larger matches towards the root (Algorithms 1–2). With
+//!   Lazy Search enabled, leaves other than the most selective one are only
+//!   searched around vertices whose bitmap bit is set, and enabling a bit
+//!   triggers a retroactive neighborhood search so that the result does not
+//!   depend on the arrival order of the query's components (Algorithm 3);
+//! * or runs the non-incremental baseline — a full VF2 enumeration of the
+//!   query over the current graph, filtered to embeddings that use the new
+//!   edge (Section 6's comparison baseline).
+
+use crate::error::EngineError;
+use crate::lazy::{LazyBitmap, MAX_LEAVES};
+use crate::profile::ProfileCounters;
+use crate::strategy::Strategy;
+use sp_graph::{DynamicGraph, EdgeData};
+use sp_iso::{find_matches_around_vertex, find_matches_containing_edge, SubgraphMatch, Vf2Matcher};
+use sp_query::QueryGraph;
+use sp_selectivity::SelectivityEstimator;
+use sp_sjtree::{decompose, MatchStore, NodeId, SjTree, StoreStats};
+use sp_query::QuerySubgraph;
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Enables search for a leaf around `v`. On a fresh 0→1 transition, performs
+/// the retroactive neighborhood probe the paper mandates ("whenever we enable
+/// the search on a node in the data graph, we also perform a subgraph search
+/// around the node", Section 4) and returns its results; returns `None` when
+/// the bit was already set (the probe already ran when it was set).
+#[allow(clippy::too_many_arguments)]
+fn enable_with_probe(
+    bitmap: &mut LazyBitmap,
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    subgraph: &QuerySubgraph,
+    v: sp_graph::VertexId,
+    rank: usize,
+    profile: &mut ProfileCounters,
+) -> Option<Vec<SubgraphMatch>> {
+    if !bitmap.enable(v, rank) {
+        return None;
+    }
+    let t = Instant::now();
+    let found = find_matches_around_vertex(graph, query, subgraph, v);
+    profile.iso_time += t.elapsed();
+    profile.retroactive_searches += 1;
+    profile.leaf_matches += found.len() as u64;
+    Some(found)
+}
+
+/// Execution backend: either the SJ-Tree machinery or the VF2 baseline.
+#[derive(Debug, Clone)]
+enum Backend {
+    SjTree {
+        tree: SjTree,
+        store: MatchStore,
+        lazy: bool,
+        bitmap: LazyBitmap,
+    },
+    Vf2 {
+        matcher: Vf2Matcher,
+        whole: QuerySubgraph,
+    },
+}
+
+/// A registered continuous query and its runtime state.
+#[derive(Debug, Clone)]
+pub struct ContinuousQueryEngine {
+    query: QueryGraph,
+    strategy: Strategy,
+    window: Option<u64>,
+    backend: Backend,
+    profile: ProfileCounters,
+}
+
+impl ContinuousQueryEngine {
+    /// Builds an engine for `query` under the given strategy.
+    ///
+    /// * `estimator` supplies the stream statistics used by the selectivity
+    ///   driven decomposition (ignored for the VF2 baseline);
+    /// * `window` is the time window `tW`: only matches whose edges span less
+    ///   than `window` time units are reported, and partial matches older
+    ///   than the window are purged. `None` disables windowing.
+    pub fn new(
+        query: QueryGraph,
+        strategy: Strategy,
+        estimator: &SelectivityEstimator,
+        window: Option<u64>,
+    ) -> Result<Self, EngineError> {
+        let backend = match strategy.policy() {
+            Some(policy) => {
+                let tree = decompose(&query, policy, estimator)?;
+                Self::backend_from_tree(tree, strategy.is_lazy())?
+            }
+            None => {
+                if !query.is_connected() {
+                    return Err(EngineError::DisconnectedQuery);
+                }
+                let whole = QuerySubgraph::from_edges(&query, query.edge_ids());
+                Backend::Vf2 {
+                    matcher: Vf2Matcher::new(query.clone()),
+                    whole,
+                }
+            }
+        };
+        Ok(Self {
+            query,
+            strategy,
+            window,
+            backend,
+            profile: ProfileCounters::new(),
+        })
+    }
+
+    /// Builds an engine from a pre-built SJ-Tree (used for custom or
+    /// ablation decompositions, and to replay a decomposition persisted with
+    /// [`SjTree::save`]). `lazy` selects between the track-everything and the
+    /// Lazy Search execution of the same tree.
+    pub fn from_tree(tree: SjTree, lazy: bool, window: Option<u64>) -> Result<Self, EngineError> {
+        let query = tree.query().clone();
+        let strategy = match (lazy, tree.leaf_subgraphs().any(|s| s.num_edges() > 1)) {
+            (true, true) => Strategy::PathLazy,
+            (true, false) => Strategy::SingleLazy,
+            (false, true) => Strategy::Path,
+            (false, false) => Strategy::Single,
+        };
+        let backend = Self::backend_from_tree(tree, lazy)?;
+        Ok(Self {
+            query,
+            strategy,
+            window,
+            backend,
+            profile: ProfileCounters::new(),
+        })
+    }
+
+    fn backend_from_tree(tree: SjTree, lazy: bool) -> Result<Backend, EngineError> {
+        if tree.num_leaves() > MAX_LEAVES {
+            return Err(EngineError::TooManyLeaves {
+                leaves: tree.num_leaves(),
+                max: MAX_LEAVES,
+            });
+        }
+        let store = MatchStore::new(&tree);
+        Ok(Backend::SjTree {
+            tree,
+            store,
+            lazy,
+            bitmap: LazyBitmap::new(),
+        })
+    }
+
+    /// The query this engine answers.
+    pub fn query(&self) -> &QueryGraph {
+        &self.query
+    }
+
+    /// The execution strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The time window `tW`, if any.
+    pub fn window(&self) -> Option<u64> {
+        self.window
+    }
+
+    /// The SJ-Tree backing this engine (`None` for the VF2 baseline).
+    pub fn tree(&self) -> Option<&SjTree> {
+        match &self.backend {
+            Backend::SjTree { tree, .. } => Some(tree),
+            Backend::Vf2 { .. } => None,
+        }
+    }
+
+    /// Profiling counters accumulated so far.
+    pub fn profile(&self) -> &ProfileCounters {
+        &self.profile
+    }
+
+    /// Statistics of the partial-match store (`None` for the VF2 baseline).
+    pub fn store_stats(&self) -> Option<StoreStats> {
+        match &self.backend {
+            Backend::SjTree { store, .. } => Some(store.stats()),
+            Backend::Vf2 { .. } => None,
+        }
+    }
+
+    /// Processes one new edge that has already been inserted into `graph`.
+    /// Returns the complete query matches created by this edge, i.e.
+    /// `M(G^{k+1}) − M(G^k)` of the problem statement.
+    pub fn process_edge(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+    ) -> Vec<SubgraphMatch> {
+        self.profile.edges_processed += 1;
+        let window = self.window;
+        let mut complete = Vec::new();
+        match &mut self.backend {
+            Backend::Vf2 { matcher, whole } => {
+                let t0 = Instant::now();
+                // The baseline re-runs full-graph subgraph isomorphism on
+                // every edge and keeps the embeddings that use the new edge.
+                let all = matcher.find_all(graph);
+                self.profile.iso_time += t0.elapsed();
+                self.profile.iso_searches += 1;
+                debug_assert_eq!(whole.num_edges(), self.query.num_edges());
+                for m in all {
+                    if m.uses_data_edge(edge.id)
+                        && window.is_none_or(|tw| m.within_window(tw))
+                    {
+                        complete.push(m);
+                    }
+                }
+            }
+            Backend::SjTree {
+                tree,
+                store,
+                lazy,
+                bitmap,
+            } => {
+                let lazy = *lazy;
+                // Work items: (leaf node, match of that leaf's subgraph).
+                let mut worklist: VecDeque<(NodeId, SubgraphMatch)> = VecDeque::new();
+
+                for (rank, &leaf) in tree.leaves().iter().enumerate() {
+                    if lazy
+                        && rank > 0
+                        && !bitmap.is_enabled(edge.src, rank)
+                        && !bitmap.is_enabled(edge.dst, rank)
+                    {
+                        self.profile.searches_skipped += 1;
+                        continue;
+                    }
+                    let subgraph = tree.subgraph(leaf);
+                    if lazy && rank > 0 && subgraph.num_edges() > 1 {
+                        // Multi-edge leaves need enablement propagation: the
+                        // leaf match that will eventually join via an enabled
+                        // vertex may contain edges that do not touch that
+                        // vertex themselves. If the arriving edge could be
+                        // part of such a match (its type occurs in the leaf),
+                        // enable the leaf's search on both endpoints — with
+                        // the retroactive probe every fresh enablement gets —
+                        // so the remaining edges of the match are searched
+                        // when they arrive.
+                        let type_occurs = subgraph
+                            .edges()
+                            .any(|qe| self.query.edge(qe).edge_type == edge.edge_type);
+                        if type_occurs {
+                            for v in [edge.src, edge.dst] {
+                                if let Some(found) = enable_with_probe(
+                                    bitmap,
+                                    graph,
+                                    &self.query,
+                                    subgraph,
+                                    v,
+                                    rank,
+                                    &mut self.profile,
+                                ) {
+                                    for fm in found {
+                                        worklist.push_back((leaf, fm));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    let t0 = Instant::now();
+                    let found = find_matches_containing_edge(graph, &self.query, subgraph, edge);
+                    self.profile.iso_time += t0.elapsed();
+                    self.profile.iso_searches += 1;
+                    self.profile.leaf_matches += found.len() as u64;
+                    for m in found {
+                        worklist.push_back((leaf, m));
+                    }
+                }
+
+                // Insert matches; when Lazy Search is active, every newly
+                // created match (leaf or internal) may enable the next leaf's
+                // search on its vertices and trigger a retroactive probe for
+                // that leaf, which can in turn produce more work items.
+                while let Some((leaf, m)) = worklist.pop_front() {
+                    let mut trace = Vec::new();
+                    let t0 = Instant::now();
+                    store.insert_traced(tree, leaf, m, window, &mut complete, &mut trace);
+                    self.profile.update_time += t0.elapsed();
+
+                    if !lazy {
+                        continue;
+                    }
+                    for (node, created) in trace {
+                        let Some(next_leaf) = tree.next_leaf_to_enable(node) else {
+                            continue;
+                        };
+                        let next_rank = tree
+                            .node(next_leaf)
+                            .leaf_rank
+                            .expect("next_leaf_to_enable returns leaves");
+                        let next_subgraph = tree.subgraph(next_leaf);
+                        for (_, dv) in created.vertex_pairs() {
+                            // Retroactive search on every fresh enablement:
+                            // the next leaf's matches may already exist around
+                            // this vertex (arrival-order robustness,
+                            // Section 4).
+                            let Some(found) = enable_with_probe(
+                                bitmap,
+                                graph,
+                                &self.query,
+                                next_subgraph,
+                                dv,
+                                next_rank,
+                                &mut self.profile,
+                            ) else {
+                                continue;
+                            };
+                            for fm in found {
+                                worklist.push_back((next_leaf, fm));
+                            }
+                            // Multi-edge leaves: partially present matches
+                            // around this vertex will complete with edges that
+                            // do not touch it; propagate enablement one hop
+                            // along edges whose type occurs in the leaf so the
+                            // completing edge is searched when it arrives.
+                            if next_subgraph.num_edges() > 1 {
+                                let leaf_types: Vec<_> = next_subgraph
+                                    .edges()
+                                    .map(|qe| self.query.edge(qe).edge_type)
+                                    .collect();
+                                let neighbors: Vec<_> = graph
+                                    .incident_edges(dv)
+                                    .filter(|inc| leaf_types.contains(&inc.edge_type))
+                                    .map(|inc| inc.neighbor)
+                                    .collect();
+                                for n in neighbors {
+                                    if let Some(found) = enable_with_probe(
+                                        bitmap,
+                                        graph,
+                                        &self.query,
+                                        next_subgraph,
+                                        n,
+                                        next_rank,
+                                        &mut self.profile,
+                                    ) {
+                                        for fm in found {
+                                            worklist.push_back((next_leaf, fm));
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.profile.complete_matches += complete.len() as u64;
+        complete
+    }
+
+    /// Drops partial matches that can no longer contribute to a windowed
+    /// match and lazy-bitmap rows for vertices that have left the graph.
+    /// Returns the number of partial matches removed.
+    pub fn purge(&mut self, graph: &DynamicGraph) -> usize {
+        let Backend::SjTree {
+            store,
+            bitmap,
+            tree: _,
+            ..
+        } = &mut self.backend
+        else {
+            return 0;
+        };
+        let mut removed = store.purge_dead(graph);
+        if let Some(w) = self.window {
+            removed += store.purge_expired(graph.latest_timestamp(), w);
+        }
+        self.profile.partial_matches_purged += removed as u64;
+        let stats = store.stats();
+        self.profile.note_partial_matches(stats.total_live_matches);
+        // The bitmap only grows; shrink it to the live vertex set during the
+        // (infrequent) purge.
+        if bitmap.num_tracked_vertices() > 2 * graph.num_vertices() {
+            let mut fresh = LazyBitmap::new();
+            for (v, _) in graph.vertices() {
+                for rank in 1..MAX_LEAVES.min(64) {
+                    if bitmap.is_enabled(v, rank) {
+                        fresh.enable(v, rank);
+                    }
+                }
+            }
+            *bitmap = fresh;
+        }
+        removed
+    }
+
+    /// Resets all runtime state (partial matches, lazy bitmap, profile) while
+    /// keeping the decomposition, so the same engine can replay another
+    /// stream.
+    pub fn reset(&mut self) {
+        if let Backend::SjTree { store, bitmap, .. } = &mut self.backend {
+            store.clear();
+            bitmap.clear();
+        }
+        self.profile = ProfileCounters::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::{EdgeEvent, Schema, Timestamp, VertexId, VertexType};
+
+    /// Schema + estimator for a tiny cyber-like stream where "esp" is rare
+    /// and "tcp" is common.
+    fn fixture() -> (Schema, SelectivityEstimator) {
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let esp = schema.intern_edge_type("esp");
+        let mut g = DynamicGraph::new(schema.clone());
+        let vs: Vec<_> = (0..20).map(|_| g.add_vertex(vt)).collect();
+        for i in 0..15 {
+            g.add_edge(vs[i], vs[i + 1], tcp, Timestamp(i as u64));
+        }
+        g.add_edge(vs[19], vs[0], esp, Timestamp(100));
+        (schema, SelectivityEstimator::from_graph(&g))
+    }
+
+    fn two_hop_query(schema: &Schema) -> QueryGraph {
+        let tcp = schema.edge_type("tcp").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let mut q = QueryGraph::new("esp-tcp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, esp);
+        q.add_edge(b, c, tcp);
+        q
+    }
+
+    fn run_stream(
+        schema: &Schema,
+        engine: &mut ContinuousQueryEngine,
+        events: &[(u64, u64, &str, u64)],
+    ) -> usize {
+        let vt = schema.vertex_type("ip").unwrap();
+        let mut graph = DynamicGraph::new(schema.clone());
+        let mut total = 0;
+        for &(s, d, ty, ts) in events {
+            let et = schema.edge_type(ty).unwrap();
+            let ev = EdgeEvent::homogeneous(s, d, vt, et, Timestamp(ts));
+            let src = graph.ensure_vertex(VertexId(ev.src), ev.src_type).unwrap();
+            let dst = graph.ensure_vertex(VertexId(ev.dst), ev.dst_type).unwrap();
+            let e = graph.add_edge(src, dst, ev.edge_type, ev.timestamp);
+            let data = *graph.edge(e).unwrap();
+            total += engine.process_edge(&graph, &data).len();
+        }
+        total
+    }
+
+    #[test]
+    fn all_strategies_find_the_same_matches_regardless_of_order() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        // esp edge arrives AFTER the tcp edge it must join with — this is the
+        // arrival-order case the retroactive search exists for — plus noise.
+        let stream: Vec<(u64, u64, &str, u64)> = vec![
+            (10, 11, "tcp", 1),
+            (11, 12, "tcp", 2),
+            (50, 10, "esp", 3), // completes 50-esp->10-tcp->11
+            (12, 13, "tcp", 4),
+            (60, 12, "esp", 5), // completes 60-esp->12-tcp->13
+        ];
+        for strategy in Strategy::ALL {
+            let mut engine =
+                ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
+            let total = run_stream(&schema, &mut engine, &stream);
+            assert_eq!(total, 2, "strategy {strategy} found {total} matches");
+        }
+    }
+
+    #[test]
+    fn lazy_reverse_arrival_order_is_still_detected() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        // The rare esp edge (leaf 0) arrives FIRST; the common tcp edge that
+        // completes the pattern arrives later. Then a second pattern where
+        // the tcp edge arrives before the esp edge.
+        let stream: Vec<(u64, u64, &str, u64)> = vec![
+            (1, 2, "esp", 1),
+            (2, 3, "tcp", 2), // esp before tcp
+            (5, 6, "tcp", 3),
+            (4, 5, "esp", 4), // tcp before esp
+        ];
+        for strategy in [Strategy::SingleLazy, Strategy::PathLazy] {
+            let mut engine =
+                ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
+            let total = run_stream(&schema, &mut engine, &stream);
+            assert_eq!(total, 2, "strategy {strategy} missed a match");
+        }
+    }
+
+    #[test]
+    fn window_filters_slow_patterns() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        let stream: Vec<(u64, u64, &str, u64)> = vec![
+            (1, 2, "esp", 0),
+            (2, 3, "tcp", 1_000), // 1000 ticks later: outside a 100-tick window
+            (4, 5, "esp", 2_000),
+            (5, 6, "tcp", 2_050), // inside the window
+        ];
+        for strategy in Strategy::ALL {
+            let mut engine =
+                ContinuousQueryEngine::new(q.clone(), strategy, &est, Some(100)).unwrap();
+            let total = run_stream(&schema, &mut engine, &stream);
+            assert_eq!(total, 1, "strategy {strategy} mishandled the window");
+        }
+    }
+
+    #[test]
+    fn lazy_skips_searches_that_track_everything_performs() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        // Plenty of tcp noise that never joins an esp edge.
+        let mut stream: Vec<(u64, u64, &str, u64)> = Vec::new();
+        for i in 0..50u64 {
+            stream.push((100 + i, 200 + i, "tcp", i));
+        }
+        let mut eager =
+            ContinuousQueryEngine::new(q.clone(), Strategy::Single, &est, None).unwrap();
+        let mut lazy =
+            ContinuousQueryEngine::new(q.clone(), Strategy::SingleLazy, &est, None).unwrap();
+        assert_eq!(run_stream(&schema, &mut eager, &stream), 0);
+        assert_eq!(run_stream(&schema, &mut lazy, &stream), 0);
+        // The lazy engine skipped the tcp-leaf searches (nothing enabled) and
+        // stored no tcp partial matches; the eager engine tracked them all.
+        assert!(lazy.profile().searches_skipped > 0);
+        let eager_live = eager.store_stats().unwrap().total_live_matches;
+        let lazy_live = lazy.store_stats().unwrap().total_live_matches;
+        assert!(lazy_live < eager_live, "lazy={lazy_live} eager={eager_live}");
+    }
+
+    #[test]
+    fn from_tree_replays_a_persisted_decomposition() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        let tree = decompose(&q, sp_sjtree::PrimitivePolicy::SingleEdge, &est).unwrap();
+        let json = tree.to_json().unwrap();
+        let restored = SjTree::from_json(&json).unwrap();
+        let mut engine = ContinuousQueryEngine::from_tree(restored, true, None).unwrap();
+        assert_eq!(engine.strategy(), Strategy::SingleLazy);
+        let stream = vec![(1u64, 2u64, "esp", 1u64), (2, 3, "tcp", 2)];
+        assert_eq!(run_stream(&schema, &mut engine, &stream), 1);
+    }
+
+    #[test]
+    fn vf2_baseline_requires_connected_query() {
+        let (schema, est) = fixture();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let mut q = QueryGraph::new("disconnected");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        let d = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        q.add_edge(c, d, tcp);
+        assert!(matches!(
+            ContinuousQueryEngine::new(q, Strategy::Vf2Baseline, &est, None),
+            Err(EngineError::DisconnectedQuery)
+        ));
+    }
+
+    #[test]
+    fn reset_clears_runtime_state() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        let mut engine =
+            ContinuousQueryEngine::new(q, Strategy::SingleLazy, &est, None).unwrap();
+        let stream = vec![(1u64, 2u64, "esp", 1u64), (2, 3, "tcp", 2)];
+        assert_eq!(run_stream(&schema, &mut engine, &stream), 1);
+        assert!(engine.profile().edges_processed > 0);
+        engine.reset();
+        assert_eq!(engine.profile().edges_processed, 0);
+        assert_eq!(engine.store_stats().unwrap().total_live_matches, 0);
+        // Replaying the stream after the reset finds the match again.
+        assert_eq!(run_stream(&schema, &mut engine, &stream), 1);
+    }
+
+    #[test]
+    fn vertex_typed_queries_are_respected() {
+        let mut schema = Schema::new();
+        let person = schema.intern_vertex_type("person");
+        let post = schema.intern_vertex_type("post");
+        let likes = schema.intern_edge_type("likes");
+        let knows = schema.intern_edge_type("knows");
+        let mut g = DynamicGraph::new(schema.clone());
+        let p1 = g.add_vertex(person);
+        let p2 = g.add_vertex(person);
+        let doc = g.add_vertex(post);
+        g.add_edge(p1, p2, knows, Timestamp(1));
+        g.add_edge(p2, doc, likes, Timestamp(2));
+        let est = SelectivityEstimator::from_graph(&g);
+
+        // person -knows-> person -likes-> post
+        let mut q = QueryGraph::new("social");
+        let a = q.add_vertex(person);
+        let b = q.add_vertex(person);
+        let c = q.add_vertex(post);
+        q.add_edge(a, b, knows);
+        q.add_edge(b, c, likes);
+
+        for strategy in Strategy::ALL {
+            let mut engine =
+                ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
+            let mut graph = DynamicGraph::new(schema.clone());
+            let a1 = graph.ensure_vertex(VertexId(1), person).unwrap();
+            let a2 = graph.ensure_vertex(VertexId(2), person).unwrap();
+            let a3 = graph.ensure_vertex(VertexId(3), post).unwrap();
+            let a4 = graph.ensure_vertex(VertexId(4), VertexType(99)).unwrap();
+            let mut total = 0;
+            for (s, d, t, ts) in [
+                (a1, a2, knows, 1u64),
+                (a2, a3, likes, 2),
+                (a2, a4, likes, 3), // likes a non-post vertex: no match
+            ] {
+                let e = graph.add_edge(s, d, t, Timestamp(ts));
+                let data = *graph.edge(e).unwrap();
+                total += engine.process_edge(&graph, &data).len();
+            }
+            assert_eq!(total, 1, "strategy {strategy}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! # streampattern — continuous subgraph pattern detection on streaming graphs
+//!
+//! This crate is the top of the StreamPattern workspace, a faithful
+//! reproduction of *"A Selectivity based approach to Continuous Pattern
+//! Detection in Streaming Graphs"* (Choudhury et al., EDBT 2015). It wires the
+//! substrates — the dynamic graph store (`sp-graph`), the query model
+//! (`sp-query`), the matchers (`sp-iso`), the stream statistics
+//! (`sp-selectivity`) and the SJ-Tree (`sp-sjtree`) — into a continuous query
+//! engine.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sp_graph::{EdgeEvent, Schema, Timestamp};
+//! use sp_query::QueryGraph;
+//! use sp_selectivity::SelectivityEstimator;
+//! use streampattern::{ContinuousQueryEngine, StreamProcessor, Strategy};
+//!
+//! // 1. A schema shared by the stream and the query.
+//! let mut schema = Schema::new();
+//! let ip = schema.intern_vertex_type("ip");
+//! let tcp = schema.intern_edge_type("tcp");
+//! let esp = schema.intern_edge_type("esp");
+//!
+//! // 2. The pattern to watch for: x -esp-> y -tcp-> z.
+//! let mut query = QueryGraph::new("esp-then-tcp");
+//! let x = query.add_any_vertex();
+//! let y = query.add_any_vertex();
+//! let z = query.add_any_vertex();
+//! query.add_edge(x, y, esp);
+//! query.add_edge(y, z, tcp);
+//!
+//! // 3. Statistics from a stream prefix drive the decomposition.
+//! let estimator = SelectivityEstimator::new();
+//! // (a real application feeds the estimator from the stream; see
+//! //  `SelectivityEstimator::observe_edge`)
+//!
+//! // 4. Build the engine and process the stream.
+//! let engine = ContinuousQueryEngine::new(query, Strategy::SingleLazy, &estimator, None)
+//!     .expect("valid query");
+//! let mut proc = StreamProcessor::new(schema, engine);
+//! let t = Timestamp(1);
+//! assert!(proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, t)).is_empty());
+//! let matches = proc.process(&EdgeEvent::homogeneous(2, 3, ip, tcp, Timestamp(2)));
+//! assert_eq!(matches.len(), 1); // 1 -esp-> 2 -tcp-> 3
+//! ```
+//!
+//! ## Strategies
+//!
+//! The four SJ-Tree strategies of the paper's evaluation, plus the
+//! non-incremental baseline, are exposed through [`Strategy`]:
+//!
+//! | strategy | decomposition | lazy search |
+//! |---|---|---|
+//! | [`Strategy::Single`]     | 1-edge leaves    | no  |
+//! | [`Strategy::SingleLazy`] | 1-edge leaves    | yes |
+//! | [`Strategy::Path`]       | 2-edge leaves    | no  |
+//! | [`Strategy::PathLazy`]   | 2-edge leaves    | yes |
+//! | [`Strategy::Vf2Baseline`]| none (full VF2 per edge) | — |
+//!
+//! [`choose_strategy`] implements the automatic selection rule of Section
+//! 6.5: *PathLazy* when the Relative Selectivity of the 2-edge decomposition
+//! is below 10⁻³, *SingleLazy* otherwise.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+mod lazy;
+mod processor;
+mod profile;
+mod strategy;
+
+pub use engine::ContinuousQueryEngine;
+pub use error::EngineError;
+pub use lazy::LazyBitmap;
+pub use processor::StreamProcessor;
+pub use profile::ProfileCounters;
+pub use strategy::{choose_strategy, Strategy, StrategyChoice, RELATIVE_SELECTIVITY_THRESHOLD};
+
+// Re-export the building blocks so that downstream users only need one
+// dependency for common tasks.
+pub use sp_graph::{
+    DynamicGraph, EdgeData, EdgeEvent, EdgeId, EdgeType, Schema, Timestamp, VertexId, VertexType,
+};
+pub use sp_iso::SubgraphMatch;
+pub use sp_query::{QueryEdgeId, QueryGraph, QueryVertexId};
+pub use sp_selectivity::SelectivityEstimator;
+pub use sp_sjtree::{PrimitivePolicy, SjTree};

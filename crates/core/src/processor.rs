@@ -1,0 +1,191 @@
+//! The stream processor: owns the data graph and drives one engine.
+//!
+//! [`StreamProcessor`] is the "query processing" half of the paper's
+//! experimental setup (Section 6.1): it initializes an empty data graph,
+//! streams [`EdgeEvent`]s into it, invokes the continuous query algorithm
+//! after every `AddEdge()`, maintains the sliding time window on both the
+//! graph and the partial matches, and accumulates the reported matches.
+
+use crate::engine::ContinuousQueryEngine;
+use crate::profile::ProfileCounters;
+use sp_graph::{DynamicGraph, EdgeEvent, Schema, VertexId};
+use sp_iso::SubgraphMatch;
+
+/// Default number of edges between partial-match purges.
+const DEFAULT_PURGE_INTERVAL: u64 = 4096;
+
+/// Owns a [`DynamicGraph`] and a [`ContinuousQueryEngine`] and feeds the
+/// stream through both.
+#[derive(Debug, Clone)]
+pub struct StreamProcessor {
+    graph: DynamicGraph,
+    engine: ContinuousQueryEngine,
+    purge_interval: u64,
+    since_purge: u64,
+    total_matches: u64,
+}
+
+impl StreamProcessor {
+    /// Creates a processor with an empty data graph. The graph's sliding
+    /// window is taken from the engine's window configuration.
+    pub fn new(schema: Schema, engine: ContinuousQueryEngine) -> Self {
+        let graph = match engine.window() {
+            Some(w) => DynamicGraph::with_window(schema, w),
+            None => DynamicGraph::new(schema),
+        };
+        Self {
+            graph,
+            engine,
+            purge_interval: DEFAULT_PURGE_INTERVAL,
+            since_purge: 0,
+            total_matches: 0,
+        }
+    }
+
+    /// Overrides how many edges are processed between partial-match purges
+    /// (the purge is an amortized maintenance pass; correctness of reported
+    /// matches does not depend on it).
+    pub fn with_purge_interval(mut self, interval: u64) -> Self {
+        self.purge_interval = interval.max(1);
+        self
+    }
+
+    /// Ingests one stream event and returns the complete matches it created.
+    pub fn process(&mut self, event: &EdgeEvent) -> Vec<SubgraphMatch> {
+        // External ids map directly onto graph vertex ids. A type conflict
+        // means the vertex already exists (with its original type); keep it.
+        let src = self
+            .graph
+            .ensure_vertex(VertexId(event.src), event.src_type)
+            .unwrap_or(VertexId(event.src));
+        let dst = self
+            .graph
+            .ensure_vertex(VertexId(event.dst), event.dst_type)
+            .unwrap_or(VertexId(event.dst));
+        let edge_id = self
+            .graph
+            .add_edge(src, dst, event.edge_type, event.timestamp);
+        let edge = *self.graph.edge(edge_id).expect("edge was just inserted");
+
+        let matches = self.engine.process_edge(&self.graph, &edge);
+        self.total_matches += matches.len() as u64;
+
+        self.since_purge += 1;
+        if self.since_purge >= self.purge_interval {
+            self.graph.expire();
+            self.engine.purge(&self.graph);
+            self.since_purge = 0;
+        }
+        matches
+    }
+
+    /// Ingests a whole stream, returning the total number of matches found.
+    pub fn process_all<'a, I>(&mut self, events: I) -> u64
+    where
+        I: IntoIterator<Item = &'a EdgeEvent>,
+    {
+        let mut found = 0u64;
+        for e in events {
+            found += self.process(e).len() as u64;
+        }
+        found
+    }
+
+    /// The data graph in its current state.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// The engine.
+    pub fn engine(&self) -> &ContinuousQueryEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (e.g. to reset profiling counters).
+    pub fn engine_mut(&mut self) -> &mut ContinuousQueryEngine {
+        &mut self.engine
+    }
+
+    /// Profiling counters of the engine.
+    pub fn profile(&self) -> &ProfileCounters {
+        self.engine.profile()
+    }
+
+    /// Total matches found since construction.
+    pub fn total_matches(&self) -> u64 {
+        self.total_matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use sp_graph::{Schema, Timestamp};
+    use sp_query::QueryGraph;
+    use sp_selectivity::SelectivityEstimator;
+
+    fn simple_setup(strategy: Strategy, window: Option<u64>) -> (Schema, StreamProcessor) {
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let esp = schema.intern_edge_type("esp");
+        let _ = ip;
+        let mut q = QueryGraph::new("esp-tcp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, esp);
+        q.add_edge(b, c, tcp);
+        let est = SelectivityEstimator::new();
+        let engine = ContinuousQueryEngine::new(q, strategy, &est, window).unwrap();
+        let proc = StreamProcessor::new(schema.clone(), engine);
+        (schema, proc)
+    }
+
+    #[test]
+    fn processes_events_and_counts_matches() {
+        let (schema, mut proc) = simple_setup(Strategy::SingleLazy, None);
+        let ip = schema.vertex_type("ip").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let events = vec![
+            EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)),
+            EdgeEvent::homogeneous(2, 3, ip, tcp, Timestamp(2)),
+            EdgeEvent::homogeneous(7, 8, ip, tcp, Timestamp(3)),
+        ];
+        let found = proc.process_all(events.iter());
+        assert_eq!(found, 1);
+        assert_eq!(proc.total_matches(), 1);
+        assert_eq!(proc.graph().num_edges(), 3);
+        assert_eq!(proc.profile().edges_processed, 3);
+    }
+
+    #[test]
+    fn window_expires_graph_edges() {
+        let (schema, proc) = simple_setup(Strategy::SingleLazy, Some(10));
+        let mut proc = proc.with_purge_interval(1);
+        let ip = schema.vertex_type("ip").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        for i in 0..20u64 {
+            let ev = EdgeEvent::homogeneous(i, i + 1000, ip, tcp, Timestamp(i * 5));
+            proc.process(&ev);
+        }
+        // With a window of 10 ticks and edges every 5 ticks, only a handful
+        // of edges stay live.
+        assert!(proc.graph().num_edges() <= 3);
+        assert!(proc.graph().total_edges_seen() == 20);
+    }
+
+    #[test]
+    fn engine_mut_allows_reset_between_runs() {
+        let (schema, mut proc) = simple_setup(Strategy::PathLazy, None);
+        let ip = schema.vertex_type("ip").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)));
+        assert_eq!(proc.profile().edges_processed, 1);
+        proc.engine_mut().reset();
+        assert_eq!(proc.profile().edges_processed, 0);
+        assert_eq!(proc.engine().strategy(), Strategy::PathLazy);
+    }
+}

@@ -1,0 +1,89 @@
+//! Figure 7 / Algorithm 5 benchmark: how fast can the 2-edge path
+//! distribution be computed, both as a batch pass over a graph snapshot
+//! (`COUNT-2-EDGE-PATHS`) and incrementally as edges stream in? The paper
+//! reports ~50 s for 130M edges without optimization; this tracks the same
+//! computation at a smaller scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sp_datasets::{LsbenchConfig, NetflowConfig};
+use sp_graph::{EdgeData, EdgeId, VertexId};
+use sp_selectivity::{SelectivityEstimator, TwoEdgePathCounter};
+
+fn batch_vs_incremental(c: &mut Criterion) {
+    let datasets = vec![
+        (
+            "netflow",
+            NetflowConfig {
+                num_hosts: 2_000,
+                num_edges: 20_000,
+                ..NetflowConfig::default()
+            }
+            .generate(),
+        ),
+        (
+            "lsbench",
+            LsbenchConfig {
+                num_persons: 2_000,
+                num_edges: 20_000,
+                ..LsbenchConfig::default()
+            }
+            .generate(),
+        ),
+    ];
+
+    let mut group = c.benchmark_group("fig7_path_stats");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for (name, dataset) in &datasets {
+        group.throughput(Throughput::Elements(dataset.len() as u64));
+        let graph = dataset.build_graph();
+        group.bench_with_input(
+            BenchmarkId::new("algorithm5_batch", name),
+            &graph,
+            |b, graph| b.iter(|| TwoEdgePathCounter::from_graph(graph).total()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incremental_stream", name),
+            dataset,
+            |b, dataset| {
+                b.iter(|| {
+                    let mut counter = TwoEdgePathCounter::new();
+                    for (i, ev) in dataset.events().iter().enumerate() {
+                        counter.observe_edge(&EdgeData {
+                            id: EdgeId(i as u64),
+                            src: VertexId(ev.src),
+                            dst: VertexId(ev.dst),
+                            edge_type: ev.edge_type,
+                            timestamp: ev.timestamp,
+                        });
+                    }
+                    counter.total()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_estimator_stream", name),
+            dataset,
+            |b, dataset| {
+                b.iter(|| {
+                    let mut est = SelectivityEstimator::new();
+                    for (i, ev) in dataset.events().iter().enumerate() {
+                        est.observe_edge(&EdgeData {
+                            id: EdgeId(i as u64),
+                            src: VertexId(ev.src),
+                            dst: VertexId(ev.dst),
+                            edge_type: ev.edge_type,
+                            timestamp: ev.timestamp,
+                        });
+                    }
+                    est.num_edges_observed()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, batch_vs_incremental);
+criterion_main!(benches);

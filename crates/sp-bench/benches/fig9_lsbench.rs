@@ -1,0 +1,89 @@
+//! Criterion version of Figure 9c/9d (LSBench-like social stream): runtime of
+//! each strategy for path and n-ary tree queries of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sp_bench::runner::sample_by_expected_selectivity;
+use sp_datasets::{LsbenchConfig, QueryGenerator, QueryKind};
+use streampattern::{ContinuousQueryEngine, StreamProcessor, Strategy};
+
+const STREAM_EDGES: usize = 1_000;
+const BASELINE_EDGES: usize = 200;
+
+fn bench_panel(c: &mut Criterion, panel: &str, kinds: &[(usize, QueryKind)]) {
+    let dataset = LsbenchConfig {
+        num_persons: 800,
+        num_edges: STREAM_EDGES,
+        ..LsbenchConfig::default()
+    }
+    .generate();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
+    let mut generator =
+        QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 0x15);
+
+    let mut group = c.benchmark_group(format!("fig9_lsbench_{panel}"));
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1200));
+    for &(size, kind) in kinds {
+        let raw = generator.generate_valid_batch(kind, 20, &estimator);
+        let queries = sample_by_expected_selectivity(raw, &estimator, 1);
+        if queries.is_empty() {
+            continue;
+        }
+        for strategy in Strategy::ALL {
+            let limit = if strategy == Strategy::Vf2Baseline {
+                BASELINE_EDGES
+            } else {
+                STREAM_EDGES
+            };
+            group.bench_with_input(
+                BenchmarkId::new(strategy.label(), size),
+                &queries,
+                |b, queries| {
+                    b.iter(|| {
+                        let mut total = 0u64;
+                        for q in queries {
+                            let engine = ContinuousQueryEngine::new(
+                                q.clone(),
+                                strategy,
+                                &estimator,
+                                None,
+                            )
+                            .expect("engine builds");
+                            let mut proc =
+                                StreamProcessor::new(dataset.schema.clone(), engine);
+                            total += proc.process_all(dataset.events()[..limit].iter());
+                        }
+                        total
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn fig9c_paths(c: &mut Criterion) {
+    bench_panel(
+        c,
+        "paths",
+        &[
+            (3, QueryKind::Path { length: 3 }),
+            (4, QueryKind::Path { length: 4 }),
+        ],
+    );
+}
+
+fn fig9d_trees(c: &mut Criterion) {
+    bench_panel(
+        c,
+        "trees",
+        &[
+            (4, QueryKind::NaryTree { vertices: 4 }),
+            (6, QueryKind::NaryTree { vertices: 6 }),
+        ],
+    );
+}
+
+criterion_group!(benches, fig9c_paths, fig9d_trees);
+criterion_main!(benches);

@@ -1,0 +1,145 @@
+//! Micro-benchmarks of the individual components on the hot path: anchored
+//! subgraph isomorphism around one edge, the SJ-Tree hash-join insert, the
+//! greedy decomposition, and the dataset generators themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind, ZipfSampler};
+use sp_iso::find_matches_containing_edge;
+use sp_query::QuerySubgraph;
+use sp_sjtree::{decompose, MatchStore, PrimitivePolicy};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn anchored_search(c: &mut Criterion) {
+    let dataset = NetflowConfig {
+        num_hosts: 2_000,
+        num_edges: 20_000,
+        ..NetflowConfig::default()
+    }
+    .generate();
+    let graph = dataset.build_graph();
+    let estimator = dataset.estimator_from_prefix(dataset.len());
+    let mut generator =
+        QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 3);
+    let query = generator
+        .generate_valid_batch(QueryKind::Path { length: 3 }, 10, &estimator)
+        .into_iter()
+        .next()
+        .expect("at least one valid query");
+    let single = QuerySubgraph::from_edges(&query, [query.edge_ids().next().unwrap()]);
+    let wedge_edges: Vec<_> = query.edge_ids().take(2).collect();
+    let wedge = QuerySubgraph::from_edges(&query, wedge_edges);
+    let edges: Vec<_> = graph.edges().copied().take(256).collect();
+
+    let mut group = c.benchmark_group("anchored_search");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("single_edge_leaf", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for e in &edges {
+                n += find_matches_containing_edge(&graph, &query, &single, e).len();
+            }
+            n
+        })
+    });
+    group.bench_function("two_edge_wedge_leaf", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for e in &edges {
+                n += find_matches_containing_edge(&graph, &query, &wedge, e).len();
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+fn sjtree_operations(c: &mut Criterion) {
+    let dataset = NetflowConfig {
+        num_hosts: 1_000,
+        num_edges: 5_000,
+        ..NetflowConfig::default()
+    }
+    .generate();
+    let graph = dataset.build_graph();
+    let estimator = dataset.estimator_from_prefix(dataset.len());
+    let mut generator =
+        QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 5);
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 10, &estimator);
+    let query = queries.into_iter().next().expect("valid query");
+
+    let mut group = c.benchmark_group("sjtree");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("decompose_single", |b| {
+        b.iter(|| decompose(&query, PrimitivePolicy::SingleEdge, &estimator).unwrap().num_nodes())
+    });
+    group.bench_function("decompose_path", |b| {
+        b.iter(|| decompose(&query, PrimitivePolicy::TwoEdgePath, &estimator).unwrap().num_nodes())
+    });
+
+    // Hash-join insert throughput: pre-compute leaf matches for a batch of
+    // edges, then measure pushing them through the store.
+    let tree = decompose(&query, PrimitivePolicy::SingleEdge, &estimator).unwrap();
+    let mut batch = Vec::new();
+    for e in graph.edges().take(2_000) {
+        for (rank, &leaf) in tree.leaves().iter().enumerate() {
+            let found = find_matches_containing_edge(&graph, &query, tree.subgraph(leaf), e);
+            for m in found {
+                batch.push((rank, m));
+            }
+        }
+    }
+    group.throughput(Throughput::Elements(batch.len().max(1) as u64));
+    group.bench_function("matchstore_insert", |b| {
+        b.iter(|| {
+            let mut store = MatchStore::new(&tree);
+            let mut complete = Vec::new();
+            for (rank, m) in &batch {
+                store.insert(&tree, tree.leaf(*rank), m.clone(), None, &mut complete);
+            }
+            complete.len()
+        })
+    });
+    group.finish();
+}
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    for edges in [10_000usize, 50_000] {
+        group.throughput(Throughput::Elements(edges as u64));
+        group.bench_with_input(BenchmarkId::new("netflow", edges), &edges, |b, &edges| {
+            b.iter(|| {
+                NetflowConfig {
+                    num_hosts: 2_000,
+                    num_edges: edges,
+                    ..NetflowConfig::default()
+                }
+                .generate()
+                .len()
+            })
+        });
+    }
+    group.bench_function("zipf_sampling_1M", |b| {
+        let sampler = ZipfSampler::new(100_000, 1.0);
+        let mut rng = SmallRng::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0usize;
+            for _ in 0..1_000_000 {
+                acc += sampler.sample(&mut rng);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, anchored_search, sjtree_operations, generators);
+criterion_main!(benches);

@@ -1,0 +1,537 @@
+//! One function per table/figure of the paper's evaluation. Each function
+//! returns a rendered markdown section (and, where useful, structured data)
+//! so the `reproduce` binary can assemble `EXPERIMENTS.md`.
+
+use crate::report::{ascii_histogram, fmt_ratio, fmt_seconds, markdown_table, render_groups};
+use crate::runner::{
+    query_relative_selectivity, run_group, run_query, sample_by_expected_selectivity, Scale,
+};
+use sp_datasets::{Dataset, LsbenchConfig, NetflowConfig, NytimesConfig, QueryGenerator, QueryKind};
+use sp_query::QueryGraph;
+use sp_selectivity::TwoEdgePathCounter;
+use sp_sjtree::{decompose, CostModel, PrimitivePolicy};
+use streampattern::{choose_strategy, Strategy, RELATIVE_SELECTIVITY_THRESHOLD};
+
+/// Generates the three datasets at the requested scale.
+pub fn datasets(scale: Scale) -> Vec<Dataset> {
+    let netflow = NetflowConfig {
+        num_hosts: scale.entities(),
+        num_edges: scale.stream_edges(),
+        ..NetflowConfig::default()
+    }
+    .generate();
+    let lsbench = LsbenchConfig {
+        num_persons: scale.entities(),
+        num_edges: scale.stream_edges(),
+        ..LsbenchConfig::default()
+    }
+    .generate();
+    let nytimes = NytimesConfig {
+        num_articles: scale.stream_edges() / 6,
+        entities_per_type: (scale.entities() / 4).max(100),
+        ..NytimesConfig::default()
+    }
+    .generate();
+    vec![netflow, lsbench, nytimes]
+}
+
+/// Table 1 — dataset summary (vertices and edges per dataset).
+pub fn table1(scale: Scale) -> String {
+    let mut rows = Vec::new();
+    for d in datasets(scale) {
+        rows.push(vec![
+            d.name.clone(),
+            d.schema.num_vertex_types().to_string(),
+            d.schema.num_edge_types().to_string(),
+            d.num_vertices().to_string(),
+            d.len().to_string(),
+        ]);
+    }
+    format!(
+        "## Table 1 — dataset summary (synthetic, scale-dependent)\n\n{}",
+        markdown_table(
+            &["dataset", "vertex types", "edge types", "vertices", "edges"],
+            &rows
+        )
+    )
+}
+
+/// Figure 6 — per-interval edge-type distribution for one dataset.
+/// `which` ∈ {"a" (nytimes), "b" (netflow), "c" (lsbench)}.
+pub fn fig6(scale: Scale, which: &str) -> String {
+    let all = datasets(scale);
+    let (dataset, label) = match which {
+        "a" => (&all[2], "NYTimes-like news stream"),
+        "b" => (&all[0], "CAIDA-like netflow"),
+        _ => (&all[1], "LSBench-like social stream"),
+    };
+    let interval = (dataset.len() as u64 / 10).max(1);
+    let timeline = dataset.edge_distribution(interval);
+    let mut rows = Vec::new();
+    // One row per edge type; columns = interval counts. Limit to the ten most
+    // frequent types so the table stays readable for LSBench.
+    let mut totals: Vec<(sp_graph::EdgeType, u64)> = dataset
+        .schema
+        .edge_types()
+        .map(|t| (t, timeline.series(t).iter().sum()))
+        .collect();
+    totals.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    for (t, _) in totals.iter().take(10) {
+        let series = timeline.series(*t);
+        let mut row = vec![dataset.schema.edge_type_name(*t).to_owned()];
+        row.extend(series.iter().map(u64::to_string));
+        rows.push(row);
+    }
+    let mut header = vec!["edge type".to_owned()];
+    header.extend((1..=timeline.num_intervals()).map(|i| format!("interval {i}")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    format!(
+        "## Figure 6{which} — edge-type distribution over time ({label})\n\n\
+         interval = {interval} edges; rank stability across intervals = {:.3}\n\n{}",
+        timeline.rank_stability(),
+        markdown_table(&header_refs, &rows)
+    )
+}
+
+/// Figure 7 — 2-edge path distribution of the LSBench-like stream.
+pub fn fig7(scale: Scale) -> String {
+    let all = datasets(scale);
+    let mut out = String::from("## Figure 7 — 2-edge path (wedge) distribution\n\n");
+    let mut rows = Vec::new();
+    for d in &all {
+        let graph = d.build_graph();
+        let paths = TwoEdgePathCounter::from_graph(&graph);
+        let desc = paths.descending();
+        let top = desc.first().map(|&(_, c)| c).unwrap_or(0);
+        let median = desc.get(desc.len() / 2).map(|&(_, c)| c).unwrap_or(0);
+        rows.push(vec![
+            d.name.clone(),
+            paths.num_signatures().to_string(),
+            paths.total().to_string(),
+            top.to_string(),
+            median.to_string(),
+            fmt_ratio(top as f64 / median.max(1) as f64),
+        ]);
+        if d.name == "lsbench" {
+            let logs: Vec<f64> = desc
+                .iter()
+                .map(|&(_, c)| (c as f64).log10())
+                .collect();
+            out.push_str(&format!(
+                "log10(count) histogram of the {} unique LSBench wedges:\n\n```\n{}```\n\n",
+                desc.len(),
+                ascii_histogram(&logs, 8)
+            ));
+        }
+    }
+    out.push_str(&markdown_table(
+        &[
+            "dataset",
+            "unique wedges",
+            "total wedges",
+            "top count",
+            "median count",
+            "top/median skew",
+        ],
+        &rows,
+    ));
+    out
+}
+
+/// Figure 8 — the 1-edge and 2-edge decompositions of the example netflow
+/// path query (ESP, TCP, ICMP, GRE).
+pub fn fig8(scale: Scale) -> String {
+    let netflow = &datasets(scale)[0];
+    let est = netflow.estimator_from_prefix(netflow.len() / 4);
+    let schema = &netflow.schema;
+    let mut q = QueryGraph::new("fig8-path");
+    let v: Vec<_> = (0..5).map(|_| q.add_any_vertex()).collect();
+    for (i, proto) in ["ESP", "TCP", "ICMP", "GRE"].iter().enumerate() {
+        q.add_edge(v[i], v[i + 1], schema.edge_type(proto).expect("protocol interned"));
+    }
+    let single = decompose(&q, PrimitivePolicy::SingleEdge, &est).expect("decomposes");
+    let path = decompose(&q, PrimitivePolicy::TwoEdgePath, &est).expect("decomposes");
+    format!(
+        "## Figure 8 — decompositions of the ESP-TCP-ICMP-GRE path query\n\n\
+         ### 1-edge decomposition\n\n```\n{}```\n\n### 2-edge decomposition\n\n```\n{}```\n",
+        single.describe(schema),
+        path.describe(schema)
+    )
+}
+
+/// The query groups of one Figure 9 panel.
+struct Fig9Panel {
+    label: &'static str,
+    dataset_index: usize,
+    groups: Vec<(String, QueryKind)>,
+}
+
+fn fig9_panels() -> Vec<Fig9Panel> {
+    vec![
+        Fig9Panel {
+            label: "a — path queries on netflow",
+            dataset_index: 0,
+            groups: vec![
+                ("path-3".into(), QueryKind::Path { length: 3 }),
+                ("path-4".into(), QueryKind::Path { length: 4 }),
+                ("path-5".into(), QueryKind::Path { length: 5 }),
+            ],
+        },
+        Fig9Panel {
+            label: "b — tree queries on netflow",
+            dataset_index: 0,
+            groups: vec![
+                ("tree-5".into(), QueryKind::BinaryTree { vertices: 5 }),
+                ("tree-7".into(), QueryKind::BinaryTree { vertices: 7 }),
+                ("tree-9".into(), QueryKind::BinaryTree { vertices: 9 }),
+            ],
+        },
+        Fig9Panel {
+            label: "c — path queries on lsbench",
+            dataset_index: 1,
+            groups: vec![
+                ("path-3".into(), QueryKind::Path { length: 3 }),
+                ("path-4".into(), QueryKind::Path { length: 4 }),
+                ("path-5".into(), QueryKind::Path { length: 5 }),
+            ],
+        },
+        Fig9Panel {
+            label: "d — tree queries on lsbench",
+            dataset_index: 1,
+            groups: vec![
+                ("tree-4".into(), QueryKind::NaryTree { vertices: 4 }),
+                ("tree-6".into(), QueryKind::NaryTree { vertices: 6 }),
+                ("tree-8".into(), QueryKind::NaryTree { vertices: 8 }),
+            ],
+        },
+    ]
+}
+
+/// Figure 9 — runtime per strategy vs. query size, for the requested panel
+/// (`"a"`, `"b"`, `"c"` or `"d"`). The four SJ-Tree strategies run over the
+/// full stream; the VF2-per-edge baseline runs over a shorter prefix (its
+/// per-edge cost grows with the graph), and all means are reported per group.
+pub fn fig9(scale: Scale, panel: &str) -> String {
+    let all = datasets(scale);
+    let panels = fig9_panels();
+    let chosen = panels
+        .iter()
+        .find(|p| p.label.starts_with(panel))
+        .unwrap_or(&panels[0]);
+    let dataset = &all[chosen.dataset_index];
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let mut generator = QueryGenerator::new(
+        dataset.schema.clone(),
+        dataset.valid_triples.clone(),
+        0xF19 + chosen.dataset_index as u64,
+    );
+
+    let mut sj_groups = Vec::new();
+    let mut baseline_groups = Vec::new();
+    for (name, kind) in &chosen.groups {
+        let raw = generator.generate_valid_batch(*kind, scale.queries_per_group(), &estimator);
+        let queries =
+            sample_by_expected_selectivity(raw, &estimator, scale.sampled_queries());
+        if queries.is_empty() {
+            continue;
+        }
+        sj_groups.push(run_group(
+            name,
+            dataset,
+            &estimator,
+            &queries,
+            &Strategy::SJ_TREE,
+            scale.stream_edges(),
+            None,
+        ));
+        baseline_groups.push(run_group(
+            name,
+            dataset,
+            &estimator,
+            &queries,
+            &Strategy::ALL,
+            scale.baseline_edges(),
+            None,
+        ));
+    }
+
+    format!(
+        "## Figure 9{} \n\n\
+         ### SJ-Tree strategies, full stream ({} edges)\n\n{}\n\
+         ### All strategies including the VF2-per-edge baseline, stream prefix ({} edges)\n\n{}\n",
+        chosen.label,
+        scale.stream_edges(),
+        render_groups(&sj_groups, &["Path", "Single", "PathLazy", "SingleLazy"]),
+        scale.baseline_edges(),
+        render_groups(
+            &baseline_groups,
+            &["Path", "Single", "PathLazy", "SingleLazy", "VF2"]
+        ),
+    )
+}
+
+/// Figure 10 — distribution of Relative Selectivity across 4-edge queries in
+/// the three datasets (log10 scale, like the paper's x-axis).
+pub fn fig10(scale: Scale) -> String {
+    let all = datasets(scale);
+    let mut out = String::from(
+        "## Figure 10 — Relative Selectivity of 4-edge queries (log10 buckets)\n\n",
+    );
+    for (i, d) in all.iter().enumerate() {
+        let estimator = d.estimator_from_prefix(d.len() / 4);
+        let mut generator =
+            QueryGenerator::new(d.schema.clone(), d.valid_triples.clone(), 77 + i as u64);
+        let kind = if d.name == "nytimes" {
+            QueryKind::KPartite { edges: 4 }
+        } else {
+            QueryKind::Path { length: 4 }
+        };
+        let queries = generator.generate_valid_batch(kind, 25, &estimator);
+        let xs: Vec<f64> = queries
+            .iter()
+            .map(|q| query_relative_selectivity(q, &estimator).log10())
+            .filter(|x| x.is_finite())
+            .collect();
+        let below = xs
+            .iter()
+            .filter(|&&x| x < RELATIVE_SELECTIVITY_THRESHOLD.log10())
+            .count();
+        out.push_str(&format!(
+            "### {} ({} queries, {} below the 10⁻³ threshold)\n\n```\n{}```\n\n",
+            d.name,
+            xs.len(),
+            below,
+            ascii_histogram(&xs, 8)
+        ));
+    }
+    out
+}
+
+/// §6.4 profiling claim — fraction of time spent in subgraph isomorphism vs
+/// SJ-Tree maintenance.
+pub fn profile(scale: Scale) -> String {
+    let dataset = &datasets(scale)[0];
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let mut generator =
+        QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 555);
+    let queries =
+        generator.generate_valid_batch(QueryKind::Path { length: 4 }, 10, &estimator);
+    let queries = sample_by_expected_selectivity(queries, &estimator, 3);
+    let mut rows = Vec::new();
+    for strategy in Strategy::SJ_TREE {
+        for q in &queries {
+            let m = run_query(dataset, &estimator, q, strategy, scale.stream_edges(), None);
+            rows.push(vec![
+                q.name().to_owned(),
+                strategy.label().to_owned(),
+                fmt_seconds(m.elapsed.as_secs_f64()),
+                format!("{:.1}%", 100.0 * m.profile.iso_time_fraction()),
+                m.profile.iso_searches.to_string(),
+                m.profile.searches_skipped.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "## §6.4 profiling — time split between subgraph isomorphism and SJ-Tree update\n\n{}",
+        markdown_table(
+            &["query", "strategy", "runtime", "iso share", "iso searches", "skipped"],
+            &rows
+        )
+    )
+}
+
+/// §6.5 — does the ξ < 10⁻³ rule pick the faster lazy strategy?
+pub fn strategy_selection(scale: Scale) -> String {
+    let all = datasets(scale);
+    let mut rows = Vec::new();
+    let mut hits = 0usize;
+    let mut total = 0usize;
+    for (i, dataset) in all.iter().take(2).enumerate() {
+        let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+        let mut generator =
+            QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 900 + i as u64);
+        let queries =
+            generator.generate_valid_batch(QueryKind::Path { length: 4 }, 20, &estimator);
+        let queries = sample_by_expected_selectivity(queries, &estimator, scale.sampled_queries());
+        for q in &queries {
+            let choice = match choose_strategy(q, &estimator, RELATIVE_SELECTIVITY_THRESHOLD) {
+                Ok(c) => c,
+                Err(_) => continue,
+            };
+            let single = run_query(
+                dataset,
+                &estimator,
+                q,
+                Strategy::SingleLazy,
+                scale.stream_edges() / 2,
+                None,
+            );
+            let path = run_query(
+                dataset,
+                &estimator,
+                q,
+                Strategy::PathLazy,
+                scale.stream_edges() / 2,
+                None,
+            );
+            let faster = if path.elapsed < single.elapsed {
+                Strategy::PathLazy
+            } else {
+                Strategy::SingleLazy
+            };
+            total += 1;
+            if faster == choice.strategy {
+                hits += 1;
+            }
+            rows.push(vec![
+                dataset.name.clone(),
+                q.name().to_owned(),
+                format!("{:.2e}", choice.relative_selectivity),
+                choice.strategy.label().to_owned(),
+                fmt_seconds(single.elapsed.as_secs_f64()),
+                fmt_seconds(path.elapsed.as_secs_f64()),
+                faster.label().to_owned(),
+            ]);
+        }
+    }
+    format!(
+        "## §6.5 strategy selection — ξ-rule vs measured fastest lazy strategy\n\n\
+         rule agreement: {hits}/{total}\n\n{}",
+        markdown_table(
+            &["dataset", "query", "xi", "rule picks", "SingleLazy", "PathLazy", "faster"],
+            &rows
+        )
+    )
+}
+
+/// Appendix A — analytic cost model vs measured runtime and memory.
+pub fn costmodel(scale: Scale) -> String {
+    let dataset = &datasets(scale)[0];
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let graph_stats = dataset.build_graph().degree_stats();
+    let mut generator =
+        QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 4242);
+    let queries =
+        generator.generate_valid_batch(QueryKind::Path { length: 4 }, 12, &estimator);
+    let queries = sample_by_expected_selectivity(queries, &estimator, 4);
+    let mut rows = Vec::new();
+    for q in &queries {
+        for policy in [PrimitivePolicy::SingleEdge, PrimitivePolicy::TwoEdgePath] {
+            let Ok(tree) = decompose(q, policy, &estimator) else {
+                continue;
+            };
+            let model = CostModel::build(
+                &tree,
+                &estimator,
+                graph_stats.average_degree,
+                estimator.num_edges_observed(),
+            );
+            let strategy = if policy == PrimitivePolicy::SingleEdge {
+                Strategy::Single
+            } else {
+                Strategy::Path
+            };
+            let measured = run_query(
+                dataset,
+                &estimator,
+                q,
+                strategy,
+                scale.stream_edges() / 2,
+                None,
+            );
+            rows.push(vec![
+                q.name().to_owned(),
+                policy.to_string(),
+                format!("{:.1}", model.space_units),
+                measured.peak_partial_matches.to_string(),
+                format!("{:.2}", model.work_per_edge),
+                fmt_seconds(measured.elapsed.as_secs_f64()),
+            ]);
+        }
+    }
+    format!(
+        "## Appendix A — analytic cost model vs measurement\n\n{}",
+        markdown_table(
+            &[
+                "query",
+                "decomposition",
+                "predicted space units",
+                "measured stored matches",
+                "predicted work/edge",
+                "measured runtime",
+            ],
+            &rows
+        )
+    )
+}
+
+/// Every experiment id accepted by the `reproduce` binary.
+pub const ALL_EXPERIMENTS: &[&str] = &[
+    "table1", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig9d",
+    "fig10", "profile", "strategy", "costmodel",
+];
+
+/// Runs one experiment by id, returning its markdown section.
+pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
+    let section = match id {
+        "table1" => table1(scale),
+        "fig6a" => fig6(scale, "a"),
+        "fig6b" => fig6(scale, "b"),
+        "fig6c" => fig6(scale, "c"),
+        "fig7" => fig7(scale),
+        "fig8" => fig8(scale),
+        "fig9a" => fig9(scale, "a"),
+        "fig9b" => fig9(scale, "b"),
+        "fig9c" => fig9(scale, "c"),
+        "fig9d" => fig9(scale, "d"),
+        "fig10" => fig10(scale),
+        "profile" => profile(scale),
+        "strategy" => strategy_selection(scale),
+        "costmodel" => costmodel(scale),
+        _ => return None,
+    };
+    Some(section)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_ids_are_exhaustive() {
+        for id in ALL_EXPERIMENTS {
+            // Only check that the dispatcher knows every id; running them all
+            // here would be too slow for a unit test. The cheap ones are run
+            // for real below.
+            assert!(
+                *id == "table1"
+                    || id.starts_with("fig")
+                    || ["profile", "strategy", "costmodel"].contains(id)
+            );
+        }
+        assert!(run_experiment("unknown", Scale::Small).is_none());
+    }
+
+    #[test]
+    fn table1_lists_three_datasets() {
+        let t = table1(Scale::Small);
+        assert!(t.contains("netflow"));
+        assert!(t.contains("lsbench"));
+        assert!(t.contains("nytimes"));
+    }
+
+    #[test]
+    fn fig8_shows_both_decompositions() {
+        let t = fig8(Scale::Small);
+        assert!(t.contains("1-edge decomposition"));
+        assert!(t.contains("2-edge decomposition"));
+        assert!(t.contains("ESP"));
+    }
+
+    #[test]
+    fn fig6_reports_rank_stability() {
+        let t = fig6(Scale::Small, "b");
+        assert!(t.contains("rank stability"));
+        assert!(t.contains("TCP"));
+    }
+}

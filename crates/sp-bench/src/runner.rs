@@ -1,0 +1,336 @@
+//! Workload execution helpers shared by the experiments and the Criterion
+//! benches: run a query under a strategy over a stream, sweep a group of
+//! random queries, and sample queries by Expected Selectivity as the paper's
+//! methodology prescribes.
+
+use serde::{Deserialize, Serialize};
+use sp_datasets::Dataset;
+use sp_query::QueryGraph;
+use sp_selectivity::SelectivityEstimator;
+use sp_sjtree::{decompose, expected_selectivity, PrimitivePolicy};
+use std::time::{Duration, Instant};
+use streampattern::{ContinuousQueryEngine, ProfileCounters, StreamProcessor, Strategy};
+
+/// Experiment scale: how many stream edges each measurement processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Quick smoke-test scale (seconds end to end).
+    Small,
+    /// Default scale used by `reproduce` (a few minutes end to end).
+    Medium,
+    /// Larger scale for closer-to-paper stream sizes.
+    Large,
+}
+
+impl Scale {
+    /// Parses `small` / `medium` / `large`.
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "small" => Some(Scale::Small),
+            "medium" => Some(Scale::Medium),
+            "large" => Some(Scale::Large),
+            _ => None,
+        }
+    }
+
+    /// Stream length (edges) for the SJ-Tree strategies.
+    pub fn stream_edges(self) -> usize {
+        match self {
+            Scale::Small => 4_000,
+            Scale::Medium => 20_000,
+            Scale::Large => 100_000,
+        }
+    }
+
+    /// Stream length (edges) for runs that include the non-incremental VF2
+    /// baseline, whose per-edge cost grows with the graph.
+    pub fn baseline_edges(self) -> usize {
+        match self {
+            Scale::Small => 800,
+            Scale::Medium => 2_500,
+            Scale::Large => 5_000,
+        }
+    }
+
+    /// Number of hosts / persons for the generators.
+    pub fn entities(self) -> usize {
+        match self {
+            Scale::Small => 1_000,
+            Scale::Medium => 4_000,
+            Scale::Large => 20_000,
+        }
+    }
+
+    /// Number of random queries generated per group before filtering.
+    pub fn queries_per_group(self) -> usize {
+        match self {
+            Scale::Small => 20,
+            Scale::Medium => 50,
+            Scale::Large => 100,
+        }
+    }
+
+    /// Number of queries kept per group after Expected-Selectivity sampling.
+    pub fn sampled_queries(self) -> usize {
+        match self {
+            Scale::Small => 2,
+            Scale::Medium => 5,
+            Scale::Large => 8,
+        }
+    }
+}
+
+/// One measured run of one query under one strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMeasurement {
+    /// Query name.
+    pub query: String,
+    /// Strategy label ("SingleLazy", "VF2", ...).
+    pub strategy: String,
+    /// Number of stream edges processed.
+    pub edges: usize,
+    /// Wall-clock processing time.
+    #[serde(with = "serde_duration")]
+    pub elapsed: Duration,
+    /// Number of complete matches reported.
+    pub matches: u64,
+    /// Peak number of stored partial matches (0 for the VF2 baseline).
+    pub peak_partial_matches: usize,
+    /// Engine profile counters.
+    pub profile: ProfileCounters,
+}
+
+mod serde_duration {
+    use serde::{Deserialize, Deserializer, Serializer};
+    use std::time::Duration;
+
+    pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_f64(d.as_secs_f64())
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
+        let secs = f64::deserialize(d)?;
+        Ok(Duration::from_secs_f64(secs))
+    }
+}
+
+/// Aggregated result for one query group (same kind and size), as plotted in
+/// Figure 9: mean runtime per strategy.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryGroupResult {
+    /// Group label, e.g. "path-3" or "tree-7".
+    pub group: String,
+    /// Number of queries measured.
+    pub queries: usize,
+    /// Number of stream edges each query processed.
+    pub edges: usize,
+    /// `(strategy label, mean seconds, mean matches)` per strategy.
+    pub per_strategy: Vec<(String, f64, f64)>,
+}
+
+impl QueryGroupResult {
+    /// Mean runtime for a strategy label, if present.
+    pub fn mean_seconds(&self, label: &str) -> Option<f64> {
+        self.per_strategy
+            .iter()
+            .find(|(l, _, _)| l == label)
+            .map(|(_, s, _)| *s)
+    }
+}
+
+/// Runs one query under one strategy over the first `limit` events of the
+/// dataset and reports the measurement.
+pub fn run_query(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    query: &QueryGraph,
+    strategy: Strategy,
+    limit: usize,
+    window: Option<u64>,
+) -> RunMeasurement {
+    let engine = ContinuousQueryEngine::new(query.clone(), strategy, estimator, window)
+        .expect("query decomposes");
+    let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    let start = Instant::now();
+    let matches = proc.process_all(events.iter());
+    let elapsed = start.elapsed();
+    let peak = proc
+        .engine()
+        .store_stats()
+        .map(|s| s.total_live_matches)
+        .unwrap_or(0)
+        .max(proc.profile().peak_partial_matches);
+    RunMeasurement {
+        query: query.name().to_owned(),
+        strategy: strategy.label().to_owned(),
+        edges: events.len(),
+        elapsed,
+        matches,
+        peak_partial_matches: peak,
+        profile: proc.profile().clone(),
+    }
+}
+
+/// Expected Selectivity of a query under the 2-edge-path decomposition —
+/// the quantity the paper samples query groups by.
+pub fn query_expected_selectivity(query: &QueryGraph, estimator: &SelectivityEstimator) -> f64 {
+    decompose(query, PrimitivePolicy::TwoEdgePath, estimator)
+        .map(|tree| expected_selectivity(&tree, estimator).expected)
+        .unwrap_or(1.0)
+}
+
+/// Relative Selectivity ξ of a query (2-edge vs 1-edge decomposition).
+pub fn query_relative_selectivity(query: &QueryGraph, estimator: &SelectivityEstimator) -> f64 {
+    let single = decompose(query, PrimitivePolicy::SingleEdge, estimator);
+    let path = decompose(query, PrimitivePolicy::TwoEdgePath, estimator);
+    match (single, path) {
+        (Ok(s), Ok(p)) => expected_selectivity(&p, estimator)
+            .relative_to(&expected_selectivity(&s, estimator)),
+        _ => 1.0,
+    }
+}
+
+/// The paper's sampling step: order the valid queries by Expected Selectivity
+/// and keep `k` of them spread (near-)uniformly across that range.
+pub fn sample_by_expected_selectivity(
+    mut queries: Vec<QueryGraph>,
+    estimator: &SelectivityEstimator,
+    k: usize,
+) -> Vec<QueryGraph> {
+    if queries.len() <= k {
+        return queries;
+    }
+    queries.sort_by(|a, b| {
+        query_expected_selectivity(a, estimator)
+            .partial_cmp(&query_expected_selectivity(b, estimator))
+            .expect("selectivities are finite")
+    });
+    let n = queries.len();
+    let mut picked = Vec::with_capacity(k);
+    for i in 0..k {
+        let idx = i * (n - 1) / (k - 1).max(1);
+        picked.push(queries[idx].clone());
+    }
+    picked
+}
+
+/// Runs a whole query group (already generated and sampled) under the given
+/// strategies and aggregates mean runtimes — one point per strategy on a
+/// Figure 9 plot.
+pub fn run_group(
+    group: &str,
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    queries: &[QueryGraph],
+    strategies: &[Strategy],
+    limit: usize,
+    window: Option<u64>,
+) -> QueryGroupResult {
+    let mut per_strategy = Vec::new();
+    for &strategy in strategies {
+        let mut total_time = 0.0;
+        let mut total_matches = 0.0;
+        for query in queries {
+            let m = run_query(dataset, estimator, query, strategy, limit, window);
+            total_time += m.elapsed.as_secs_f64();
+            total_matches += m.matches as f64;
+        }
+        let n = queries.len().max(1) as f64;
+        per_strategy.push((strategy.label().to_owned(), total_time / n, total_matches / n));
+    }
+    QueryGroupResult {
+        group: group.to_owned(),
+        queries: queries.len(),
+        edges: limit.min(dataset.len()),
+        per_strategy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind};
+
+    fn tiny() -> (Dataset, SelectivityEstimator) {
+        let d = NetflowConfig {
+            num_hosts: 200,
+            num_edges: 1_500,
+            ..NetflowConfig::tiny()
+        }
+        .generate();
+        let est = d.estimator_from_prefix(d.len() / 2);
+        (d, est)
+    }
+
+    #[test]
+    fn scale_parsing_and_sizes() {
+        assert_eq!(Scale::parse("small"), Some(Scale::Small));
+        assert_eq!(Scale::parse("MEDIUM"), Some(Scale::Medium));
+        assert_eq!(Scale::parse("nope"), None);
+        assert!(Scale::Small.stream_edges() < Scale::Large.stream_edges());
+        assert!(Scale::Small.baseline_edges() <= Scale::Small.stream_edges());
+        assert!(Scale::Medium.sampled_queries() <= Scale::Medium.queries_per_group());
+        assert!(Scale::Large.entities() > Scale::Small.entities());
+    }
+
+    #[test]
+    fn run_query_produces_consistent_measurement() {
+        let (d, est) = tiny();
+        let mut gen = QueryGenerator::new(d.schema.clone(), d.valid_triples.clone(), 5);
+        let q = gen.generate(QueryKind::Path { length: 3 });
+        let m = run_query(&d, &est, &q, Strategy::SingleLazy, 1_000, None);
+        assert_eq!(m.edges, 1_000);
+        assert_eq!(m.strategy, "SingleLazy");
+        assert!(m.elapsed > Duration::ZERO);
+        assert_eq!(m.profile.edges_processed, 1_000);
+    }
+
+    #[test]
+    fn sampling_spreads_across_the_selectivity_range() {
+        let (d, est) = tiny();
+        let mut gen = QueryGenerator::new(d.schema.clone(), d.valid_triples.clone(), 5);
+        let all = gen.generate_valid_batch(QueryKind::Path { length: 3 }, 30, &est);
+        let sampled = sample_by_expected_selectivity(all.clone(), &est, 4);
+        assert!(sampled.len() <= 4);
+        if all.len() >= 4 {
+            assert_eq!(sampled.len(), 4);
+            let s: Vec<f64> = sampled
+                .iter()
+                .map(|q| query_expected_selectivity(q, &est))
+                .collect();
+            assert!(s.windows(2).all(|w| w[0] <= w[1] + 1e-12));
+        }
+    }
+
+    #[test]
+    fn group_run_aggregates_all_strategies() {
+        let (d, est) = tiny();
+        let mut gen = QueryGenerator::new(d.schema.clone(), d.valid_triples.clone(), 9);
+        let queries = gen.generate_valid_batch(QueryKind::Path { length: 3 }, 10, &est);
+        let sampled = sample_by_expected_selectivity(queries, &est, 2);
+        let result = run_group(
+            "path-3",
+            &d,
+            &est,
+            &sampled,
+            &[Strategy::SingleLazy, Strategy::PathLazy],
+            800,
+            None,
+        );
+        assert_eq!(result.group, "path-3");
+        assert_eq!(result.per_strategy.len(), 2);
+        assert!(result.mean_seconds("SingleLazy").unwrap() > 0.0);
+        assert!(result.mean_seconds("VF2").is_none());
+    }
+
+    #[test]
+    fn relative_selectivity_is_finite_for_generated_queries() {
+        let (d, est) = tiny();
+        let mut gen = QueryGenerator::new(d.schema.clone(), d.valid_triples.clone(), 13);
+        for q in gen.generate_valid_batch(QueryKind::Path { length: 4 }, 10, &est) {
+            let xi = query_relative_selectivity(&q, &est);
+            assert!(xi.is_finite() && xi > 0.0);
+        }
+    }
+}

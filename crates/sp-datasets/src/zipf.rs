@@ -1,0 +1,147 @@
+//! A small Zipf/power-law sampler.
+//!
+//! Real traffic and social graphs have heavy-tailed vertex popularity; the
+//! generators use this sampler to pick sources and destinations so that the
+//! resulting degree distribution (and therefore the 2-edge-path distribution)
+//! is skewed like the paper's datasets rather than uniform.
+
+use rand::Rng;
+
+/// Samples ranks `0..n` with probability proportional to `1/(rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s` (typically 0.8–1.2;
+    /// larger means more skew).
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalize so the last entry is exactly 1.0.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (the constructor rejects empty samplers); present for
+    /// clippy's `len_without_is_empty` convention.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&x).expect("no NaN in cumulative weights"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// Samples an index from explicit (unnormalized) weights.
+pub fn weighted_index<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> usize {
+    debug_assert!(!weights.is_empty());
+    let total: f64 = weights.iter().sum();
+    let mut x = rng.gen_range(0.0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if x < *w {
+            return i;
+        }
+        x -= w;
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn low_ranks_are_more_likely() {
+        let sampler = ZipfSampler::new(100, 1.0);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[50]);
+        assert!(counts[0] > counts[99]);
+        // Rank 0 should take roughly 1/H(100) ≈ 19% of the mass.
+        assert!(counts[0] > 2_000);
+    }
+
+    #[test]
+    fn samples_stay_in_range() {
+        let sampler = ZipfSampler::new(5, 1.2);
+        assert_eq!(sampler.len(), 5);
+        assert!(!sampler.is_empty());
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut rng) < 5);
+        }
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform_ish() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = SmallRng::seed_from_u64(99);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        let min = *counts.iter().min().unwrap() as f64;
+        let max = *counts.iter().max().unwrap() as f64;
+        assert!(max / min < 1.3, "uniform sampler too skewed: {counts:?}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let weights = [0.0, 10.0, 0.0];
+        for _ in 0..100 {
+            assert_eq!(weighted_index(&weights, &mut rng), 1);
+        }
+        let weights = [1.0, 1.0];
+        let mut seen0 = false;
+        let mut seen1 = false;
+        for _ in 0..200 {
+            match weighted_index(&weights, &mut rng) {
+                0 => seen0 = true,
+                1 => seen1 = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(seen0 && seen1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_sampler_is_rejected() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

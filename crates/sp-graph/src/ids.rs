@@ -1,0 +1,161 @@
+//! Strongly typed identifiers used throughout the workspace.
+//!
+//! All ids are thin newtypes over integers so that the matcher's hot path
+//! works on `Copy` values and the compiler prevents mixing up vertex ids with
+//! edge ids or type ids.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a vertex in a [`crate::DynamicGraph`] or a query graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexId(pub u64);
+
+/// Identifier of an edge. Edge ids are unique for the lifetime of a graph and
+/// never reused, even after window expiry removes the edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeId(pub u64);
+
+/// Interned vertex type ("ip", "person", "article", ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VertexType(pub u32);
+
+impl Default for VertexType {
+    /// The default vertex type is the wildcard: vertices created without an
+    /// explicit type accept any type constraint.
+    fn default() -> Self {
+        VertexType::ANY
+    }
+}
+
+impl VertexType {
+    /// Wildcard vertex type: matches any vertex type during isomorphism
+    /// checks. The paper's netflow and LSBench queries leave vertex labels
+    /// unconstrained ("all our query graphs are unlabeled"), which this
+    /// sentinel models.
+    pub const ANY: VertexType = VertexType(u32::MAX);
+
+    /// Returns `true` if this is the wildcard type.
+    #[inline]
+    pub fn is_any(self) -> bool {
+        self == Self::ANY
+    }
+
+    /// Returns `true` if a data vertex of type `other` satisfies this type
+    /// constraint.
+    #[inline]
+    pub fn accepts(self, other: VertexType) -> bool {
+        self.is_any() || self == other
+    }
+}
+
+/// Interned edge type ("tcp", "likes", "article_mentions_person", ...).
+///
+/// In the paper the edge type is produced by a `Map()` function that can fold
+/// arbitrary edge attributes (protocol, port class, ...) into a single integer;
+/// the interning layer in [`crate::Schema`] plays that role here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct EdgeType(pub u32);
+
+/// Logical timestamp attached to every streaming edge.
+///
+/// The unit is irrelevant to the algorithms (the paper uses seconds for CAIDA
+/// and event counters for LSBench); only ordering and differences matter.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// Saturating difference `self - earlier`.
+    #[inline]
+    pub fn saturating_since(self, earlier: Timestamp) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+/// Direction of an edge relative to an anchor vertex.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Direction {
+    /// The anchor vertex is the source of the edge.
+    Outgoing,
+    /// The anchor vertex is the destination of the edge.
+    Incoming,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Outgoing => Direction::Incoming,
+            Direction::Incoming => Direction::Outgoing,
+        }
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wildcard_vertex_type_accepts_everything() {
+        assert!(VertexType::ANY.accepts(VertexType(0)));
+        assert!(VertexType::ANY.accepts(VertexType(12345)));
+        assert!(VertexType::ANY.is_any());
+    }
+
+    #[test]
+    fn concrete_vertex_type_only_accepts_itself() {
+        let t = VertexType(3);
+        assert!(t.accepts(VertexType(3)));
+        assert!(!t.accepts(VertexType(4)));
+        assert!(!t.is_any());
+    }
+
+    #[test]
+    fn timestamp_saturating_since() {
+        assert_eq!(Timestamp(10).saturating_since(Timestamp(4)), 6);
+        assert_eq!(Timestamp(4).saturating_since(Timestamp(10)), 0);
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(Direction::Outgoing.reverse(), Direction::Incoming);
+        assert_eq!(Direction::Incoming.reverse().reverse(), Direction::Incoming);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_inner_value() {
+        assert!(VertexId(1) < VertexId(2));
+        assert!(EdgeId(7) > EdgeId(3));
+        assert!(Timestamp(5) <= Timestamp(5));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(VertexId(3).to_string(), "v3");
+        assert_eq!(EdgeId(9).to_string(), "e9");
+        assert_eq!(Timestamp(1).to_string(), "t1");
+    }
+}

@@ -1,0 +1,125 @@
+//! Sliding time-window bookkeeping.
+//!
+//! The paper maintains the data graph "as a window in time": given a window
+//! `tW`, edges are deleted once they become older than `t_last - tW`, where
+//! `t_last` is the timestamp of the newest edge (Section 2). [`ExpiryQueue`]
+//! tracks edge arrival in timestamp order and yields the edges that fall out
+//! of the window as new edges arrive.
+//!
+//! Streaming edges are *mostly* ordered by timestamp but real traces contain
+//! small reorderings, so the queue uses an ordered map keyed by
+//! `(timestamp, edge id)` rather than assuming monotone arrival.
+
+use crate::ids::{EdgeId, Timestamp};
+use std::collections::BTreeSet;
+
+/// Tracks live edges in timestamp order and computes which edges expire when
+/// the window slides forward.
+#[derive(Debug, Clone, Default)]
+pub struct ExpiryQueue {
+    live: BTreeSet<(Timestamp, EdgeId)>,
+}
+
+impl ExpiryQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new live edge.
+    pub fn push(&mut self, edge: EdgeId, ts: Timestamp) {
+        self.live.insert((ts, edge));
+    }
+
+    /// Removes an edge that is being deleted for a reason other than expiry
+    /// (currently only used by tests and future explicit-deletion support).
+    pub fn remove(&mut self, edge: EdgeId, ts: Timestamp) -> bool {
+        self.live.remove(&(ts, edge))
+    }
+
+    /// Pops every edge strictly older than `cutoff` and returns them in
+    /// timestamp order.
+    pub fn expire_older_than(&mut self, cutoff: Timestamp) -> Vec<(EdgeId, Timestamp)> {
+        let mut expired = Vec::new();
+        while let Some(&(ts, edge)) = self.live.iter().next() {
+            if ts < cutoff {
+                self.live.remove(&(ts, edge));
+                expired.push((edge, ts));
+            } else {
+                break;
+            }
+        }
+        expired
+    }
+
+    /// Number of live (non-expired) edges tracked.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Returns `true` when no live edges are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Timestamp of the oldest live edge, if any.
+    pub fn oldest(&self) -> Option<Timestamp> {
+        self.live.iter().next().map(|&(ts, _)| ts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expires_only_strictly_older_edges() {
+        let mut q = ExpiryQueue::new();
+        q.push(EdgeId(1), Timestamp(10));
+        q.push(EdgeId(2), Timestamp(20));
+        q.push(EdgeId(3), Timestamp(30));
+        let expired = q.expire_older_than(Timestamp(20));
+        assert_eq!(expired, vec![(EdgeId(1), Timestamp(10))]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn expiry_is_in_timestamp_order_even_with_out_of_order_insertion() {
+        let mut q = ExpiryQueue::new();
+        q.push(EdgeId(5), Timestamp(50));
+        q.push(EdgeId(1), Timestamp(10));
+        q.push(EdgeId(3), Timestamp(30));
+        let expired = q.expire_older_than(Timestamp(100));
+        let ts: Vec<u64> = expired.iter().map(|(_, t)| t.0).collect();
+        assert_eq!(ts, vec![10, 30, 50]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn remove_drops_a_specific_edge() {
+        let mut q = ExpiryQueue::new();
+        q.push(EdgeId(1), Timestamp(10));
+        assert!(q.remove(EdgeId(1), Timestamp(10)));
+        assert!(!q.remove(EdgeId(1), Timestamp(10)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn oldest_reports_minimum_timestamp() {
+        let mut q = ExpiryQueue::new();
+        assert_eq!(q.oldest(), None);
+        q.push(EdgeId(2), Timestamp(25));
+        q.push(EdgeId(1), Timestamp(5));
+        assert_eq!(q.oldest(), Some(Timestamp(5)));
+    }
+
+    #[test]
+    fn same_timestamp_edges_are_distinguished_by_id() {
+        let mut q = ExpiryQueue::new();
+        q.push(EdgeId(1), Timestamp(10));
+        q.push(EdgeId(2), Timestamp(10));
+        assert_eq!(q.len(), 2);
+        let expired = q.expire_older_than(Timestamp(11));
+        assert_eq!(expired.len(), 2);
+    }
+}

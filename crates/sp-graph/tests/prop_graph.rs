@@ -1,0 +1,103 @@
+//! Property-based tests for the dynamic graph store.
+
+use proptest::prelude::*;
+use sp_graph::{DynamicGraph, EdgeType, Schema, Timestamp, VertexType};
+
+/// A compact description of a random edge stream.
+#[derive(Debug, Clone)]
+struct StreamSpec {
+    edges: Vec<(u64, u64, u32, u64)>, // (src, dst, edge_type, timestamp)
+    window: Option<u64>,
+}
+
+fn stream_strategy() -> impl Strategy<Value = StreamSpec> {
+    let edge = (0u64..20, 0u64..20, 0u32..5, 0u64..1000);
+    (proptest::collection::vec(edge, 1..200), proptest::option::of(1u64..500)).prop_map(
+        |(edges, window)| StreamSpec { edges, window },
+    )
+}
+
+fn build_graph(spec: &StreamSpec) -> DynamicGraph {
+    let mut schema = Schema::new();
+    let vt = schema.intern_vertex_type("v");
+    for t in 0..5 {
+        schema.intern_edge_type(&format!("t{t}"));
+    }
+    let mut g = match spec.window {
+        Some(w) => DynamicGraph::with_window(schema, w),
+        None => DynamicGraph::new(schema),
+    };
+    for &(src, dst, et, ts) in &spec.edges {
+        let s = g.ensure_vertex_named(&format!("n{src}"), vt);
+        let d = g.ensure_vertex_named(&format!("n{dst}"), vt);
+        g.add_edge(s, d, EdgeType(et), Timestamp(ts));
+        g.expire();
+    }
+    g
+}
+
+proptest! {
+    /// The sum of out-degrees and the sum of in-degrees both equal the number
+    /// of live edges, and every adjacency entry refers to a live edge.
+    #[test]
+    fn adjacency_is_consistent(spec in stream_strategy()) {
+        let g = build_graph(&spec);
+        let out_sum: usize = g.vertices().map(|(v, _)| g.out_degree(v)).sum();
+        let in_sum: usize = g.vertices().map(|(v, _)| g.in_degree(v)).sum();
+        prop_assert_eq!(out_sum, g.num_edges());
+        prop_assert_eq!(in_sum, g.num_edges());
+        for (v, _) in g.vertices() {
+            for inc in g.incident_edges(v) {
+                let e = g.edge(inc.edge).expect("adjacency points at live edge");
+                prop_assert!(e.touches(v));
+            }
+        }
+    }
+
+    /// After expiry, every live edge is within the window of the newest edge.
+    #[test]
+    fn window_invariant_holds(spec in stream_strategy()) {
+        let g = build_graph(&spec);
+        if let Some(w) = g.window() {
+            let newest = g.latest_timestamp();
+            let cutoff = newest.0.saturating_sub(w);
+            for e in g.edges() {
+                prop_assert!(e.timestamp.0 >= cutoff,
+                    "edge at {} violates window starting at {}", e.timestamp.0, cutoff);
+            }
+        }
+    }
+
+    /// No isolated vertices survive window expiry.
+    #[test]
+    fn no_isolated_vertices(spec in stream_strategy()) {
+        let g = build_graph(&spec);
+        for (v, data) in g.vertices() {
+            prop_assert!(data.degree() > 0, "vertex {v} is isolated");
+        }
+    }
+
+    /// total_edges_seen is monotone and never smaller than the live count.
+    #[test]
+    fn seen_count_dominates_live_count(spec in stream_strategy()) {
+        let g = build_graph(&spec);
+        prop_assert_eq!(g.total_edges_seen(), spec.edges.len() as u64);
+        prop_assert!(g.num_edges() as u64 <= g.total_edges_seen());
+    }
+
+    /// Degree stats average equals 2E/V for live graphs.
+    #[test]
+    fn degree_stats_matches_handshake_lemma(spec in stream_strategy()) {
+        let g = build_graph(&spec);
+        if g.num_vertices() > 0 {
+            let stats = g.degree_stats();
+            let expected = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+            prop_assert!((stats.average_degree - expected).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn vertex_type_wildcard_is_default() {
+    assert_eq!(VertexType::default(), VertexType::ANY);
+}

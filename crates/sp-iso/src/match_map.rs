@@ -1,0 +1,351 @@
+//! The match representation shared by the matchers, the SJ-Tree and the
+//! engine.
+
+use sp_graph::{DynamicGraph, EdgeId, Timestamp, VertexId};
+use sp_query::{QueryEdgeId, QueryVertexId};
+use std::collections::BTreeMap;
+
+/// A match (possibly partial) between a query subgraph and a data subgraph.
+///
+/// Following Definition 3.1.2 a match is "a set of edge pairs", each pair
+/// mapping a query edge to a data edge. The vertex binding is kept alongside
+/// because every consistency check (injectivity, join compatibility, join-key
+/// projection) is expressed on vertices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubgraphMatch {
+    edge_map: BTreeMap<QueryEdgeId, EdgeId>,
+    vertex_map: BTreeMap<QueryVertexId, VertexId>,
+    earliest: Timestamp,
+    latest: Timestamp,
+}
+
+impl Default for SubgraphMatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubgraphMatch {
+    /// Creates an empty match.
+    pub fn new() -> Self {
+        Self {
+            edge_map: BTreeMap::new(),
+            vertex_map: BTreeMap::new(),
+            earliest: Timestamp(u64::MAX),
+            latest: Timestamp(0),
+        }
+    }
+
+    /// Number of matched edges.
+    pub fn num_edges(&self) -> usize {
+        self.edge_map.len()
+    }
+
+    /// Number of bound vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_map.len()
+    }
+
+    /// Returns `true` when nothing is bound yet.
+    pub fn is_empty(&self) -> bool {
+        self.edge_map.is_empty()
+    }
+
+    /// The data edge bound to a query edge, if any.
+    pub fn data_edge(&self, q: QueryEdgeId) -> Option<EdgeId> {
+        self.edge_map.get(&q).copied()
+    }
+
+    /// The data vertex bound to a query vertex, if any.
+    pub fn data_vertex(&self, q: QueryVertexId) -> Option<VertexId> {
+        self.vertex_map.get(&q).copied()
+    }
+
+    /// Iterates over the (query edge, data edge) pairs in query-edge order.
+    pub fn edge_pairs(&self) -> impl Iterator<Item = (QueryEdgeId, EdgeId)> + '_ {
+        self.edge_map.iter().map(|(&q, &d)| (q, d))
+    }
+
+    /// Iterates over the (query vertex, data vertex) pairs in query-vertex
+    /// order.
+    pub fn vertex_pairs(&self) -> impl Iterator<Item = (QueryVertexId, VertexId)> + '_ {
+        self.vertex_map.iter().map(|(&q, &d)| (q, d))
+    }
+
+    /// Returns `true` if the given data edge is used by this match.
+    pub fn uses_data_edge(&self, e: EdgeId) -> bool {
+        self.edge_map.values().any(|&d| d == e)
+    }
+
+    /// Returns `true` if the given data vertex is bound by this match.
+    pub fn uses_data_vertex(&self, v: VertexId) -> bool {
+        self.vertex_map.values().any(|&d| d == v)
+    }
+
+    /// Earliest timestamp among the matched edges (`u64::MAX` if empty).
+    pub fn earliest(&self) -> Timestamp {
+        self.earliest
+    }
+
+    /// Latest timestamp among the matched edges (`0` if empty).
+    pub fn latest(&self) -> Timestamp {
+        self.latest
+    }
+
+    /// The time interval τ(g) spanned by the matched edges (Section 2.1).
+    pub fn duration(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.latest.saturating_since(self.earliest)
+        }
+    }
+
+    /// Returns `true` when the match fits inside a time window of width `tw`.
+    pub fn within_window(&self, tw: u64) -> bool {
+        self.duration() < tw
+    }
+
+    /// Attempts to bind `query_vertex -> data_vertex`, enforcing consistency
+    /// (a query vertex may only be bound once, to a single data vertex) and
+    /// injectivity (two query vertices may not share a data vertex).
+    pub fn bind_vertex(&mut self, q: QueryVertexId, d: VertexId) -> bool {
+        match self.vertex_map.get(&q) {
+            Some(&existing) => existing == d,
+            None => {
+                if self.vertex_map.values().any(|&v| v == d) {
+                    return false;
+                }
+                self.vertex_map.insert(q, d);
+                true
+            }
+        }
+    }
+
+    /// Attempts to bind `query_edge -> data_edge`. Fails if either side is
+    /// already bound (to anything else) — data edges may not be reused.
+    pub fn bind_edge(&mut self, q: QueryEdgeId, d: EdgeId, timestamp: Timestamp) -> bool {
+        if self.edge_map.contains_key(&q) || self.edge_map.values().any(|&e| e == d) {
+            return false;
+        }
+        self.edge_map.insert(q, d);
+        if timestamp < self.earliest {
+            self.earliest = timestamp;
+        }
+        if timestamp > self.latest {
+            self.latest = timestamp;
+        }
+        true
+    }
+
+    /// Returns `true` when this match can be joined with `other`:
+    ///
+    /// * query vertices bound by both map to the same data vertex;
+    /// * query edges are disjoint and data edges are disjoint;
+    /// * the combined vertex binding stays injective.
+    pub fn compatible_with(&self, other: &SubgraphMatch) -> bool {
+        // Shared query vertices must agree; disjoint query vertices must not
+        // collide on data vertices (injectivity of the union).
+        for (&qv, &dv) in &self.vertex_map {
+            match other.vertex_map.get(&qv) {
+                Some(&odv) => {
+                    if odv != dv {
+                        return false;
+                    }
+                }
+                None => {
+                    if other.vertex_map.iter().any(|(&oqv, &odv)| oqv != qv && odv == dv) {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Query edges must be disjoint (the decomposition partitions edges)
+        // and data edges must not be reused.
+        for (&qe, &de) in &self.edge_map {
+            if other.edge_map.contains_key(&qe) {
+                return false;
+            }
+            if other.edge_map.values().any(|&ode| ode == de) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Joins two compatible matches into a larger one (Definition 3.1.3).
+    /// Returns `None` when the matches are incompatible.
+    pub fn join(&self, other: &SubgraphMatch) -> Option<SubgraphMatch> {
+        if !self.compatible_with(other) {
+            return None;
+        }
+        let mut out = self.clone();
+        for (&qe, &de) in &other.edge_map {
+            out.edge_map.insert(qe, de);
+        }
+        for (&qv, &dv) in &other.vertex_map {
+            out.vertex_map.insert(qv, dv);
+        }
+        out.earliest = out.earliest.min(other.earliest);
+        out.latest = out.latest.max(other.latest);
+        Some(out)
+    }
+
+    /// Projects the match onto a set of query vertices, returning the bound
+    /// data vertices in the order given. Returns `None` when any of the
+    /// vertices is unbound. This is the `GET-JOIN-KEY` / projection operator
+    /// Π of Property 4 — the result is used as the hash-join key.
+    pub fn project_vertices(&self, vertices: &[QueryVertexId]) -> Option<Vec<VertexId>> {
+        vertices
+            .iter()
+            .map(|q| self.vertex_map.get(q).copied())
+            .collect()
+    }
+
+    /// Checks that every matched data edge still exists in the graph
+    /// (edges may have been expired by the sliding window).
+    pub fn is_live(&self, graph: &DynamicGraph) -> bool {
+        self.edge_map.values().all(|&e| graph.contains_edge(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qv(i: usize) -> QueryVertexId {
+        QueryVertexId(i)
+    }
+    fn qe(i: usize) -> QueryEdgeId {
+        QueryEdgeId(i)
+    }
+    fn dv(i: u64) -> VertexId {
+        VertexId(i)
+    }
+    fn de(i: u64) -> EdgeId {
+        EdgeId(i)
+    }
+
+    #[test]
+    fn bind_vertex_enforces_consistency_and_injectivity() {
+        let mut m = SubgraphMatch::new();
+        assert!(m.bind_vertex(qv(0), dv(10)));
+        // Re-binding to the same data vertex is fine.
+        assert!(m.bind_vertex(qv(0), dv(10)));
+        // Re-binding to a different data vertex is not.
+        assert!(!m.bind_vertex(qv(0), dv(11)));
+        // A second query vertex may not reuse the same data vertex.
+        assert!(!m.bind_vertex(qv(1), dv(10)));
+        assert!(m.bind_vertex(qv(1), dv(11)));
+        assert_eq!(m.num_vertices(), 2);
+    }
+
+    #[test]
+    fn bind_edge_tracks_time_interval() {
+        let mut m = SubgraphMatch::new();
+        assert!(m.bind_edge(qe(0), de(100), Timestamp(50)));
+        assert!(m.bind_edge(qe(1), de(101), Timestamp(20)));
+        assert!(m.bind_edge(qe(2), de(102), Timestamp(70)));
+        assert_eq!(m.earliest(), Timestamp(20));
+        assert_eq!(m.latest(), Timestamp(70));
+        assert_eq!(m.duration(), 50);
+        assert!(m.within_window(51));
+        assert!(!m.within_window(50));
+    }
+
+    #[test]
+    fn bind_edge_rejects_reuse() {
+        let mut m = SubgraphMatch::new();
+        assert!(m.bind_edge(qe(0), de(1), Timestamp(0)));
+        // Same query edge cannot be bound twice.
+        assert!(!m.bind_edge(qe(0), de(2), Timestamp(0)));
+        // Same data edge cannot serve two query edges.
+        assert!(!m.bind_edge(qe(1), de(1), Timestamp(0)));
+    }
+
+    #[test]
+    fn join_of_compatible_matches_unions_bindings() {
+        let mut a = SubgraphMatch::new();
+        a.bind_vertex(qv(0), dv(10));
+        a.bind_vertex(qv(1), dv(11));
+        a.bind_edge(qe(0), de(1), Timestamp(5));
+
+        let mut b = SubgraphMatch::new();
+        b.bind_vertex(qv(1), dv(11));
+        b.bind_vertex(qv(2), dv(12));
+        b.bind_edge(qe(1), de(2), Timestamp(9));
+
+        let j = a.join(&b).expect("compatible");
+        assert_eq!(j.num_edges(), 2);
+        assert_eq!(j.num_vertices(), 3);
+        assert_eq!(j.earliest(), Timestamp(5));
+        assert_eq!(j.latest(), Timestamp(9));
+    }
+
+    #[test]
+    fn join_rejects_conflicting_shared_vertex() {
+        let mut a = SubgraphMatch::new();
+        a.bind_vertex(qv(1), dv(11));
+        a.bind_edge(qe(0), de(1), Timestamp(0));
+        let mut b = SubgraphMatch::new();
+        b.bind_vertex(qv(1), dv(99));
+        b.bind_edge(qe(1), de(2), Timestamp(0));
+        assert!(a.join(&b).is_none());
+    }
+
+    #[test]
+    fn join_rejects_non_injective_union() {
+        // Different query vertices bound to the same data vertex.
+        let mut a = SubgraphMatch::new();
+        a.bind_vertex(qv(0), dv(10));
+        a.bind_edge(qe(0), de(1), Timestamp(0));
+        let mut b = SubgraphMatch::new();
+        b.bind_vertex(qv(2), dv(10));
+        b.bind_edge(qe(1), de(2), Timestamp(0));
+        assert!(a.join(&b).is_none());
+    }
+
+    #[test]
+    fn join_rejects_data_edge_reuse() {
+        let mut a = SubgraphMatch::new();
+        a.bind_edge(qe(0), de(7), Timestamp(0));
+        let mut b = SubgraphMatch::new();
+        b.bind_edge(qe(1), de(7), Timestamp(0));
+        assert!(a.join(&b).is_none());
+    }
+
+    #[test]
+    fn projection_produces_join_keys() {
+        let mut m = SubgraphMatch::new();
+        m.bind_vertex(qv(0), dv(10));
+        m.bind_vertex(qv(2), dv(12));
+        assert_eq!(
+            m.project_vertices(&[qv(2), qv(0)]),
+            Some(vec![dv(12), dv(10)])
+        );
+        assert_eq!(m.project_vertices(&[qv(1)]), None);
+        assert_eq!(m.project_vertices(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn empty_match_properties() {
+        let m = SubgraphMatch::new();
+        assert!(m.is_empty());
+        assert_eq!(m.duration(), 0);
+        assert!(m.within_window(1));
+    }
+
+    #[test]
+    fn usage_queries() {
+        let mut m = SubgraphMatch::new();
+        m.bind_vertex(qv(0), dv(10));
+        m.bind_edge(qe(0), de(5), Timestamp(1));
+        assert!(m.uses_data_vertex(dv(10)));
+        assert!(!m.uses_data_vertex(dv(11)));
+        assert!(m.uses_data_edge(de(5)));
+        assert!(!m.uses_data_edge(de(6)));
+        assert_eq!(m.data_vertex(qv(0)), Some(dv(10)));
+        assert_eq!(m.data_edge(qe(0)), Some(de(5)));
+        assert_eq!(m.data_edge(qe(9)), None);
+    }
+}

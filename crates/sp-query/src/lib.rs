@@ -1,0 +1,28 @@
+//! # sp-query — query graph model and search primitives
+//!
+//! A *query graph* (Section 2 of the paper) is a small directed, typed graph
+//! describing the pattern to detect continuously: attack patterns such as the
+//! exfiltration tree of Figure 1, LSBench social queries, or the randomly
+//! generated path/tree queries of Section 6.
+//!
+//! This crate provides:
+//!
+//! * [`QueryGraph`] — the query graph itself, with typed vertices (possibly
+//!   the wildcard type) and typed edges;
+//! * [`QuerySubgraph`] — an edge-subset view of a query graph, used by the
+//!   SJ-Tree nodes to describe which part of the query each node matches;
+//! * signatures of the two *search primitives* used by the decomposition
+//!   (Section 5.1): [`EdgeSignature`] for single edges and
+//!   [`TwoEdgePathSignature`] for 2-edge paths, both of which double as
+//!   histogram keys in the selectivity estimator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod query;
+mod signature;
+mod subgraph;
+
+pub use query::{QueryEdge, QueryEdgeId, QueryGraph, QueryVertex, QueryVertexId};
+pub use signature::{DirectedEdgeType, EdgeSignature, Primitive, TwoEdgePathSignature};
+pub use subgraph::QuerySubgraph;

@@ -1,0 +1,265 @@
+//! The selectivity estimator: single place the engine and the decomposition
+//! ask "how frequent is this primitive?".
+
+use crate::histogram::EdgeTypeHistogram;
+use crate::paths::TwoEdgePathCounter;
+use serde::{Deserialize, Serialize};
+use sp_graph::{DynamicGraph, EdgeData};
+use sp_query::Primitive;
+
+/// Distributional statistics of a graph stream: the 1-edge histogram and the
+/// 2-edge path distribution, plus the Expected / Relative Selectivity metrics
+/// derived from them (Section 5.2).
+///
+/// The estimator is typically populated from a prefix of the stream
+/// ([`SelectivityEstimator::observe_edge`]) or from a whole graph snapshot
+/// ([`SelectivityEstimator::from_graph`]); the paper assumes "the selectivity
+/// order remains the same for the dynamic graph when we perform the query
+/// processing" (Section 5.1), and Section 6.3 validates that assumption.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SelectivityEstimator {
+    edges: EdgeTypeHistogram,
+    paths: TwoEdgePathCounter,
+}
+
+/// A summary of the selectivity of one SJ-Tree decomposition: the per-leaf
+/// selectivities and their product (Expected Selectivity, Equation 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecompositionSelectivity {
+    /// Selectivity of each leaf primitive, in leaf order.
+    pub leaf_selectivities: Vec<f64>,
+    /// Product of the leaf selectivities — Ŝ(T).
+    pub expected: f64,
+}
+
+impl DecompositionSelectivity {
+    /// Relative Selectivity ξ(Tk, T1) = Ŝ(Tk) / Ŝ(T1) (Equation 2).
+    pub fn relative_to(&self, baseline: &DecompositionSelectivity) -> f64 {
+        if baseline.expected == 0.0 {
+            return f64::INFINITY;
+        }
+        self.expected / baseline.expected
+    }
+}
+
+impl SelectivityEstimator {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the estimator from a complete graph snapshot: the edge
+    /// histogram from the live edges and the 2-edge path distribution via
+    /// Algorithm 5.
+    pub fn from_graph(graph: &DynamicGraph) -> Self {
+        let mut edges = EdgeTypeHistogram::new();
+        for e in graph.edges() {
+            edges.observe(e.edge_type);
+        }
+        Self {
+            edges,
+            paths: TwoEdgePathCounter::from_graph(graph),
+        }
+    }
+
+    /// Incrementally records one streaming edge (both the 1-edge histogram
+    /// and the 2-edge path counts are updated).
+    pub fn observe_edge(&mut self, edge: &EdgeData) {
+        self.edges.observe(edge.edge_type);
+        self.paths.observe_edge(edge);
+    }
+
+    /// Read access to the single-edge histogram.
+    pub fn edge_histogram(&self) -> &EdgeTypeHistogram {
+        &self.edges
+    }
+
+    /// Read access to the 2-edge path distribution.
+    pub fn path_counter(&self) -> &TwoEdgePathCounter {
+        &self.paths
+    }
+
+    /// Number of edges observed.
+    pub fn num_edges_observed(&self) -> u64 {
+        self.edges.total()
+    }
+
+    /// Frequency (raw count) of a primitive.
+    pub fn frequency(&self, p: &Primitive) -> u64 {
+        match p {
+            Primitive::SingleEdge(t) => self.edges.count(*t),
+            Primitive::TwoEdgePath(sig) => self.paths.count(sig),
+        }
+    }
+
+    /// Selectivity of a primitive: its frequency over the total count of
+    /// same-size subgraphs (Section 5's definition of Subgraph Selectivity).
+    pub fn selectivity(&self, p: &Primitive) -> f64 {
+        match p {
+            Primitive::SingleEdge(t) => self.edges.selectivity(*t),
+            Primitive::TwoEdgePath(sig) => self.paths.selectivity(sig),
+        }
+    }
+
+    /// Expected Selectivity of a decomposition, given its leaf primitives:
+    /// Ŝ(T) = ∏ S(leaf) (Equation 1).
+    pub fn expected_selectivity<'a, I>(&self, leaves: I) -> DecompositionSelectivity
+    where
+        I: IntoIterator<Item = &'a Primitive>,
+    {
+        let leaf_selectivities: Vec<f64> =
+            leaves.into_iter().map(|p| self.selectivity(p)).collect();
+        let expected = leaf_selectivities.iter().product();
+        DecompositionSelectivity {
+            leaf_selectivities,
+            expected,
+        }
+    }
+
+    /// Relative Selectivity ξ(Tk, T1) between two decompositions described by
+    /// their leaf primitives (Equation 2). `t1_leaves` is conventionally the
+    /// 1-edge decomposition.
+    pub fn relative_selectivity<'a, I, J>(&self, tk_leaves: I, t1_leaves: J) -> f64
+    where
+        I: IntoIterator<Item = &'a Primitive>,
+        J: IntoIterator<Item = &'a Primitive>,
+    {
+        let tk = self.expected_selectivity(tk_leaves);
+        let t1 = self.expected_selectivity(t1_leaves);
+        tk.relative_to(&t1)
+    }
+
+    /// Returns `true` when a primitive was never observed in the sampled
+    /// stream. The query-sweep methodology of Section 6.4 filters out queries
+    /// containing unseen 2-edge paths because they are "artificially
+    /// discriminative".
+    pub fn is_unseen(&self, p: &Primitive) -> bool {
+        self.frequency(p) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::{Direction, EdgeType, Schema, Timestamp};
+    use sp_query::QueryGraph;
+
+    /// Data: 90 tcp edges out of one hub, 10 udp edges out of another.
+    fn sample_graph() -> DynamicGraph {
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let udp = schema.intern_edge_type("udp");
+        let mut g = DynamicGraph::new(schema);
+        let hub1 = g.add_vertex(vt);
+        let hub2 = g.add_vertex(vt);
+        for i in 0..90u64 {
+            let leaf = g.add_vertex(vt);
+            g.add_edge(hub1, leaf, tcp, Timestamp(i));
+        }
+        for i in 0..10u64 {
+            let leaf = g.add_vertex(vt);
+            g.add_edge(hub2, leaf, udp, Timestamp(100 + i));
+        }
+        g
+    }
+
+    #[test]
+    fn single_edge_selectivity_matches_frequency() {
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap();
+        let udp = g.schema().edge_type("udp").unwrap();
+        assert_eq!(est.frequency(&Primitive::SingleEdge(tcp)), 90);
+        assert_eq!(est.frequency(&Primitive::SingleEdge(udp)), 10);
+        assert!((est.selectivity(&Primitive::SingleEdge(udp)) - 0.1).abs() < 1e-12);
+        assert!(!est.is_unseen(&Primitive::SingleEdge(udp)));
+        assert!(est.is_unseen(&Primitive::SingleEdge(EdgeType(99))));
+    }
+
+    #[test]
+    fn expected_selectivity_is_product_of_leaves() {
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap();
+        let udp = g.schema().edge_type("udp").unwrap();
+        let leaves = vec![Primitive::SingleEdge(tcp), Primitive::SingleEdge(udp)];
+        let d = est.expected_selectivity(leaves.iter());
+        assert_eq!(d.leaf_selectivities.len(), 2);
+        assert!((d.expected - 0.9 * 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_selectivity_compares_decompositions() {
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap();
+        let udp = g.schema().edge_type("udp").unwrap();
+        // A wedge primitive that exists (tcp out / tcp out at hub1).
+        let wedge = Primitive::TwoEdgePath(TwoEdgePathCounter::signature(
+            tcp,
+            Direction::Outgoing,
+            tcp,
+            Direction::Outgoing,
+        ));
+        let single_leaves = vec![Primitive::SingleEdge(tcp), Primitive::SingleEdge(udp)];
+        let path_leaves = vec![wedge, Primitive::SingleEdge(udp)];
+        let xi = est.relative_selectivity(path_leaves.iter(), single_leaves.iter());
+        assert!(xi.is_finite());
+        assert!(xi > 0.0);
+    }
+
+    #[test]
+    fn relative_to_handles_zero_baseline() {
+        let a = DecompositionSelectivity {
+            leaf_selectivities: vec![0.5],
+            expected: 0.5,
+        };
+        let zero = DecompositionSelectivity {
+            leaf_selectivities: vec![0.0],
+            expected: 0.0,
+        };
+        assert!(a.relative_to(&zero).is_infinite());
+    }
+
+    #[test]
+    fn incremental_observation_matches_from_graph() {
+        let g = sample_graph();
+        let batch = SelectivityEstimator::from_graph(&g);
+        let mut inc = SelectivityEstimator::new();
+        for e in g.edges() {
+            inc.observe_edge(e);
+        }
+        assert_eq!(inc.num_edges_observed(), batch.num_edges_observed());
+        assert_eq!(inc.path_counter().total(), batch.path_counter().total());
+    }
+
+    #[test]
+    fn empty_estimator_defaults_are_safe() {
+        let est = SelectivityEstimator::new();
+        let p = Primitive::SingleEdge(EdgeType(0));
+        assert_eq!(est.frequency(&p), 0);
+        assert_eq!(est.selectivity(&p), 1.0);
+        let d = est.expected_selectivity(std::iter::empty());
+        assert_eq!(d.expected, 1.0);
+        assert!(d.leaf_selectivities.is_empty());
+    }
+
+    #[test]
+    fn query_primitives_can_be_scored() {
+        // End-to-end: build a query, derive its primitives, score them.
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap();
+        let udp = g.schema().edge_type("udp").unwrap();
+        let mut q = QueryGraph::new("demo");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        let e0 = q.add_edge(a, b, tcp);
+        let e1 = q.add_edge(b, c, udp);
+        let single0 = q.edge_primitive(e0);
+        let wedge = q.wedge_primitive(e0, e1).unwrap();
+        assert!(est.selectivity(&single0) > est.selectivity(&wedge));
+    }
+}

@@ -1,0 +1,380 @@
+//! Greedy selectivity-driven query decomposition — Algorithm 4,
+//! `BUILD-SJ-TREE`.
+//!
+//! Given the query graph and the distributional statistics of the stream, the
+//! decomposition repeatedly peels off the most selective (least frequent)
+//! primitive that touches the current frontier, producing the ordered leaf
+//! list of a left-deep SJ-Tree:
+//!
+//! * with [`PrimitivePolicy::SingleEdge`] the primitives are single query
+//!   edges — the "Single" decomposition of Section 6.4;
+//! * with [`PrimitivePolicy::TwoEdgePath`] the primitives are 2-edge paths
+//!   (wedges), falling back to single edges when the remaining query edges
+//!   cannot form a wedge on the frontier — the "Path" decomposition. As in
+//!   the paper's query-sweep methodology, wedges whose signature was never
+//!   observed in the sampled stream are not used (they would make the query
+//!   "artificially discriminative"); the decomposition falls back to single
+//!   edges instead.
+
+use crate::tree::SjTree;
+use serde::{Deserialize, Serialize};
+use sp_query::{Primitive, QueryEdgeId, QueryGraph, QuerySubgraph, QueryVertexId};
+use sp_selectivity::SelectivityEstimator;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which primitive family the decomposition may use for its leaves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrimitivePolicy {
+    /// Only single-edge leaves ("Single" / "SingleLazy" strategies).
+    SingleEdge,
+    /// Prefer 2-edge path leaves, fall back to single edges
+    /// ("Path" / "PathLazy" strategies).
+    TwoEdgePath,
+}
+
+impl fmt::Display for PrimitivePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrimitivePolicy::SingleEdge => write!(f, "single-edge"),
+            PrimitivePolicy::TwoEdgePath => write!(f, "2-edge-path"),
+        }
+    }
+}
+
+/// Errors from [`decompose`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompositionError {
+    /// The query graph has no edges.
+    EmptyQuery,
+}
+
+impl fmt::Display for DecompositionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecompositionError::EmptyQuery => write!(f, "query graph has no edges"),
+        }
+    }
+}
+
+impl std::error::Error for DecompositionError {}
+
+/// One candidate leaf considered by the greedy loop.
+struct Candidate {
+    edges: Vec<QueryEdgeId>,
+    frequency: u64,
+}
+
+/// Decomposes `query` into an SJ-Tree using the greedy algorithm of the
+/// paper: the most selective primitive is chosen first, and every subsequent
+/// primitive must touch the frontier (the vertices of previously chosen
+/// primitives), so that the join order follows the query's connectivity.
+pub fn decompose(
+    query: &QueryGraph,
+    policy: PrimitivePolicy,
+    estimator: &SelectivityEstimator,
+) -> Result<SjTree, DecompositionError> {
+    if query.num_edges() == 0 {
+        return Err(DecompositionError::EmptyQuery);
+    }
+    let mut remaining: BTreeSet<QueryEdgeId> = query.edge_ids().collect();
+    let mut frontier: BTreeSet<QueryVertexId> = BTreeSet::new();
+    let mut leaves: Vec<QuerySubgraph> = Vec::new();
+
+    while !remaining.is_empty() {
+        let candidate = select_candidate(query, policy, estimator, &remaining, &frontier)
+            .expect("a non-empty remaining set always yields at least one single-edge candidate");
+        let subgraph = QuerySubgraph::from_edges(query, candidate.edges.iter().copied());
+        for v in subgraph.vertices() {
+            frontier.insert(v);
+        }
+        for e in subgraph.edges() {
+            remaining.remove(&e);
+        }
+        leaves.push(subgraph);
+    }
+
+    Ok(SjTree::from_leaves(query.clone(), leaves))
+}
+
+/// Enumerates the candidate primitives over the remaining edges and returns
+/// the least frequent one. Frontier handling follows Algorithm 4: once the
+/// frontier is non-empty, candidates must include a frontier vertex; if no
+/// remaining edge touches the frontier (disconnected query), the constraint
+/// is relaxed so that decomposition still terminates.
+fn select_candidate(
+    query: &QueryGraph,
+    policy: PrimitivePolicy,
+    estimator: &SelectivityEstimator,
+    remaining: &BTreeSet<QueryEdgeId>,
+    frontier: &BTreeSet<QueryVertexId>,
+) -> Option<Candidate> {
+    let touches_frontier = |edges: &[QueryEdgeId]| -> bool {
+        frontier.is_empty()
+            || edges.iter().any(|&e| {
+                let q = query.edge(e);
+                frontier.contains(&q.src) || frontier.contains(&q.dst)
+            })
+    };
+
+    fn consider(best: &mut Option<Candidate>, cand: Candidate) {
+        let better = match best {
+            None => true,
+            Some(b) => (cand.frequency, &cand.edges) < (b.frequency, &b.edges),
+        };
+        if better {
+            *best = Some(cand);
+        }
+    }
+
+    let mut best: Option<Candidate> = None;
+
+    // Wedge candidates (2-edge paths) when the policy allows them.
+    if policy == PrimitivePolicy::TwoEdgePath {
+        let edges: Vec<QueryEdgeId> = remaining.iter().copied().collect();
+        for (i, &a) in edges.iter().enumerate() {
+            for &b in &edges[i + 1..] {
+                let Some(primitive) = query.wedge_primitive(a, b) else {
+                    continue;
+                };
+                if !touches_frontier(&[a, b]) {
+                    continue;
+                }
+                // Unseen wedges are skipped: the generator "resorts to a
+                // single-edge based decomposition when a query subgraph
+                // contains an unseen 2-edge path" (Section 6.4).
+                if estimator.is_unseen(&primitive) {
+                    continue;
+                }
+                consider(&mut best, Candidate {
+                    edges: vec![a, b],
+                    frequency: estimator.frequency(&primitive),
+                });
+            }
+        }
+    }
+
+    // Single-edge candidates: always available for the SingleEdge policy and
+    // as a fallback when no wedge candidate was admissible.
+    if policy == PrimitivePolicy::SingleEdge || best.is_none() {
+        for &e in remaining.iter() {
+            if !touches_frontier(&[e]) {
+                continue;
+            }
+            let primitive = query.edge_primitive(e);
+            consider(&mut best, Candidate {
+                edges: vec![e],
+                frequency: estimator.frequency(&primitive),
+            });
+        }
+    }
+
+    // Relax the frontier constraint if nothing touched it (disconnected
+    // query): take the rarest remaining single edge.
+    if best.is_none() {
+        for &e in remaining.iter() {
+            let primitive = query.edge_primitive(e);
+            consider(&mut best, Candidate {
+                edges: vec![e],
+                frequency: estimator.frequency(&primitive),
+            });
+        }
+    }
+
+    best
+}
+
+/// Expected Selectivity of an existing tree under an estimator — convenience
+/// wrapper used when comparing decompositions (Section 5.2, Equation 1) and
+/// by the automatic strategy selection.
+pub fn expected_selectivity(
+    tree: &SjTree,
+    estimator: &SelectivityEstimator,
+) -> sp_selectivity::DecompositionSelectivity {
+    let primitives: Vec<Primitive> = tree
+        .leaf_subgraphs()
+        .map(|sg| {
+            sg.primitive(tree.query())
+                .expect("SJ-Tree leaves are always 1- or 2-edge primitives")
+        })
+        .collect();
+    estimator.expected_selectivity(primitives.iter())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::{DynamicGraph, EdgeType, Schema, Timestamp};
+
+    /// Stream sample where "tcp" is very common, "esp" is rare, and the
+    /// esp→tcp wedge exists but is rare.
+    fn sample_estimator() -> (Schema, SelectivityEstimator) {
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let udp = schema.intern_edge_type("udp");
+        let esp = schema.intern_edge_type("esp");
+        let icmp = schema.intern_edge_type("icmp");
+        let mut g = DynamicGraph::new(schema.clone());
+        let nodes: Vec<_> = (0..40).map(|_| g.add_vertex(vt)).collect();
+        let mut ts = 0u64;
+        let mut add = |g: &mut DynamicGraph, s: usize, d: usize, t: EdgeType| {
+            let ts_now = Timestamp(ts);
+            g.add_edge(nodes[s], nodes[d], t, ts_now);
+            ts += 1;
+        };
+        // Long tcp chain (frequent).
+        for i in 0..30 {
+            add(&mut g, i, i + 1, tcp);
+        }
+        // Some udp.
+        for i in 0..10 {
+            add(&mut g, i, i + 2, udp);
+        }
+        // Rare esp and icmp, forming esp->tcp and icmp->tcp wedges.
+        add(&mut g, 35, 0, esp);
+        add(&mut g, 36, 1, icmp);
+        add(&mut g, 37, 2, icmp);
+        (schema, SelectivityEstimator::from_graph(&g))
+    }
+
+    /// Path query: esp, tcp, udp, tcp (like Figure 8's ESP-TCP-ICMP-GRE).
+    fn path_query(schema: &Schema) -> QueryGraph {
+        let mut q = QueryGraph::new("esp-tcp-udp");
+        let v: Vec<_> = (0..4).map(|_| q.add_any_vertex()).collect();
+        q.add_edge(v[0], v[1], schema.edge_type("esp").unwrap());
+        q.add_edge(v[1], v[2], schema.edge_type("tcp").unwrap());
+        q.add_edge(v[2], v[3], schema.edge_type("udp").unwrap());
+        q
+    }
+
+    #[test]
+    fn single_edge_decomposition_orders_leaves_by_rarity() {
+        let (schema, est) = sample_estimator();
+        let q = path_query(&schema);
+        let tree = decompose(&q, PrimitivePolicy::SingleEdge, &est).unwrap();
+        assert_eq!(tree.num_leaves(), 3);
+        // First leaf must be the esp edge (rarest).
+        let first = tree.subgraph(tree.leaf(0));
+        let prim = first.primitive(tree.query()).unwrap();
+        assert_eq!(prim, Primitive::SingleEdge(schema.edge_type("esp").unwrap()));
+        // All leaves are single edges.
+        for sg in tree.leaf_subgraphs() {
+            assert_eq!(sg.num_edges(), 1);
+        }
+    }
+
+    #[test]
+    fn frontier_constraint_keeps_decomposition_connected() {
+        let (schema, est) = sample_estimator();
+        let q = path_query(&schema);
+        let tree = decompose(&q, PrimitivePolicy::SingleEdge, &est).unwrap();
+        // Each successive accumulated join must be connected: the cut of every
+        // internal node is non-empty.
+        for node in tree.nodes() {
+            if !node.is_leaf() {
+                assert!(
+                    !node.cut_vertices.is_empty(),
+                    "internal node {} has an empty cut",
+                    node.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn path_decomposition_uses_wedges_and_falls_back_to_single_edges() {
+        let (schema, est) = sample_estimator();
+        let q = path_query(&schema);
+        let tree = decompose(&q, PrimitivePolicy::TwoEdgePath, &est).unwrap();
+        // 3 edges: one wedge + one single edge = 2 leaves.
+        assert_eq!(tree.num_leaves(), 2);
+        let sizes: Vec<usize> = tree.leaf_subgraphs().map(|s| s.num_edges()).collect();
+        assert!(sizes.contains(&2));
+        assert!(sizes.contains(&1));
+        // The whole query is still covered.
+        assert!(tree.subgraph(tree.root()).covers(tree.query()));
+    }
+
+    #[test]
+    fn unseen_wedges_are_skipped() {
+        let (schema, est) = sample_estimator();
+        // Query with an esp edge followed by another esp edge: the esp-esp
+        // wedge never occurs in the sample, so the decomposition must not use
+        // it even under the TwoEdgePath policy.
+        let esp = schema.edge_type("esp").unwrap();
+        let mut q = QueryGraph::new("esp-esp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, esp);
+        q.add_edge(b, c, esp);
+        let tree = decompose(&q, PrimitivePolicy::TwoEdgePath, &est).unwrap();
+        assert_eq!(tree.num_leaves(), 2, "must fall back to two single edges");
+    }
+
+    #[test]
+    fn empty_query_is_an_error() {
+        let (_, est) = sample_estimator();
+        let q = QueryGraph::new("empty");
+        assert!(matches!(
+            decompose(&q, PrimitivePolicy::SingleEdge, &est),
+            Err(DecompositionError::EmptyQuery)
+        ));
+    }
+
+    #[test]
+    fn expected_selectivity_of_path_tree_is_lower() {
+        // A 2-edge decomposition is expected to be more selective (lower
+        // Ŝ) than the 1-edge decomposition of the same query, which is what
+        // makes Relative Selectivity < 1 (Section 6.5).
+        let (schema, est) = sample_estimator();
+        let q = path_query(&schema);
+        let single = decompose(&q, PrimitivePolicy::SingleEdge, &est).unwrap();
+        let path = decompose(&q, PrimitivePolicy::TwoEdgePath, &est).unwrap();
+        let s1 = expected_selectivity(&single, &est);
+        let sk = expected_selectivity(&path, &est);
+        assert!(sk.expected <= s1.expected);
+        let xi = sk.relative_to(&s1);
+        assert!(xi <= 1.0);
+        assert!(xi > 0.0);
+    }
+
+    #[test]
+    fn decomposition_handles_tree_queries() {
+        let (schema, est) = sample_estimator();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let udp = schema.edge_type("udp").unwrap();
+        let icmp = schema.edge_type("icmp").unwrap();
+        // Star query: center with 3 outgoing edges of different types.
+        let mut q = QueryGraph::new("star3");
+        let c = q.add_any_vertex();
+        for t in [tcp, udp, icmp] {
+            let leaf = q.add_any_vertex();
+            q.add_edge(c, leaf, t);
+        }
+        for policy in [PrimitivePolicy::SingleEdge, PrimitivePolicy::TwoEdgePath] {
+            let tree = decompose(&q, policy, &est).unwrap();
+            assert!(tree.subgraph(tree.root()).covers(tree.query()));
+            let total_edges: usize = tree.leaf_subgraphs().map(|s| s.num_edges()).sum();
+            assert_eq!(total_edges, 3);
+        }
+    }
+
+    #[test]
+    fn disconnected_query_still_decomposes() {
+        let (schema, est) = sample_estimator();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let mut q = QueryGraph::new("two-islands");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        let d = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        q.add_edge(c, d, tcp);
+        let tree = decompose(&q, PrimitivePolicy::SingleEdge, &est).unwrap();
+        assert_eq!(tree.num_leaves(), 2);
+        // The cut between the islands is empty — allowed, just a cross join.
+        assert!(tree.node(tree.root()).cut_vertices.is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! SJ-Tree nodes.
+
+use serde::{Deserialize, Serialize};
+use sp_query::{QuerySubgraph, QueryVertexId};
+use std::fmt;
+
+/// Index of a node within an [`crate::SjTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// One node of the SJ-Tree.
+///
+/// Leaves correspond to search primitives; internal nodes correspond to the
+/// join of their children (Property 2). `cut_vertices` of an internal node is
+/// the vertex intersection of its children's subgraphs (Property 4,
+/// `CUT-SUBGRAPH`); the hash-join key of a match inserted at either child is
+/// its projection onto the parent's `cut_vertices`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SjTreeNode {
+    /// Id of this node.
+    pub id: NodeId,
+    /// The query subgraph this node matches (`VSG{n}`).
+    pub subgraph: QuerySubgraph,
+    /// Parent node, `None` for the root.
+    pub parent: Option<NodeId>,
+    /// Left child (`None` for leaves).
+    pub left: Option<NodeId>,
+    /// Right child (`None` for leaves).
+    pub right: Option<NodeId>,
+    /// The other child of this node's parent, `None` for the root.
+    pub sibling: Option<NodeId>,
+    /// For internal nodes: the query vertices shared by the two children, in
+    /// ascending order. Empty for leaves and for cut-free (cross) joins.
+    pub cut_vertices: Vec<QueryVertexId>,
+    /// For leaves: position in the selectivity order (0 = most selective,
+    /// searched unconditionally). `None` for internal nodes.
+    pub leaf_rank: Option<usize>,
+}
+
+impl SjTreeNode {
+    /// Returns `true` when the node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        self.left.is_none() && self.right.is_none()
+    }
+
+    /// Returns `true` when the node is the root.
+    pub fn is_root(&self) -> bool {
+        self.parent.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_and_root_predicates() {
+        let leaf = SjTreeNode {
+            id: NodeId(0),
+            subgraph: QuerySubgraph::empty(),
+            parent: Some(NodeId(2)),
+            left: None,
+            right: None,
+            sibling: Some(NodeId(1)),
+            cut_vertices: vec![],
+            leaf_rank: Some(0),
+        };
+        assert!(leaf.is_leaf());
+        assert!(!leaf.is_root());
+
+        let root = SjTreeNode {
+            id: NodeId(2),
+            subgraph: QuerySubgraph::empty(),
+            parent: None,
+            left: Some(NodeId(0)),
+            right: Some(NodeId(1)),
+            sibling: None,
+            cut_vertices: vec![QueryVertexId(1)],
+            leaf_rank: None,
+        };
+        assert!(!root.is_leaf());
+        assert!(root.is_root());
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

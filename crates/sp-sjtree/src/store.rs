@@ -1,0 +1,440 @@
+//! Partial-match storage and the recursive hash-join update
+//! (`UPDATE-SJ-TREE`, Algorithm 2).
+//!
+//! Every SJ-Tree node owns a hash table of the matches of its query subgraph
+//! (Property 3). The hash key of a match stored at node `n` is the projection
+//! of the match onto the *cut vertices* of `n`'s parent (Property 4), so that
+//! probing the sibling's table with the same key yields exactly the partial
+//! matches that agree on the shared vertices — a hash join.
+//!
+//! When a new match is inserted at a node, it is joined with every compatible
+//! match of the sibling; each successful join is recursively inserted one
+//! level up. A join that reaches the root is a complete match of the query
+//! and is returned to the caller instead of being stored.
+
+use crate::node::NodeId;
+use crate::tree::SjTree;
+use sp_graph::{DynamicGraph, Timestamp, VertexId};
+use sp_iso::SubgraphMatch;
+use std::collections::HashMap;
+
+/// Hash table of matches for one SJ-Tree node, keyed by the projection of
+/// each match onto the parent's cut vertices.
+type NodeTable = HashMap<Vec<VertexId>, Vec<SubgraphMatch>>;
+
+/// Runtime partial-match storage for one SJ-Tree.
+#[derive(Debug, Clone)]
+pub struct MatchStore {
+    tables: Vec<NodeTable>,
+    inserted: Vec<u64>,
+}
+
+/// Aggregate statistics of a [`MatchStore`], used by the memory/space
+/// experiments and by the engine's profiling counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Number of partial matches currently stored per node (indexed by
+    /// [`NodeId`]).
+    pub live_matches_per_node: Vec<usize>,
+    /// Total number of partial matches currently stored.
+    pub total_live_matches: usize,
+    /// Total number of matches ever inserted per node (including evicted).
+    pub total_inserted_per_node: Vec<u64>,
+}
+
+impl MatchStore {
+    /// Creates an empty store shaped for the given tree.
+    pub fn new(tree: &SjTree) -> Self {
+        Self {
+            tables: vec![NodeTable::new(); tree.num_nodes()],
+            inserted: vec![0; tree.num_nodes()],
+        }
+    }
+
+    /// Inserts a match of `node`'s subgraph, performing the recursive hash
+    /// join of Algorithm 2. Complete matches (joins that reach the root) are
+    /// appended to `complete`.
+    ///
+    /// `window`: when `Some(tw)`, joined matches whose edge timestamps span
+    /// an interval ≥ `tw` are discarded (the problem statement requires
+    /// τ(g) < tW for reported matches).
+    ///
+    /// Duplicate inserts (the same match already present at the node) are
+    /// ignored; the lazy strategy's retroactive searches can legitimately
+    /// rediscover a match that the per-edge search already found.
+    pub fn insert(
+        &mut self,
+        tree: &SjTree,
+        node: NodeId,
+        m: SubgraphMatch,
+        window: Option<u64>,
+        complete: &mut Vec<SubgraphMatch>,
+    ) {
+        let mut trace = Vec::new();
+        self.insert_traced(tree, node, m, window, complete, &mut trace);
+    }
+
+    /// Like [`MatchStore::insert`], but additionally records every
+    /// `(node, match)` pair that was *newly stored* during the recursive
+    /// update (the inserted leaf match and every intermediate join). The Lazy
+    /// Search engine uses the trace to decide which vertices to enable the
+    /// next leaf's search on (`ENABLE-SEARCH-SIBLING`, Algorithm 3).
+    pub fn insert_traced(
+        &mut self,
+        tree: &SjTree,
+        node: NodeId,
+        m: SubgraphMatch,
+        window: Option<u64>,
+        complete: &mut Vec<SubgraphMatch>,
+        trace: &mut Vec<(NodeId, SubgraphMatch)>,
+    ) {
+        // A single-node tree: the leaf *is* the query. The window constraint
+        // still applies (τ(g) < tW).
+        if node == tree.root() {
+            if window.is_none_or(|tw| m.within_window(tw)) {
+                complete.push(m);
+            }
+            return;
+        }
+        let parent = tree
+            .parent(node)
+            .expect("non-root node has a parent");
+        let sibling = tree
+            .sibling(node)
+            .expect("non-root node has a sibling");
+        let cut = &tree.node(parent).cut_vertices;
+        let Some(key) = m.project_vertices(cut) else {
+            // The match does not bind all cut vertices; this cannot happen
+            // for leaf matches produced by the anchored matcher (leaves bind
+            // every vertex of their subgraph), so treat it as a no-op.
+            return;
+        };
+
+        // Deduplicate.
+        if self
+            .tables[node.0]
+            .get(&key)
+            .is_some_and(|bucket| bucket.contains(&m))
+        {
+            return;
+        }
+
+        // Probe the sibling's table with the same key and join (lines 4-7 of
+        // Algorithm 2).
+        let joined: Vec<SubgraphMatch> = self.tables[sibling.0]
+            .get(&key)
+            .map(|bucket| {
+                bucket
+                    .iter()
+                    .filter_map(|ms| m.join(ms))
+                    .filter(|j| window.is_none_or(|tw| j.within_window(tw)))
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        // Store the new match at this node (line 12).
+        self.tables[node.0].entry(key).or_default().push(m.clone());
+        self.inserted[node.0] += 1;
+        trace.push((node, m));
+
+        // Push successful joins up the tree (lines 8-11).
+        for msup in joined {
+            if parent == tree.root() {
+                complete.push(msup);
+            } else {
+                self.insert_traced(tree, parent, msup, window, complete, trace);
+            }
+        }
+    }
+
+    /// Number of partial matches currently stored at a node.
+    pub fn live_matches(&self, node: NodeId) -> usize {
+        self.tables[node.0].values().map(Vec::len).sum()
+    }
+
+    /// Total matches ever inserted at a node.
+    pub fn total_inserted(&self, node: NodeId) -> u64 {
+        self.inserted[node.0]
+    }
+
+    /// Iterates over the matches stored at a node.
+    pub fn matches_at(&self, node: NodeId) -> impl Iterator<Item = &SubgraphMatch> + '_ {
+        self.tables[node.0].values().flat_map(|v| v.iter())
+    }
+
+    /// Removes every stored partial match that can no longer participate in a
+    /// windowed complete match: a partial match whose earliest edge is older
+    /// than `latest - window` already spans at least the window by the time
+    /// any future edge (with timestamp ≥ `latest`) could join it.
+    /// Returns the number of matches removed.
+    pub fn purge_expired(&mut self, latest: Timestamp, window: u64) -> usize {
+        let cutoff = latest.0.saturating_sub(window);
+        let mut removed = 0;
+        for table in &mut self.tables {
+            for bucket in table.values_mut() {
+                let before = bucket.len();
+                bucket.retain(|m| m.earliest().0 >= cutoff);
+                removed += before - bucket.len();
+            }
+            table.retain(|_, bucket| !bucket.is_empty());
+        }
+        removed
+    }
+
+    /// Removes every stored partial match that references an edge that has
+    /// been expired out of the data graph. Returns the number removed.
+    pub fn purge_dead(&mut self, graph: &DynamicGraph) -> usize {
+        let mut removed = 0;
+        for table in &mut self.tables {
+            for bucket in table.values_mut() {
+                let before = bucket.len();
+                bucket.retain(|m| m.is_live(graph));
+                removed += before - bucket.len();
+            }
+            table.retain(|_, bucket| !bucket.is_empty());
+        }
+        removed
+    }
+
+    /// Clears every table.
+    pub fn clear(&mut self) {
+        for table in &mut self.tables {
+            table.clear();
+        }
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> StoreStats {
+        let live_matches_per_node: Vec<usize> = self
+            .tables
+            .iter()
+            .map(|t| t.values().map(Vec::len).sum())
+            .collect();
+        StoreStats {
+            total_live_matches: live_matches_per_node.iter().sum(),
+            live_matches_per_node,
+            total_inserted_per_node: self.inserted.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_graph::{EdgeId, EdgeType};
+    use sp_query::{QueryEdgeId, QueryGraph, QuerySubgraph, QueryVertexId};
+
+    /// Query: v0 -t0-> v1 -t1-> v2, decomposed into two single-edge leaves
+    /// (leaf 0 = edge 0, leaf 1 = edge 1).
+    fn two_leaf_tree() -> SjTree {
+        let mut q = QueryGraph::new("p2");
+        let v: Vec<_> = (0..3).map(|_| q.add_any_vertex()).collect();
+        q.add_edge(v[0], v[1], EdgeType(0));
+        q.add_edge(v[1], v[2], EdgeType(1));
+        let leaves = vec![
+            QuerySubgraph::from_edges(&q, [QueryEdgeId(0)]),
+            QuerySubgraph::from_edges(&q, [QueryEdgeId(1)]),
+        ];
+        SjTree::from_leaves(q, leaves)
+    }
+
+    /// A leaf-0 match binding v0->a, v1->b via data edge e.
+    fn leaf0_match(a: u64, b: u64, e: u64, ts: u64) -> SubgraphMatch {
+        let mut m = SubgraphMatch::new();
+        assert!(m.bind_vertex(QueryVertexId(0), VertexId(a)));
+        assert!(m.bind_vertex(QueryVertexId(1), VertexId(b)));
+        assert!(m.bind_edge(QueryEdgeId(0), EdgeId(e), Timestamp(ts)));
+        m
+    }
+
+    /// A leaf-1 match binding v1->b, v2->c via data edge e.
+    fn leaf1_match(b: u64, c: u64, e: u64, ts: u64) -> SubgraphMatch {
+        let mut m = SubgraphMatch::new();
+        assert!(m.bind_vertex(QueryVertexId(1), VertexId(b)));
+        assert!(m.bind_vertex(QueryVertexId(2), VertexId(c)));
+        assert!(m.bind_edge(QueryEdgeId(1), EdgeId(e), Timestamp(ts)));
+        m
+    }
+
+    #[test]
+    fn join_through_root_emits_complete_match() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        assert!(complete.is_empty());
+        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 2), None, &mut complete);
+        assert_eq!(complete.len(), 1);
+        assert_eq!(complete[0].num_edges(), 2);
+        assert_eq!(
+            complete[0].data_vertex(QueryVertexId(2)),
+            Some(VertexId(12))
+        );
+    }
+
+    #[test]
+    fn join_requires_matching_cut_vertex() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        // leaf-1 match whose v1 binding (20) differs from the stored 11.
+        store.insert(&tree, tree.leaf(1), leaf1_match(20, 21, 101, 2), None, &mut complete);
+        assert!(complete.is_empty());
+        assert_eq!(store.live_matches(tree.leaf(0)), 1);
+        assert_eq!(store.live_matches(tree.leaf(1)), 1);
+    }
+
+    #[test]
+    fn arrival_order_does_not_matter_for_the_join() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 2), None, &mut complete);
+        assert!(complete.is_empty());
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        assert_eq!(complete.len(), 1);
+    }
+
+    #[test]
+    fn window_filters_slow_matches() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 0), Some(50), &mut complete);
+        // Second edge arrives 100 ticks later: τ = 100 ≥ 50, rejected.
+        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 100), Some(50), &mut complete);
+        assert!(complete.is_empty());
+        // Within the window it is accepted.
+        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 102, 30), Some(50), &mut complete);
+        assert_eq!(complete.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_inserts_are_ignored() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        assert_eq!(store.live_matches(tree.leaf(0)), 1);
+        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 2), None, &mut complete);
+        assert_eq!(complete.len(), 1, "duplicate leaf matches must not double-report");
+    }
+
+    #[test]
+    fn one_to_many_joins_produce_all_combinations() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        // Three leaf-1 matches sharing the cut vertex 11.
+        for (i, c) in [(0u64, 12u64), (1, 13), (2, 14)] {
+            store.insert(&tree, tree.leaf(1), leaf1_match(11, c, 200 + i, 2), None, &mut complete);
+        }
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        assert_eq!(complete.len(), 3);
+    }
+
+    #[test]
+    fn single_node_tree_reports_immediately() {
+        let mut q = QueryGraph::new("one");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        q.add_edge(a, b, EdgeType(0));
+        let tree = SjTree::from_leaves(q.clone(), vec![QuerySubgraph::from_edges(&q, q.edge_ids())]);
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.root(), leaf0_match(1, 2, 3, 0), None, &mut complete);
+        assert_eq!(complete.len(), 1);
+        assert_eq!(store.stats().total_live_matches, 0);
+    }
+
+    #[test]
+    fn three_leaf_tree_joins_recursively() {
+        // Query: v0 -t0-> v1 -t1-> v2 -t2-> v3, three single-edge leaves.
+        let mut q = QueryGraph::new("p3");
+        let v: Vec<_> = (0..4).map(|_| q.add_any_vertex()).collect();
+        q.add_edge(v[0], v[1], EdgeType(0));
+        q.add_edge(v[1], v[2], EdgeType(1));
+        q.add_edge(v[2], v[3], EdgeType(2));
+        let leaves = (0..3)
+            .map(|i| QuerySubgraph::from_edges(&q, [QueryEdgeId(i)]))
+            .collect();
+        let tree = SjTree::from_leaves(q, leaves);
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+
+        let m0 = leaf0_match(10, 11, 100, 1);
+        let m1 = leaf1_match(11, 12, 101, 2);
+        let mut m2 = SubgraphMatch::new();
+        m2.bind_vertex(QueryVertexId(2), VertexId(12));
+        m2.bind_vertex(QueryVertexId(3), VertexId(13));
+        m2.bind_edge(QueryEdgeId(2), EdgeId(102), Timestamp(3));
+
+        store.insert(&tree, tree.leaf(0), m0, None, &mut complete);
+        store.insert(&tree, tree.leaf(1), m1, None, &mut complete);
+        assert!(complete.is_empty());
+        // The intermediate join (leaves 0+1) is stored at the internal node.
+        let internal = tree.parent(tree.leaf(0)).unwrap();
+        assert_eq!(store.live_matches(internal), 1);
+        store.insert(&tree, tree.leaf(2), m2, None, &mut complete);
+        assert_eq!(complete.len(), 1);
+        assert_eq!(complete[0].num_edges(), 3);
+    }
+
+    #[test]
+    fn purge_expired_drops_old_partials() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 5), None, &mut complete);
+        store.insert(&tree, tree.leaf(0), leaf0_match(20, 21, 101, 90), None, &mut complete);
+        assert_eq!(store.stats().total_live_matches, 2);
+        let removed = store.purge_expired(Timestamp(100), 50);
+        assert_eq!(removed, 1);
+        assert_eq!(store.stats().total_live_matches, 1);
+    }
+
+    #[test]
+    fn purge_dead_drops_matches_with_expired_edges() {
+        use sp_graph::Schema;
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("v");
+        let t0 = schema.intern_edge_type("t0");
+        let mut g = DynamicGraph::with_window(schema, 10);
+        let a = g.add_vertex(vt);
+        let b = g.add_vertex(vt);
+        let e_old = g.add_edge(a, b, t0, Timestamp(1));
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        let mut m = SubgraphMatch::new();
+        m.bind_vertex(QueryVertexId(0), a);
+        m.bind_vertex(QueryVertexId(1), b);
+        m.bind_edge(QueryEdgeId(0), e_old, Timestamp(1));
+        store.insert(&tree, tree.leaf(0), m, None, &mut complete);
+        assert_eq!(store.purge_dead(&g), 0);
+        // Slide the window far forward; the old edge disappears.
+        g.add_edge(a, b, t0, Timestamp(1000));
+        g.expire();
+        assert_eq!(store.purge_dead(&g), 1);
+        assert_eq!(store.stats().total_live_matches, 0);
+    }
+
+    #[test]
+    fn stats_and_clear() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        let stats = store.stats();
+        assert_eq!(stats.total_live_matches, 1);
+        assert_eq!(stats.live_matches_per_node[tree.leaf(0).0], 1);
+        assert_eq!(stats.total_inserted_per_node[tree.leaf(0).0], 1);
+        store.clear();
+        assert_eq!(store.stats().total_live_matches, 0);
+        // The inserted counters survive a clear (they are lifetime totals).
+        assert_eq!(store.total_inserted(tree.leaf(0)), 1);
+        assert_eq!(store.matches_at(tree.leaf(0)).count(), 0);
+    }
+}

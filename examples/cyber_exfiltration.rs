@@ -1,0 +1,113 @@
+//! Continuous detection of an information-exfiltration pattern in synthetic
+//! network traffic (Figure 1c of the paper).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example cyber_exfiltration
+//! ```
+//!
+//! The pattern: a victim browses a compromised web server over HTTP-like
+//! traffic (modelled as TCP), downloads a script that opens a tunnel to a
+//! botnet command-and-control host (ESP), and finally pushes a large message
+//! out (GRE):
+//!
+//! ```text
+//!   attacker -TCP-> victim -ESP-> c2 -GRE-> sink
+//! ```
+//!
+//! The example generates a CAIDA-like background stream, injects a handful of
+//! attack instances at random points, and shows that the selectivity-driven
+//! engine reports exactly the injected attacks while doing a fraction of the
+//! work of the selectivity-agnostic configuration.
+
+use sp_datasets::NetflowConfig;
+use sp_graph::{EdgeEvent, Timestamp};
+use sp_query::QueryGraph;
+use streampattern::{choose_strategy, ContinuousQueryEngine, StreamProcessor, Strategy};
+
+fn main() {
+    // Background traffic.
+    let dataset = NetflowConfig {
+        num_hosts: 2_000,
+        num_edges: 30_000,
+        ..NetflowConfig::default()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("TCP").unwrap();
+    let esp = schema.edge_type("ESP").unwrap();
+    let gre = schema.edge_type("GRE").unwrap();
+
+    // The exfiltration pattern.
+    let mut query = QueryGraph::new("exfiltration");
+    let attacker = query.add_vertex(ip);
+    let victim = query.add_vertex(ip);
+    let c2 = query.add_vertex(ip);
+    let sink = query.add_vertex(ip);
+    query.add_edge(attacker, victim, tcp);
+    query.add_edge(victim, c2, esp);
+    query.add_edge(c2, sink, gre);
+    println!("{}", query.describe(&schema));
+
+    // Inject 5 attack instances into the stream at known offsets, using host
+    // ids far outside the generator's range so we can recognize them.
+    let mut events = dataset.events.clone();
+    let mut injected = Vec::new();
+    for k in 0..5u64 {
+        let base = 1_000_000 + 10 * k;
+        let at = (5_000 + k * 5_000) as usize;
+        let t0 = events[at.min(events.len() - 1)].timestamp.0;
+        let attack = [
+            EdgeEvent::homogeneous(base, base + 1, ip, tcp, Timestamp(t0 + 1)),
+            EdgeEvent::homogeneous(base + 1, base + 2, ip, esp, Timestamp(t0 + 2)),
+            EdgeEvent::homogeneous(base + 2, base + 3, ip, gre, Timestamp(t0 + 3)),
+        ];
+        for (i, e) in attack.iter().enumerate() {
+            events.insert((at + i).min(events.len()), *e);
+        }
+        injected.push(base);
+    }
+
+    // Statistics from the first 20% of the stream drive strategy selection.
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 5);
+    let choice = choose_strategy(&query, &estimator, streampattern::RELATIVE_SELECTIVITY_THRESHOLD)
+        .expect("query decomposes");
+    println!(
+        "relative selectivity = {:.3e} -> chosen strategy: {}",
+        choice.relative_selectivity, choice.strategy
+    );
+
+    // Run the chosen strategy and the selectivity-agnostic "Single"
+    // configuration side by side.
+    let mut reports = Vec::new();
+    for strategy in [choice.strategy, Strategy::Single] {
+        let engine = ContinuousQueryEngine::new(query.clone(), strategy, &estimator, Some(50_000))
+            .expect("engine builds");
+        let mut proc = StreamProcessor::new(schema.clone(), engine);
+        let start = std::time::Instant::now();
+        let mut detected = 0u64;
+        for ev in &events {
+            let matches = proc.process(ev);
+            for m in &matches {
+                detected += 1;
+                let a = m.vertex_pairs().next().map(|(_, d)| d.0).unwrap_or(0);
+                println!("  [{strategy}] detected exfiltration rooted at host {a}");
+            }
+        }
+        let elapsed = start.elapsed();
+        reports.push((strategy, detected, elapsed, proc.profile().clone()));
+    }
+
+    println!("\n=== summary ===");
+    println!("injected attacks: {}", injected.len());
+    for (strategy, detected, elapsed, profile) in reports {
+        println!(
+            "{strategy:<12} matches={detected:<3} time={:>8.1?} iso-searches={:<8} skipped={:<8} partial-peak={}",
+            elapsed,
+            profile.iso_searches,
+            profile.searches_skipped,
+            profile.peak_partial_matches,
+        );
+    }
+}

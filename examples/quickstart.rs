@@ -1,0 +1,77 @@
+//! Quickstart: register a continuous query and stream edges through it.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! The example watches for the 2-hop pattern `x -esp-> y -tcp-> z` (a toy
+//! version of "a rare tunnelled connection immediately followed by an
+//! outbound TCP flow") and prints every occurrence as it completes.
+
+use sp_graph::{EdgeEvent, Schema, Timestamp};
+use sp_query::QueryGraph;
+use sp_selectivity::SelectivityEstimator;
+use streampattern::{ContinuousQueryEngine, StreamProcessor, Strategy};
+
+fn main() {
+    // 1. A schema shared by the stream and the query.
+    let mut schema = Schema::new();
+    let ip = schema.intern_vertex_type("ip");
+    let tcp = schema.intern_edge_type("tcp");
+    let esp = schema.intern_edge_type("esp");
+
+    // 2. The pattern: x -esp-> y -tcp-> z.
+    let mut query = QueryGraph::new("esp-then-tcp");
+    let x = query.add_any_vertex();
+    let y = query.add_any_vertex();
+    let z = query.add_any_vertex();
+    query.add_edge(x, y, esp);
+    query.add_edge(y, z, tcp);
+    println!("{}", query.describe(&schema));
+
+    // 3. Build the engine. With no stream statistics yet the decomposition
+    //    falls back to a neutral ordering; see the `strategy_selection`
+    //    example for statistics-driven strategy choice.
+    let estimator = SelectivityEstimator::new();
+    let engine = ContinuousQueryEngine::new(query, Strategy::SingleLazy, &estimator, Some(1_000))
+        .expect("query is valid");
+    println!(
+        "SJ-Tree decomposition:\n{}",
+        engine.tree().expect("SJ-Tree strategy").describe(&schema)
+    );
+    let mut processor = StreamProcessor::new(schema, engine);
+
+    // 4. Stream a handful of edges. Host ids are plain integers.
+    let stream = [
+        EdgeEvent::homogeneous(1, 2, ip, tcp, Timestamp(10)),
+        EdgeEvent::homogeneous(3, 4, ip, esp, Timestamp(20)),
+        EdgeEvent::homogeneous(4, 5, ip, tcp, Timestamp(25)), // completes 3-esp->4-tcp->5
+        EdgeEvent::homogeneous(6, 7, ip, tcp, Timestamp(30)),
+        EdgeEvent::homogeneous(9, 6, ip, esp, Timestamp(35)), // completes 9-esp->6-tcp->7 (tcp arrived first)
+    ];
+
+    for event in &stream {
+        let matches = processor.process(event);
+        for m in matches {
+            let pairs: Vec<String> = m
+                .vertex_pairs()
+                .map(|(q, d)| format!("{q}->{d}"))
+                .collect();
+            println!(
+                "MATCH at t={}: {{{}}} (span {} ticks)",
+                event.timestamp,
+                pairs.join(", "),
+                m.duration()
+            );
+        }
+    }
+
+    println!(
+        "\nprocessed {} edges, found {} matches, {} subgraph-iso searches ({} skipped by lazy search)",
+        processor.profile().edges_processed,
+        processor.total_matches(),
+        processor.profile().iso_searches,
+        processor.profile().searches_skipped,
+    );
+}

@@ -1,0 +1,98 @@
+//! Automatic strategy selection via Relative Selectivity (Section 6.5).
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example strategy_selection
+//! ```
+//!
+//! For a batch of randomly generated 4-edge path queries over a netflow-like
+//! stream, the example computes the Relative Selectivity ξ of each query,
+//! picks a strategy with the paper's 10⁻³ threshold rule, and then measures
+//! all four SJ-Tree strategies to show where the rule's prediction holds.
+
+use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind};
+use streampattern::{
+    choose_strategy, ContinuousQueryEngine, StreamProcessor, Strategy,
+    RELATIVE_SELECTIVITY_THRESHOLD,
+};
+
+fn main() {
+    let dataset = NetflowConfig {
+        num_hosts: 3_000,
+        num_edges: 25_000,
+        ..NetflowConfig::default()
+    }
+    .generate();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+
+    let mut generator = QueryGenerator::new(
+        dataset.schema.clone(),
+        dataset.valid_triples.clone(),
+        2026,
+    );
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 12, &estimator);
+    println!(
+        "generated {} valid 4-edge path queries (unseen-wedge queries dropped)\n",
+        queries.len()
+    );
+
+    println!(
+        "{:<14} {:>12} {:>12} | {:>9} {:>9} {:>9} {:>9} | chosen / fastest",
+        "query", "xi", "threshold", "Single", "SingleLazy", "Path", "PathLazy"
+    );
+    let mut rule_hits = 0usize;
+    let mut evaluated = 0usize;
+    for query in &queries {
+        let choice = choose_strategy(query, &estimator, RELATIVE_SELECTIVITY_THRESHOLD)
+            .expect("query decomposes");
+
+        let mut timings = Vec::new();
+        for strategy in Strategy::SJ_TREE {
+            let engine =
+                ContinuousQueryEngine::new(query.clone(), strategy, &estimator, Some(1_000_000))
+                    .expect("engine builds");
+            let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+            let start = std::time::Instant::now();
+            proc.process_all(dataset.events().iter());
+            timings.push((strategy, start.elapsed()));
+        }
+        let fastest = timings
+            .iter()
+            .min_by_key(|(_, t)| *t)
+            .map(|(s, _)| *s)
+            .expect("non-empty");
+        let lazy_fastest = timings
+            .iter()
+            .filter(|(s, _)| s.is_lazy())
+            .min_by_key(|(_, t)| *t)
+            .map(|(s, _)| *s)
+            .expect("non-empty");
+        evaluated += 1;
+        if lazy_fastest == choice.strategy {
+            rule_hits += 1;
+        }
+
+        let t = |s: Strategy| {
+            timings
+                .iter()
+                .find(|(x, _)| *x == s)
+                .map(|(_, t)| format!("{:>7.1?}", t))
+                .unwrap_or_default()
+        };
+        println!(
+            "{:<14} {:>12.3e} {:>12.0e} | {:>9} {:>9} {:>9} {:>9} | {} / {}",
+            query.name(),
+            choice.relative_selectivity,
+            RELATIVE_SELECTIVITY_THRESHOLD,
+            t(Strategy::Single),
+            t(Strategy::SingleLazy),
+            t(Strategy::Path),
+            t(Strategy::PathLazy),
+            choice.strategy,
+            fastest
+        );
+    }
+    println!(
+        "\nthe ξ-rule picked the faster lazy variant for {rule_hits}/{evaluated} queries"
+    );
+}

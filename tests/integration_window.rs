@@ -1,0 +1,165 @@
+//! Sliding-window semantics across the whole stack: the data graph forgets
+//! old edges, the match store purges stale partial matches, and only matches
+//! whose time span is below `tW` are reported (Section 2.1's τ(g) < tW).
+
+use sp_datasets::NetflowConfig;
+use sp_graph::{EdgeEvent, Timestamp};
+use sp_query::QueryGraph;
+use streampattern::{ContinuousQueryEngine, Schema, SelectivityEstimator, StreamProcessor, Strategy};
+
+fn two_hop_query(schema: &Schema) -> QueryGraph {
+    let esp = schema.edge_type("ESP").unwrap();
+    let tcp = schema.edge_type("TCP").unwrap();
+    let mut q = QueryGraph::new("esp-tcp");
+    let a = q.add_any_vertex();
+    let b = q.add_any_vertex();
+    let c = q.add_any_vertex();
+    q.add_edge(a, b, esp);
+    q.add_edge(b, c, tcp);
+    q
+}
+
+#[test]
+fn matches_slower_than_the_window_are_not_reported() {
+    let dataset = NetflowConfig::tiny().generate();
+    let schema = dataset.schema.clone();
+    let ip = schema.vertex_type("ip").unwrap();
+    let esp = schema.edge_type("ESP").unwrap();
+    let tcp = schema.edge_type("TCP").unwrap();
+    let query = two_hop_query(&schema);
+    let estimator = dataset.estimator_from_prefix(dataset.len());
+
+    // Pattern 1 completes within 5 ticks; pattern 2 takes 500 ticks.
+    let events = [
+        EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(0)),
+        EdgeEvent::homogeneous(2, 3, ip, tcp, Timestamp(5)),
+        EdgeEvent::homogeneous(10, 11, ip, esp, Timestamp(100)),
+        EdgeEvent::homogeneous(11, 12, ip, tcp, Timestamp(600)),
+    ];
+    for strategy in Strategy::ALL {
+        let engine =
+            ContinuousQueryEngine::new(query.clone(), strategy, &estimator, Some(50)).unwrap();
+        let mut proc = StreamProcessor::new(schema.clone(), engine).with_purge_interval(1);
+        let found = proc.process_all(events.iter());
+        assert_eq!(found, 1, "strategy {strategy}");
+    }
+}
+
+#[test]
+fn graph_stays_bounded_under_a_window() {
+    let schema = {
+        let mut s = Schema::new();
+        s.intern_vertex_type("ip");
+        s.intern_edge_type("TCP");
+        s.intern_edge_type("ESP");
+        s
+    };
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("TCP").unwrap();
+    let query = {
+        let mut q = QueryGraph::new("tcp-tcp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        q.add_edge(b, c, tcp);
+        q
+    };
+    let estimator = SelectivityEstimator::new();
+    let engine =
+        ContinuousQueryEngine::new(query, Strategy::SingleLazy, &estimator, Some(100)).unwrap();
+    let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(64);
+
+    // 10 000 edges spread over 100 000 ticks: at any point only ~1% of them
+    // fit in the window.
+    for i in 0..10_000u64 {
+        let ev = EdgeEvent::homogeneous(i % 97, (i * 7) % 89 + 100, ip, tcp, Timestamp(i * 10));
+        proc.process(&ev);
+    }
+    assert!(
+        proc.graph().num_edges() < 200,
+        "graph kept {} edges despite the window",
+        proc.graph().num_edges()
+    );
+    assert_eq!(proc.graph().total_edges_seen(), 10_000);
+}
+
+#[test]
+fn partial_matches_are_purged_with_the_window() {
+    let schema = {
+        let mut s = Schema::new();
+        s.intern_vertex_type("ip");
+        s.intern_edge_type("TCP");
+        s.intern_edge_type("ESP");
+        s
+    };
+    let ip = schema.vertex_type("ip").unwrap();
+    let esp = schema.edge_type("ESP").unwrap();
+    let tcp = schema.edge_type("TCP").unwrap();
+    let query = {
+        let mut q = QueryGraph::new("esp-tcp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, esp);
+        q.add_edge(b, c, tcp);
+        q
+    };
+    let estimator = SelectivityEstimator::new();
+    let engine =
+        ContinuousQueryEngine::new(query, Strategy::Single, &estimator, Some(50)).unwrap();
+    let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(16);
+
+    // Thousands of esp edges that never complete: without purging, the store
+    // would grow linearly.
+    for i in 0..5_000u64 {
+        let ev = EdgeEvent::homogeneous(i, i + 1_000_000, ip, esp, Timestamp(i * 10));
+        proc.process(&ev);
+    }
+    let live = proc
+        .engine()
+        .store_stats()
+        .expect("sj-tree strategy")
+        .total_live_matches;
+    assert!(live < 100, "store kept {live} partial matches despite the window");
+    assert!(proc.profile().partial_matches_purged > 4_000);
+
+    // The engine still works after heavy purging.
+    let found = proc.process(&EdgeEvent::homogeneous(
+        4_999 + 1_000_000,
+        7,
+        ip,
+        tcp,
+        Timestamp(5_000 * 10 + 1),
+    ));
+    assert_eq!(found.len(), 1);
+}
+
+#[test]
+fn window_equivalence_between_lazy_and_eager() {
+    // With a window, lazy and eager must still report the same matches on a
+    // realistic stream (the purge schedule differs but windowed results must
+    // not).
+    let dataset = NetflowConfig {
+        num_hosts: 200,
+        num_edges: 2_000,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let estimator = dataset.estimator_from_prefix(dataset.len());
+    let query = two_hop_query(&dataset.schema);
+    let window = Some(500);
+
+    let mut totals = Vec::new();
+    for strategy in Strategy::SJ_TREE {
+        let engine =
+            ContinuousQueryEngine::new(query.clone(), strategy, &estimator, window).unwrap();
+        let mut proc =
+            StreamProcessor::new(dataset.schema.clone(), engine).with_purge_interval(128);
+        totals.push((strategy, proc.process_all(dataset.events().iter())));
+    }
+    let reference = totals[0].1;
+    for (strategy, found) in &totals {
+        assert_eq!(*found, reference, "{strategy} disagrees under a window");
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based equivalence tests: on arbitrary small streams and
+//! arbitrary path queries, every strategy — including the non-incremental
+//! VF2 baseline — must report exactly the same set of matches, and the lazy
+//! variants must never do more isomorphism work than their eager
+//! counterparts.
+
+use proptest::prelude::*;
+use proptest::strategy::Strategy as _;
+use sp_graph::{EdgeEvent, EdgeType, Schema, Timestamp, VertexType};
+use sp_query::QueryGraph;
+use streampattern::{ContinuousQueryEngine, SelectivityEstimator, StreamProcessor, Strategy};
+use std::collections::HashSet;
+
+const NUM_EDGE_TYPES: u32 = 3;
+const NUM_VERTICES: u64 = 10;
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    stream: Vec<(u64, u64, u32)>,
+    query_types: Vec<u32>,
+    window: Option<u64>,
+}
+
+fn scenario_strategy() -> impl proptest::strategy::Strategy<Value = Scenario> {
+    let edge = (0..NUM_VERTICES, 0..NUM_VERTICES, 0..NUM_EDGE_TYPES);
+    (
+        proptest::collection::vec(edge, 1..120),
+        proptest::collection::vec(0..NUM_EDGE_TYPES, 1..4),
+        proptest::option::of(5u64..200),
+    )
+        .prop_map(|(stream, query_types, window)| Scenario {
+            stream,
+            query_types,
+            window,
+        })
+}
+
+fn build_schema() -> (Schema, VertexType, Vec<EdgeType>) {
+    let mut schema = Schema::new();
+    let vt = schema.intern_vertex_type("v");
+    let types = (0..NUM_EDGE_TYPES)
+        .map(|i| schema.intern_edge_type(&format!("t{i}")))
+        .collect();
+    (schema, vt, types)
+}
+
+fn build_query(types: &[EdgeType], query_types: &[u32]) -> QueryGraph {
+    let mut q = QueryGraph::new("prop-path");
+    let mut prev = q.add_any_vertex();
+    for &t in query_types {
+        let next = q.add_any_vertex();
+        q.add_edge(prev, next, types[t as usize]);
+        prev = next;
+    }
+    q
+}
+
+/// Runs one strategy over the scenario; returns the canonical match set and
+/// the number of isomorphism searches performed.
+fn run(scenario: &Scenario, strategy: Strategy) -> (HashSet<Vec<(usize, u64)>>, u64) {
+    let (schema, vt, types) = build_schema();
+    let query = build_query(&types, &scenario.query_types);
+    // The estimator sees the whole stream up front (the paper collects
+    // statistics from a prefix; for equivalence any statistics are valid).
+    let mut estimator = SelectivityEstimator::new();
+    for (i, &(s, d, t)) in scenario.stream.iter().enumerate() {
+        estimator.observe_edge(&sp_graph::EdgeData {
+            id: sp_graph::EdgeId(i as u64),
+            src: sp_graph::VertexId(s),
+            dst: sp_graph::VertexId(d),
+            edge_type: types[t as usize],
+            timestamp: Timestamp(i as u64),
+        });
+    }
+    let engine = ContinuousQueryEngine::new(query, strategy, &estimator, scenario.window)
+        .expect("engine builds");
+    let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(16);
+    let mut found = HashSet::new();
+    for (i, &(s, d, t)) in scenario.stream.iter().enumerate() {
+        if s == d {
+            continue; // self-loops are legal but uninteresting here
+        }
+        let ev = EdgeEvent::homogeneous(s, d, vt, types[t as usize], Timestamp(i as u64));
+        for m in proc.process(&ev) {
+            let key: Vec<(usize, u64)> = m.edge_pairs().map(|(q, e)| (q.0, e.0)).collect();
+            found.insert(key);
+        }
+    }
+    (found, proc.profile().iso_searches)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Single, SingleLazy, Path, PathLazy and the VF2 baseline agree on
+    /// every randomly generated stream/query/window combination.
+    #[test]
+    fn all_strategies_report_identical_match_sets(scenario in scenario_strategy()) {
+        let (reference, _) = run(&scenario, Strategy::Vf2Baseline);
+        for strategy in Strategy::SJ_TREE {
+            let (found, _) = run(&scenario, strategy);
+            prop_assert_eq!(
+                &found,
+                &reference,
+                "{} disagrees with VF2 ({} vs {} matches)",
+                strategy,
+                found.len(),
+                reference.len()
+            );
+        }
+    }
+
+    /// The lazy variants never perform more leaf searches than their eager
+    /// counterparts.
+    #[test]
+    fn lazy_never_searches_more_than_eager(scenario in scenario_strategy()) {
+        let (_, eager_single) = run(&scenario, Strategy::Single);
+        let (_, lazy_single) = run(&scenario, Strategy::SingleLazy);
+        prop_assert!(lazy_single <= eager_single);
+        let (_, eager_path) = run(&scenario, Strategy::Path);
+        let (_, lazy_path) = run(&scenario, Strategy::PathLazy);
+        prop_assert!(lazy_path <= eager_path);
+    }
+
+    /// Every reported match respects the time window.
+    #[test]
+    fn reported_matches_respect_the_window(scenario in scenario_strategy()) {
+        let Some(w) = scenario.window else { return Ok(()); };
+        let (schema, vt, types) = build_schema();
+        let query = build_query(&types, &scenario.query_types);
+        let estimator = SelectivityEstimator::new();
+        let engine = ContinuousQueryEngine::new(query, Strategy::PathLazy, &estimator, Some(w))
+            .expect("engine builds");
+        let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(8);
+        for (i, &(s, d, t)) in scenario.stream.iter().enumerate() {
+            if s == d { continue; }
+            let ev = EdgeEvent::homogeneous(s, d, vt, types[t as usize], Timestamp(i as u64));
+            for m in proc.process(&ev) {
+                prop_assert!(m.duration() < w, "match spans {} >= window {}", m.duration(), w);
+            }
+        }
+    }
+}
