@@ -23,9 +23,9 @@ use crate::strategy::Strategy;
 use sp_graph::{DynamicGraph, EdgeData};
 use sp_iso::{find_matches_around_vertex, find_matches_containing_edge, SubgraphMatch, Vf2Matcher};
 use sp_query::QueryGraph;
+use sp_query::QuerySubgraph;
 use sp_selectivity::SelectivityEstimator;
 use sp_sjtree::{decompose, MatchStore, NodeId, SjTree, StoreStats};
-use sp_query::QuerySubgraph;
 use std::collections::VecDeque;
 use std::time::Instant;
 
@@ -196,11 +196,7 @@ impl ContinuousQueryEngine {
     /// Processes one new edge that has already been inserted into `graph`.
     /// Returns the complete query matches created by this edge, i.e.
     /// `M(G^{k+1}) − M(G^k)` of the problem statement.
-    pub fn process_edge(
-        &mut self,
-        graph: &DynamicGraph,
-        edge: &EdgeData,
-    ) -> Vec<SubgraphMatch> {
+    pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &EdgeData) -> Vec<SubgraphMatch> {
         self.profile.edges_processed += 1;
         let window = self.window;
         let mut complete = Vec::new();
@@ -214,9 +210,7 @@ impl ContinuousQueryEngine {
                 self.profile.iso_searches += 1;
                 debug_assert_eq!(whole.num_edges(), self.query.num_edges());
                 for m in all {
-                    if m.uses_data_edge(edge.id)
-                        && window.is_none_or(|tw| m.within_window(tw))
-                    {
+                    if m.uses_data_edge(edge.id) && window.is_none_or(|tw| m.within_window(tw)) {
                         complete.push(m);
                     }
                 }
@@ -478,8 +472,7 @@ mod tests {
             (60, 12, "esp", 5), // completes 60-esp->12-tcp->13
         ];
         for strategy in Strategy::ALL {
-            let mut engine =
-                ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
+            let mut engine = ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
             let total = run_stream(&schema, &mut engine, &stream);
             assert_eq!(total, 2, "strategy {strategy} found {total} matches");
         }
@@ -499,8 +492,7 @@ mod tests {
             (4, 5, "esp", 4), // tcp before esp
         ];
         for strategy in [Strategy::SingleLazy, Strategy::PathLazy] {
-            let mut engine =
-                ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
+            let mut engine = ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
             let total = run_stream(&schema, &mut engine, &stream);
             assert_eq!(total, 2, "strategy {strategy} missed a match");
         }
@@ -544,7 +536,10 @@ mod tests {
         assert!(lazy.profile().searches_skipped > 0);
         let eager_live = eager.store_stats().unwrap().total_live_matches;
         let lazy_live = lazy.store_stats().unwrap().total_live_matches;
-        assert!(lazy_live < eager_live, "lazy={lazy_live} eager={eager_live}");
+        assert!(
+            lazy_live < eager_live,
+            "lazy={lazy_live} eager={eager_live}"
+        );
     }
 
     #[test]
@@ -581,8 +576,7 @@ mod tests {
     fn reset_clears_runtime_state() {
         let (schema, est) = fixture();
         let q = two_hop_query(&schema);
-        let mut engine =
-            ContinuousQueryEngine::new(q, Strategy::SingleLazy, &est, None).unwrap();
+        let mut engine = ContinuousQueryEngine::new(q, Strategy::SingleLazy, &est, None).unwrap();
         let stream = vec![(1u64, 2u64, "esp", 1u64), (2, 3, "tcp", 2)];
         assert_eq!(run_stream(&schema, &mut engine, &stream), 1);
         assert!(engine.profile().edges_processed > 0);
@@ -617,8 +611,7 @@ mod tests {
         q.add_edge(b, c, likes);
 
         for strategy in Strategy::ALL {
-            let mut engine =
-                ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
+            let mut engine = ContinuousQueryEngine::new(q.clone(), strategy, &est, None).unwrap();
             let mut graph = DynamicGraph::new(schema.clone());
             let a1 = graph.ensure_vertex(VertexId(1), person).unwrap();
             let a2 = graph.ensure_vertex(VertexId(2), person).unwrap();

@@ -24,7 +24,10 @@ impl fmt::Display for EngineError {
         match self {
             EngineError::Decomposition(e) => write!(f, "query decomposition failed: {e}"),
             EngineError::TooManyLeaves { leaves, max } => {
-                write!(f, "SJ-Tree has {leaves} leaves, the engine supports at most {max}")
+                write!(
+                    f,
+                    "SJ-Tree has {leaves} leaves, the engine supports at most {max}"
+                )
             }
             EngineError::DisconnectedQuery => write!(f, "query graph must be connected"),
         }
@@ -47,8 +50,13 @@ mod tests {
     fn display_formats() {
         let e = EngineError::from(DecompositionError::EmptyQuery);
         assert!(e.to_string().contains("decomposition failed"));
-        let e = EngineError::TooManyLeaves { leaves: 70, max: 64 };
+        let e = EngineError::TooManyLeaves {
+            leaves: 70,
+            max: 64,
+        };
         assert!(e.to_string().contains("70"));
-        assert!(EngineError::DisconnectedQuery.to_string().contains("connected"));
+        assert!(EngineError::DisconnectedQuery
+            .to_string()
+            .contains("connected"));
     }
 }

@@ -5,44 +5,59 @@
 //! Detection in Streaming Graphs"* (Choudhury et al., EDBT 2015). It wires the
 //! substrates — the dynamic graph store (`sp-graph`), the query model
 //! (`sp-query`), the matchers (`sp-iso`), the stream statistics
-//! (`sp-selectivity`) and the SJ-Tree (`sp-sjtree`) — into a continuous query
-//! engine.
+//! (`sp-selectivity`) and the SJ-Tree (`sp-sjtree`) — into a continuous
+//! **multi-query** engine: one [`StreamProcessor`] owns one shared
+//! [`DynamicGraph`] plus a [`QueryRegistry`] of continuous queries, and an
+//! edge-type dispatch index hands each incoming edge only to the queries
+//! whose pattern can use it.
 //!
 //! ## Quick start
 //!
 //! ```
 //! use sp_graph::{EdgeEvent, Schema, Timestamp};
 //! use sp_query::QueryGraph;
-//! use sp_selectivity::SelectivityEstimator;
-//! use streampattern::{ContinuousQueryEngine, StreamProcessor, Strategy};
+//! use streampattern::{StrategySpec, StreamProcessor, Strategy};
 //!
-//! // 1. A schema shared by the stream and the query.
+//! // 1. A schema shared by the stream and the queries.
 //! let mut schema = Schema::new();
 //! let ip = schema.intern_vertex_type("ip");
 //! let tcp = schema.intern_edge_type("tcp");
 //! let esp = schema.intern_edge_type("esp");
+//! let dns = schema.intern_edge_type("dns");
 //!
-//! // 2. The pattern to watch for: x -esp-> y -tcp-> z.
-//! let mut query = QueryGraph::new("esp-then-tcp");
-//! let x = query.add_any_vertex();
-//! let y = query.add_any_vertex();
-//! let z = query.add_any_vertex();
-//! query.add_edge(x, y, esp);
-//! query.add_edge(y, z, tcp);
+//! // 2. One processor, one shared data graph, many continuous queries.
+//! let mut proc = StreamProcessor::new(schema);
 //!
-//! // 3. Statistics from a stream prefix drive the decomposition.
-//! let estimator = SelectivityEstimator::new();
-//! // (a real application feeds the estimator from the stream; see
-//! //  `SelectivityEstimator::observe_edge`)
+//! // Pattern A: x -esp-> y -tcp-> z, within a 100-tick window.
+//! let mut tunnel = QueryGraph::new("esp-then-tcp");
+//! let x = tunnel.add_any_vertex();
+//! let y = tunnel.add_any_vertex();
+//! let z = tunnel.add_any_vertex();
+//! tunnel.add_edge(x, y, esp);
+//! tunnel.add_edge(y, z, tcp);
+//! let tunnel_id = proc.register(tunnel, Strategy::SingleLazy, Some(100)).unwrap();
 //!
-//! // 4. Build the engine and process the stream.
-//! let engine = ContinuousQueryEngine::new(query, Strategy::SingleLazy, &estimator, None)
-//!     .expect("valid query");
-//! let mut proc = StreamProcessor::new(schema, engine);
-//! let t = Timestamp(1);
-//! assert!(proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, t)).is_empty());
+//! // Pattern B: a dns edge, with the strategy chosen automatically from the
+//! // stream statistics the processor maintains.
+//! let mut lookup = QueryGraph::new("dns");
+//! let a = lookup.add_any_vertex();
+//! let b = lookup.add_any_vertex();
+//! lookup.add_edge(a, b, dns);
+//! let lookup_id = proc.register(lookup, StrategySpec::Auto, None).unwrap();
+//!
+//! // 3. Stream edges. Each edge is ingested once and dispatched only to the
+//! //    queries whose pattern contains its type.
+//! assert!(proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1))).is_empty());
 //! let matches = proc.process(&EdgeEvent::homogeneous(2, 3, ip, tcp, Timestamp(2)));
 //! assert_eq!(matches.len(), 1); // 1 -esp-> 2 -tcp-> 3
+//! assert_eq!(matches[0].0, tunnel_id);
+//! let matches = proc.process(&EdgeEvent::homogeneous(9, 10, ip, dns, Timestamp(3)));
+//! assert_eq!(matches[0].0, lookup_id);
+//!
+//! // The dns engine never saw the esp/tcp edges (dispatch index), and the
+//! // processor ingested every event exactly once.
+//! assert_eq!(proc.profile_for(lookup_id).unwrap().edges_processed, 1);
+//! assert_eq!(proc.profile().edges_processed, 3);
 //! ```
 //!
 //! ## Strategies
@@ -60,7 +75,15 @@
 //!
 //! [`choose_strategy`] implements the automatic selection rule of Section
 //! 6.5: *PathLazy* when the Relative Selectivity of the 2-edge decomposition
-//! is below 10⁻³, *SingleLazy* otherwise.
+//! is below 10⁻³, *SingleLazy* otherwise. Registering a query with
+//! [`StrategySpec::Auto`] applies the rule against the processor's live
+//! stream statistics.
+//!
+//! ## Windows
+//!
+//! Windowing is per query: each engine filters and purges with its own `tW`,
+//! while the shared graph retains edges for the *largest* window across
+//! registered queries (unbounded if any query is unwindowed).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +93,8 @@ mod error;
 mod lazy;
 mod processor;
 mod profile;
+mod registry;
+mod sink;
 mod strategy;
 
 pub use engine::ContinuousQueryEngine;
@@ -77,6 +102,8 @@ pub use error::EngineError;
 pub use lazy::LazyBitmap;
 pub use processor::StreamProcessor;
 pub use profile::ProfileCounters;
+pub use registry::{QueryId, QueryRegistry, StrategySpec};
+pub use sink::{CollectSink, CountSink, FnSink, MatchSink};
 pub use strategy::{choose_strategy, Strategy, StrategyChoice, RELATIVE_SELECTIVITY_THRESHOLD};
 
 // Re-export the building blocks so that downstream users only need one

@@ -1,45 +1,72 @@
-//! The stream processor: owns the data graph and drives one engine.
+//! The stream processor: one shared data graph, many continuous queries.
 //!
 //! [`StreamProcessor`] is the "query processing" half of the paper's
-//! experimental setup (Section 6.1): it initializes an empty data graph,
-//! streams [`EdgeEvent`]s into it, invokes the continuous query algorithm
-//! after every `AddEdge()`, maintains the sliding time window on both the
-//! graph and the partial matches, and accumulates the reported matches.
+//! experimental setup (Section 6.1), generalized to the multi-query
+//! deployment the system paper (StreamWorks) describes: it owns **one**
+//! [`DynamicGraph`] shared by every registered query, streams
+//! [`EdgeEvent`]s into it exactly once, and dispatches each new edge through
+//! the [`QueryRegistry`]'s edge-type index so that only the engines whose
+//! pattern can use the edge are invoked. Windowing is per query: the graph
+//! retains edges for the *largest* registered window while each engine
+//! filters and purges with its own `tW`.
+//!
+//! Matches are pushed into a [`MatchSink`]; [`StreamProcessor::process`] is
+//! the convenience wrapper that collects them into a vector.
 
 use crate::engine::ContinuousQueryEngine;
+use crate::error::EngineError;
 use crate::profile::ProfileCounters;
+use crate::registry::{QueryId, QueryRegistry, StrategySpec};
+use crate::sink::{CollectSink, CountSink, MatchSink};
+use crate::strategy::{choose_strategy, RELATIVE_SELECTIVITY_THRESHOLD};
 use sp_graph::{DynamicGraph, EdgeEvent, Schema, VertexId};
 use sp_iso::SubgraphMatch;
+use sp_query::QueryGraph;
+use sp_selectivity::SelectivityEstimator;
 
 /// Default number of edges between partial-match purges.
 const DEFAULT_PURGE_INTERVAL: u64 = 4096;
 
-/// Owns a [`DynamicGraph`] and a [`ContinuousQueryEngine`] and feeds the
+/// Owns the shared [`DynamicGraph`] and the [`QueryRegistry`] and feeds the
 /// stream through both.
 #[derive(Debug, Clone)]
 pub struct StreamProcessor {
     graph: DynamicGraph,
-    engine: ContinuousQueryEngine,
+    registry: QueryRegistry,
+    estimator: SelectivityEstimator,
+    collect_statistics: bool,
     purge_interval: u64,
     since_purge: u64,
     total_matches: u64,
+    /// Processor-level counters: events ingested and vertex-type conflicts.
+    stream: ProfileCounters,
 }
 
 impl StreamProcessor {
-    /// Creates a processor with an empty data graph. The graph's sliding
-    /// window is taken from the engine's window configuration.
-    pub fn new(schema: Schema, engine: ContinuousQueryEngine) -> Self {
-        let graph = match engine.window() {
-            Some(w) => DynamicGraph::with_window(schema, w),
-            None => DynamicGraph::new(schema),
-        };
+    /// Creates a processor with an empty data graph and no registered
+    /// queries. Register queries with [`StreamProcessor::register`] (or
+    /// [`StreamProcessor::register_engine`]); until a query is registered,
+    /// processed edges only grow the graph.
+    pub fn new(schema: Schema) -> Self {
         Self {
-            graph,
-            engine,
+            graph: DynamicGraph::new(schema),
+            registry: QueryRegistry::new(),
+            estimator: SelectivityEstimator::new(),
+            collect_statistics: true,
             purge_interval: DEFAULT_PURGE_INTERVAL,
             since_purge: 0,
             total_matches: 0,
+            stream: ProfileCounters::new(),
         }
+    }
+
+    /// Convenience constructor for the single-query setup of the paper's
+    /// experiments: a processor with exactly one registered engine. The
+    /// engine's id is the first element of [`StreamProcessor::query_ids`].
+    pub fn with_engine(schema: Schema, engine: ContinuousQueryEngine) -> Self {
+        let mut p = Self::new(schema);
+        p.register_engine(engine);
+        p
     }
 
     /// Overrides how many edges are processed between partial-match purges
@@ -50,70 +77,251 @@ impl StreamProcessor {
         self
     }
 
-    /// Ingests one stream event and returns the complete matches it created.
-    pub fn process(&mut self, event: &EdgeEvent) -> Vec<SubgraphMatch> {
-        // External ids map directly onto graph vertex ids. A type conflict
-        // means the vertex already exists (with its original type); keep it.
-        let src = self
+    /// Enables or disables continuous stream-statistics collection (on by
+    /// default). The statistics feed [`StrategySpec::Auto`] registration;
+    /// disable them to reproduce the paper's measurement methodology, where
+    /// statistics come from a stream prefix only.
+    pub fn with_statistics(mut self, enabled: bool) -> Self {
+        self.collect_statistics = enabled;
+        self
+    }
+
+    /// Seeds the processor's stream statistics, e.g. from
+    /// `Dataset::estimator_from_prefix`. Subsequent edges keep updating the
+    /// estimator unless statistics collection is disabled.
+    pub fn with_estimator(mut self, estimator: SelectivityEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// Registers a continuous query: decomposes it under the given strategy
+    /// (or picks one via the Relative Selectivity rule for
+    /// [`StrategySpec::Auto`]) against the processor's current stream
+    /// statistics, and indexes it for dispatch. `window` is the query's own
+    /// `tW`; the shared graph retains edges for the largest window across
+    /// all registered queries.
+    pub fn register(
+        &mut self,
+        query: QueryGraph,
+        spec: impl Into<StrategySpec>,
+        window: Option<u64>,
+    ) -> Result<QueryId, EngineError> {
+        let strategy = match spec.into() {
+            StrategySpec::Fixed(s) => s,
+            StrategySpec::Auto => {
+                choose_strategy(&query, &self.estimator, RELATIVE_SELECTIVITY_THRESHOLD)?.strategy
+            }
+        };
+        let engine = ContinuousQueryEngine::new(query, strategy, &self.estimator, window)?;
+        Ok(self.register_engine(engine))
+    }
+
+    /// Registers a pre-built engine (custom decompositions, replayed trees).
+    pub fn register_engine(&mut self, engine: ContinuousQueryEngine) -> QueryId {
+        let id = self.registry.register(engine);
+        self.graph.set_window(self.registry.graph_retention());
+        id
+    }
+
+    /// Deregisters a query mid-stream, returning its engine (and runtime
+    /// state). The graph's retention window shrinks to the remaining
+    /// queries' maximum on the next purge. Deregistering the *last* query
+    /// keeps the current retention window in place (rather than reverting
+    /// to unbounded retention), so an idle processor does not accumulate
+    /// edges forever; the next registration recomputes it.
+    pub fn deregister(&mut self, id: QueryId) -> Option<ContinuousQueryEngine> {
+        let engine = self.registry.deregister(id)?;
+        if !self.registry.is_empty() {
+            self.graph.set_window(self.registry.graph_retention());
+        }
+        Some(engine)
+    }
+
+    /// Ingests one stream event, pushing every complete match it creates
+    /// into `sink`. Returns the number of matches reported.
+    ///
+    /// A vertex-type conflict (the vertex already exists with a different
+    /// concrete type) keeps the original type and is recorded in
+    /// [`ProfileCounters::vertex_type_conflicts`].
+    pub fn process_into<S: MatchSink + ?Sized>(&mut self, event: &EdgeEvent, sink: &mut S) -> u64 {
+        self.stream.edges_processed += 1;
+        let src = match self
             .graph
             .ensure_vertex(VertexId(event.src), event.src_type)
-            .unwrap_or(VertexId(event.src));
-        let dst = self
+        {
+            Ok(v) => v,
+            Err(_) => {
+                self.stream.vertex_type_conflicts += 1;
+                VertexId(event.src)
+            }
+        };
+        let dst = match self
             .graph
             .ensure_vertex(VertexId(event.dst), event.dst_type)
-            .unwrap_or(VertexId(event.dst));
+        {
+            Ok(v) => v,
+            Err(_) => {
+                self.stream.vertex_type_conflicts += 1;
+                VertexId(event.dst)
+            }
+        };
         let edge_id = self
             .graph
             .add_edge(src, dst, event.edge_type, event.timestamp);
         let edge = *self.graph.edge(edge_id).expect("edge was just inserted");
 
-        let matches = self.engine.process_edge(&self.graph, &edge);
-        self.total_matches += matches.len() as u64;
+        if self.collect_statistics {
+            self.estimator.observe_edge(&edge);
+        }
+
+        let found = self
+            .registry
+            .process_edge(&self.graph, &edge, |q, m| sink.on_match(q, m));
+        self.total_matches += found;
 
         self.since_purge += 1;
         if self.since_purge >= self.purge_interval {
             self.graph.expire();
-            self.engine.purge(&self.graph);
+            self.registry.purge(&self.graph);
             self.since_purge = 0;
-        }
-        matches
-    }
-
-    /// Ingests a whole stream, returning the total number of matches found.
-    pub fn process_all<'a, I>(&mut self, events: I) -> u64
-    where
-        I: IntoIterator<Item = &'a EdgeEvent>,
-    {
-        let mut found = 0u64;
-        for e in events {
-            found += self.process(e).len() as u64;
         }
         found
     }
 
-    /// The data graph in its current state.
+    /// Ingests one stream event and returns the complete matches it created,
+    /// tagged with the query they belong to.
+    pub fn process(&mut self, event: &EdgeEvent) -> Vec<(QueryId, SubgraphMatch)> {
+        let mut sink = CollectSink::new();
+        self.process_into(event, &mut sink);
+        sink.into_matches()
+    }
+
+    /// Ingests a whole stream, returning the total number of matches found
+    /// across all registered queries (allocation-free per event).
+    pub fn process_all<'a, I>(&mut self, events: I) -> u64
+    where
+        I: IntoIterator<Item = &'a EdgeEvent>,
+    {
+        let mut sink = CountSink::new();
+        for e in events {
+            self.process_into(e, &mut sink);
+        }
+        sink.matches
+    }
+
+    /// The shared data graph in its current state.
     pub fn graph(&self) -> &DynamicGraph {
         &self.graph
     }
 
-    /// The engine.
+    /// The query registry.
+    pub fn registry(&self) -> &QueryRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the query registry.
+    pub fn registry_mut(&mut self) -> &mut QueryRegistry {
+        &mut self.registry
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.registry.len()
+    }
+
+    /// Ids of the registered queries, in registration order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.registry.query_ids().collect()
+    }
+
+    /// The engine of a registered query.
+    pub fn engine_for(&self, id: QueryId) -> Option<&ContinuousQueryEngine> {
+        self.registry.engine(id)
+    }
+
+    /// Mutable access to the engine of a registered query.
+    pub fn engine_for_mut(&mut self, id: QueryId) -> Option<&mut ContinuousQueryEngine> {
+        self.registry.engine_mut(id)
+    }
+
+    /// Single-query convenience: the one registered engine.
+    ///
+    /// # Panics
+    /// Panics unless exactly one query is registered; multi-query callers
+    /// use [`StreamProcessor::engine_for`].
     pub fn engine(&self) -> &ContinuousQueryEngine {
-        &self.engine
+        assert_eq!(
+            self.registry.len(),
+            1,
+            "StreamProcessor::engine() requires exactly one registered query"
+        );
+        self.registry.iter().next().expect("one query").1
     }
 
-    /// Mutable access to the engine (e.g. to reset profiling counters).
+    /// Single-query convenience: mutable access to the one registered
+    /// engine.
+    ///
+    /// # Panics
+    /// Panics unless exactly one query is registered.
     pub fn engine_mut(&mut self) -> &mut ContinuousQueryEngine {
-        &mut self.engine
+        assert_eq!(
+            self.registry.len(),
+            1,
+            "StreamProcessor::engine_mut() requires exactly one registered query"
+        );
+        self.registry.iter_mut().next().expect("one query").1
     }
 
-    /// Profiling counters of the engine.
-    pub fn profile(&self) -> &ProfileCounters {
-        self.engine.profile()
+    /// Aggregated profiling counters: the engines' counters summed, with
+    /// `edges_processed` reporting events *ingested by the processor* (each
+    /// engine's own `edges_processed` counts only the edges dispatched to
+    /// it) and `vertex_type_conflicts` from the ingestion path.
+    pub fn profile(&self) -> ProfileCounters {
+        let mut total = ProfileCounters::new();
+        for (_, engine) in self.registry.iter() {
+            total.merge(engine.profile());
+        }
+        total.edges_processed = self.stream.edges_processed;
+        total.vertex_type_conflicts = self.stream.vertex_type_conflicts;
+        total
     }
 
-    /// Total matches found since construction.
+    /// Profiling counters of one query's engine.
+    pub fn profile_for(&self, id: QueryId) -> Option<&ProfileCounters> {
+        self.registry.engine(id).map(|e| e.profile())
+    }
+
+    /// The stream statistics collected so far.
+    pub fn estimator(&self) -> &SelectivityEstimator {
+        &self.estimator
+    }
+
+    /// Total matches found since construction, across all queries.
     pub fn total_matches(&self) -> u64 {
         self.total_matches
+    }
+
+    /// Resets all runtime state — every engine's partial matches and
+    /// counters, the processor's counters, and the data graph — while
+    /// keeping the registered queries and their decompositions, so the same
+    /// processor can replay another stream. Stream statistics are cleared
+    /// only when live collection is enabled; an estimator seeded through
+    /// [`StreamProcessor::with_estimator`] with collection disabled is
+    /// external input and survives the reset.
+    pub fn reset(&mut self) {
+        let schema = self.graph.schema().clone();
+        let window = self.registry.graph_retention();
+        self.graph = DynamicGraph::new(schema);
+        self.graph.set_window(window);
+        for (_, engine) in self.registry.iter_mut() {
+            engine.reset();
+        }
+        if self.collect_statistics {
+            self.estimator = SelectivityEstimator::new();
+        }
+        self.since_purge = 0;
+        self.total_matches = 0;
+        self.stream = ProfileCounters::new();
     }
 }
 
@@ -139,7 +347,7 @@ mod tests {
         q.add_edge(b, c, tcp);
         let est = SelectivityEstimator::new();
         let engine = ContinuousQueryEngine::new(q, strategy, &est, window).unwrap();
-        let proc = StreamProcessor::new(schema.clone(), engine);
+        let proc = StreamProcessor::with_engine(schema.clone(), engine);
         (schema, proc)
     }
 
@@ -149,7 +357,7 @@ mod tests {
         let ip = schema.vertex_type("ip").unwrap();
         let tcp = schema.edge_type("tcp").unwrap();
         let esp = schema.edge_type("esp").unwrap();
-        let events = vec![
+        let events = [
             EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)),
             EdgeEvent::homogeneous(2, 3, ip, tcp, Timestamp(2)),
             EdgeEvent::homogeneous(7, 8, ip, tcp, Timestamp(3)),
@@ -178,14 +386,176 @@ mod tests {
     }
 
     #[test]
-    fn engine_mut_allows_reset_between_runs() {
+    fn reset_clears_processor_state_between_runs() {
         let (schema, mut proc) = simple_setup(Strategy::PathLazy, None);
         let ip = schema.vertex_type("ip").unwrap();
         let esp = schema.edge_type("esp").unwrap();
         proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)));
         assert_eq!(proc.profile().edges_processed, 1);
-        proc.engine_mut().reset();
+        proc.reset();
         assert_eq!(proc.profile().edges_processed, 0);
+        assert_eq!(proc.graph().num_edges(), 0);
         assert_eq!(proc.engine().strategy(), Strategy::PathLazy);
+    }
+
+    #[test]
+    fn matches_are_tagged_with_their_query_id() {
+        let (schema, mut proc) = simple_setup(Strategy::SingleLazy, None);
+        let ip = schema.vertex_type("ip").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let qid = proc.query_ids()[0];
+        proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)));
+        let matches = proc.process(&EdgeEvent::homogeneous(2, 3, ip, tcp, Timestamp(2)));
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches[0].0, qid);
+        assert_eq!(matches[0].1.num_edges(), 2);
+    }
+
+    #[test]
+    fn vertex_type_conflicts_are_counted_not_swallowed() {
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let person = schema.intern_vertex_type("person");
+        let tcp = schema.intern_edge_type("tcp");
+        let mut q = QueryGraph::new("tcp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        let est = SelectivityEstimator::new();
+        let engine = ContinuousQueryEngine::new(q, Strategy::Single, &est, None).unwrap();
+        let mut proc = StreamProcessor::with_engine(schema, engine);
+        // Vertex 1 first appears as "ip", then as "person": the conflict
+        // keeps the original type and bumps the counter.
+        proc.process(&EdgeEvent::homogeneous(1, 2, ip, tcp, Timestamp(1)));
+        assert_eq!(proc.profile().vertex_type_conflicts, 0);
+        proc.process(&EdgeEvent::homogeneous(1, 3, person, tcp, Timestamp(2)));
+        assert_eq!(proc.profile().vertex_type_conflicts, 1);
+        assert_eq!(proc.graph().vertex_type(VertexId(1)), Some(ip));
+    }
+
+    #[test]
+    fn dispatch_skips_engines_without_the_edge_type() {
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let esp = schema.intern_edge_type("esp");
+        let mut proc = StreamProcessor::new(schema);
+        let mut q_tcp = QueryGraph::new("tcp-only");
+        let a = q_tcp.add_any_vertex();
+        let b = q_tcp.add_any_vertex();
+        q_tcp.add_edge(a, b, tcp);
+        let mut q_esp = QueryGraph::new("esp-only");
+        let a = q_esp.add_any_vertex();
+        let b = q_esp.add_any_vertex();
+        q_esp.add_edge(a, b, esp);
+        let tcp_id = proc.register(q_tcp, Strategy::Single, None).unwrap();
+        let esp_id = proc.register(q_esp, Strategy::Single, None).unwrap();
+
+        for i in 0..10u64 {
+            proc.process(&EdgeEvent::homogeneous(i, i + 100, ip, tcp, Timestamp(i)));
+        }
+        proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(50)));
+
+        // The esp engine never saw the 10 tcp edges; the tcp engine never
+        // saw the esp edge. The processor ingested all 11.
+        assert_eq!(proc.profile_for(tcp_id).unwrap().edges_processed, 10);
+        assert_eq!(proc.profile_for(esp_id).unwrap().edges_processed, 1);
+        assert_eq!(proc.profile().edges_processed, 11);
+        assert_eq!(proc.total_matches(), 11);
+    }
+
+    #[test]
+    fn deregister_returns_the_engine_and_stops_dispatch() {
+        let (schema, mut proc) = simple_setup(Strategy::SingleLazy, None);
+        let ip = schema.vertex_type("ip").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let qid = proc.query_ids()[0];
+        proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)));
+        let engine = proc.deregister(qid).expect("registered");
+        assert_eq!(engine.profile().edges_processed, 1);
+        assert_eq!(proc.num_queries(), 0);
+        // Further events are ingested into the graph but matched by no one.
+        proc.process(&EdgeEvent::homogeneous(2, 3, ip, esp, Timestamp(2)));
+        assert_eq!(proc.total_matches(), 0);
+        assert!(proc.deregister(qid).is_none());
+    }
+
+    #[test]
+    fn deregistering_the_last_query_keeps_graph_retention() {
+        let (schema, mut proc) = simple_setup(Strategy::SingleLazy, Some(100));
+        let ip = schema.vertex_type("ip").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let qid = proc.query_ids()[0];
+        assert_eq!(proc.graph().window(), Some(100));
+        proc.deregister(qid);
+        // The retention window survives so an idle processor keeps expiring
+        // old edges instead of accumulating them forever.
+        assert_eq!(proc.graph().window(), Some(100));
+        let mut proc = proc.with_purge_interval(1);
+        for i in 0..50u64 {
+            proc.process(&EdgeEvent::homogeneous(
+                i,
+                i + 500,
+                ip,
+                tcp,
+                Timestamp(i * 10),
+            ));
+        }
+        assert!(proc.graph().num_edges() < 50);
+    }
+
+    #[test]
+    fn reset_preserves_an_externally_seeded_estimator() {
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let mut seed = SelectivityEstimator::new();
+        seed.observe_edge(&sp_graph::EdgeData {
+            id: sp_graph::EdgeId(0),
+            src: VertexId(1),
+            dst: VertexId(2),
+            edge_type: tcp,
+            timestamp: Timestamp(1),
+        });
+        let mut proc = StreamProcessor::new(schema)
+            .with_estimator(seed)
+            .with_statistics(false);
+        proc.process(&EdgeEvent::homogeneous(1, 2, ip, tcp, Timestamp(1)));
+        proc.reset();
+        // With live collection disabled the estimator is external input and
+        // must survive the reset.
+        assert_eq!(proc.estimator().num_edges_observed(), 1);
+    }
+
+    #[test]
+    fn auto_strategy_registration_uses_stream_statistics() {
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let esp = schema.intern_edge_type("esp");
+        let mut proc = StreamProcessor::new(schema);
+        // Warm the live statistics with plenty of traffic.
+        for i in 0..200u64 {
+            proc.process(&EdgeEvent::homogeneous(i, i + 1, ip, tcp, Timestamp(i)));
+        }
+        proc.process(&EdgeEvent::homogeneous(500, 501, ip, esp, Timestamp(300)));
+        let mut q = QueryGraph::new("esp-tcp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, esp);
+        q.add_edge(b, c, tcp);
+        let qid = proc.register(q, StrategySpec::Auto, None).unwrap();
+        let chosen = proc.engine_for(qid).unwrap().strategy();
+        assert!(chosen.is_lazy(), "auto picks a lazy strategy, got {chosen}");
+    }
+
+    #[test]
+    fn register_rejects_empty_queries() {
+        let schema = Schema::new();
+        let mut proc = StreamProcessor::new(schema);
+        let q = QueryGraph::new("empty");
+        assert!(proc.register(q, StrategySpec::Auto, None).is_err());
     }
 }

@@ -9,10 +9,22 @@ use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Counters and timers accumulated while an engine processes a stream.
+///
+/// Every engine owns one instance counting only the edges *dispatched to it*
+/// by the edge-type index; `StreamProcessor::profile` additionally reports
+/// stream-level counters (events ingested, vertex-type conflicts) aggregated
+/// with the engines' counters via [`ProfileCounters::merge`].
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ProfileCounters {
-    /// Number of streaming edges processed.
+    /// Number of streaming edges processed. For an engine this counts the
+    /// edges dispatched to it; in the processor aggregate it counts events
+    /// ingested from the stream.
     pub edges_processed: u64,
+    /// Number of stream events whose external vertex id arrived with a type
+    /// conflicting with the type already recorded for that vertex (the
+    /// original type is kept). Only the stream-level counters track this;
+    /// engines never see the conflict.
+    pub vertex_type_conflicts: u64,
     /// Number of leaf-level subgraph-isomorphism invocations.
     pub iso_searches: u64,
     /// Number of leaf matches found by those searches.
@@ -59,6 +71,23 @@ impl ProfileCounters {
             self.peak_partial_matches = live;
         }
     }
+
+    /// Adds `other`'s counters and timers into `self`. Peaks are summed: the
+    /// aggregate reports an upper bound of the simultaneous partial-match
+    /// population across engines.
+    pub fn merge(&mut self, other: &ProfileCounters) {
+        self.edges_processed += other.edges_processed;
+        self.vertex_type_conflicts += other.vertex_type_conflicts;
+        self.iso_searches += other.iso_searches;
+        self.leaf_matches += other.leaf_matches;
+        self.retroactive_searches += other.retroactive_searches;
+        self.searches_skipped += other.searches_skipped;
+        self.complete_matches += other.complete_matches;
+        self.partial_matches_purged += other.partial_matches_purged;
+        self.iso_time += other.iso_time;
+        self.update_time += other.update_time;
+        self.peak_partial_matches += other.peak_partial_matches;
+    }
 }
 
 /// Serialize `Duration` as integer microseconds so profiles are readable in
@@ -102,6 +131,27 @@ mod tests {
         p.note_partial_matches(3);
         p.note_partial_matches(25);
         assert_eq!(p.peak_partial_matches, 25);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = ProfileCounters::new();
+        a.edges_processed = 5;
+        a.iso_searches = 2;
+        a.vertex_type_conflicts = 1;
+        a.iso_time = Duration::from_micros(10);
+        a.peak_partial_matches = 4;
+        let mut b = ProfileCounters::new();
+        b.edges_processed = 7;
+        b.iso_searches = 3;
+        b.iso_time = Duration::from_micros(5);
+        b.peak_partial_matches = 2;
+        a.merge(&b);
+        assert_eq!(a.edges_processed, 12);
+        assert_eq!(a.iso_searches, 5);
+        assert_eq!(a.vertex_type_conflicts, 1);
+        assert_eq!(a.iso_time, Duration::from_micros(15));
+        assert_eq!(a.peak_partial_matches, 6);
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! The multi-query registry and its edge-type dispatch index.
+//!
+//! The paper's deployment story (StreamWorks) is a monitoring system where
+//! many continuous queries watch one edge stream. [`QueryRegistry`] owns one
+//! [`ContinuousQueryEngine`] per registered query and maintains an
+//! *edge-type → candidate queries* index so that an incoming edge is only
+//! handed to the engines whose query contains that edge's type — every other
+//! engine provably never sees the edge (its
+//! [`ProfileCounters::edges_processed`](crate::ProfileCounters) stays put).
+//! Skipping is sound: a leaf search anchored at an edge whose type occurs
+//! nowhere in the query can neither produce a leaf match nor enable a lazy
+//! search, and the VF2 baseline only reports embeddings that use the new
+//! edge.
+
+use crate::engine::ContinuousQueryEngine;
+use crate::strategy::Strategy;
+use sp_graph::{DynamicGraph, EdgeData, EdgeType};
+use sp_iso::SubgraphMatch;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Stable identifier of a registered continuous query. Ids are never reused,
+/// even after the query is deregistered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(pub u64);
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q{}", self.0)
+    }
+}
+
+/// How a query's execution strategy is chosen at registration time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategySpec {
+    /// Use the given strategy as-is.
+    Fixed(Strategy),
+    /// Choose between `SingleLazy` and `PathLazy` with the Relative
+    /// Selectivity rule of Section 6.5, evaluated against the stream
+    /// statistics the processor has collected so far.
+    Auto,
+}
+
+impl From<Strategy> for StrategySpec {
+    fn from(s: Strategy) -> Self {
+        StrategySpec::Fixed(s)
+    }
+}
+
+/// Owns the engines of all registered queries plus the edge-type dispatch
+/// index over them.
+#[derive(Debug, Clone, Default)]
+pub struct QueryRegistry {
+    /// Engines by query id; a `BTreeMap` keeps iteration (and therefore match
+    /// reporting) in registration order.
+    engines: BTreeMap<QueryId, ContinuousQueryEngine>,
+    /// Edge type → queries whose pattern contains an edge of that type.
+    dispatch: HashMap<EdgeType, Vec<QueryId>>,
+    next_id: u64,
+}
+
+impl QueryRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers an engine, indexing it under every edge type its query
+    /// uses. Returns the new query's id.
+    pub fn register(&mut self, engine: ContinuousQueryEngine) -> QueryId {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        for edge_type in query_edge_types(&engine) {
+            let slot = self.dispatch.entry(edge_type).or_default();
+            if !slot.contains(&id) {
+                slot.push(id);
+            }
+        }
+        self.engines.insert(id, engine);
+        id
+    }
+
+    /// Removes a query, returning its engine (with all its runtime state) or
+    /// `None` for an unknown id. The dispatch index drops the query from
+    /// every edge-type slot.
+    pub fn deregister(&mut self, id: QueryId) -> Option<ContinuousQueryEngine> {
+        let engine = self.engines.remove(&id)?;
+        self.dispatch.retain(|_, ids| {
+            ids.retain(|&q| q != id);
+            !ids.is_empty()
+        });
+        Some(engine)
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// `true` when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+
+    /// The engine of a query.
+    pub fn engine(&self, id: QueryId) -> Option<&ContinuousQueryEngine> {
+        self.engines.get(&id)
+    }
+
+    /// Mutable access to the engine of a query.
+    pub fn engine_mut(&mut self, id: QueryId) -> Option<&mut ContinuousQueryEngine> {
+        self.engines.get_mut(&id)
+    }
+
+    /// Iterates over `(id, engine)` pairs in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = (QueryId, &ContinuousQueryEngine)> + '_ {
+        self.engines.iter().map(|(&id, e)| (id, e))
+    }
+
+    /// Iterates mutably over `(id, engine)` pairs in registration order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (QueryId, &mut ContinuousQueryEngine)> + '_ {
+        self.engines.iter_mut().map(|(&id, e)| (id, e))
+    }
+
+    /// Ids of all registered queries, in registration order.
+    pub fn query_ids(&self) -> impl Iterator<Item = QueryId> + '_ {
+        self.engines.keys().copied()
+    }
+
+    /// The queries whose pattern contains the given edge type (the dispatch
+    /// index lookup). The slice is in registration order.
+    pub fn candidates(&self, edge_type: EdgeType) -> &[QueryId] {
+        self.dispatch
+            .get(&edge_type)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The graph retention window implied by the registered queries: the
+    /// maximum `tW` across engines, or `None` (retain everything) when any
+    /// engine is unwindowed or the registry is empty. Individual engines
+    /// still purge and filter with their own, possibly smaller, window.
+    pub fn graph_retention(&self) -> Option<u64> {
+        let mut max = 0u64;
+        for engine in self.engines.values() {
+            match engine.window() {
+                None => return None,
+                Some(w) => max = max.max(w),
+            }
+        }
+        if self.engines.is_empty() {
+            None
+        } else {
+            Some(max)
+        }
+    }
+
+    /// Dispatches one new edge (already inserted into `graph`) to every
+    /// candidate engine and forwards the complete matches to `emit`. Returns
+    /// the number of matches reported.
+    pub fn process_edge(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        mut emit: impl FnMut(QueryId, SubgraphMatch),
+    ) -> u64 {
+        let QueryRegistry {
+            engines, dispatch, ..
+        } = self;
+        let Some(ids) = dispatch.get(&edge.edge_type) else {
+            return 0;
+        };
+        let mut reported = 0;
+        for &id in ids {
+            let engine = engines
+                .get_mut(&id)
+                .expect("dispatch index only references live queries");
+            for m in engine.process_edge(graph, edge) {
+                reported += 1;
+                emit(id, m);
+            }
+        }
+        reported
+    }
+
+    /// Runs every engine's purge pass against the current graph. Returns the
+    /// total number of partial matches dropped.
+    pub fn purge(&mut self, graph: &DynamicGraph) -> usize {
+        self.engines.values_mut().map(|e| e.purge(graph)).sum()
+    }
+}
+
+/// Distinct edge types used by an engine's query.
+fn query_edge_types(engine: &ContinuousQueryEngine) -> Vec<EdgeType> {
+    let mut types: Vec<EdgeType> = engine.query().edges().map(|e| e.edge_type).collect();
+    types.sort_unstable();
+    types.dedup();
+    types
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sp_query::QueryGraph;
+    use sp_selectivity::SelectivityEstimator;
+
+    fn engine_for(types: &[EdgeType], window: Option<u64>) -> ContinuousQueryEngine {
+        let mut q = QueryGraph::new("q");
+        let mut prev = q.add_any_vertex();
+        for &t in types {
+            let next = q.add_any_vertex();
+            q.add_edge(prev, next, t);
+            prev = next;
+        }
+        let est = SelectivityEstimator::new();
+        ContinuousQueryEngine::new(q, Strategy::SingleLazy, &est, window).unwrap()
+    }
+
+    #[test]
+    fn dispatch_index_tracks_registered_edge_types() {
+        let mut reg = QueryRegistry::new();
+        let a = reg.register(engine_for(&[EdgeType(0), EdgeType(1)], None));
+        let b = reg.register(engine_for(&[EdgeType(1), EdgeType(2)], None));
+        assert_eq!(reg.candidates(EdgeType(0)), &[a]);
+        assert_eq!(reg.candidates(EdgeType(1)), &[a, b]);
+        assert_eq!(reg.candidates(EdgeType(2)), &[b]);
+        assert!(reg.candidates(EdgeType(9)).is_empty());
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn deregister_removes_dispatch_entries() {
+        let mut reg = QueryRegistry::new();
+        let a = reg.register(engine_for(&[EdgeType(0), EdgeType(1)], None));
+        let b = reg.register(engine_for(&[EdgeType(1)], None));
+        assert!(reg.deregister(a).is_some());
+        assert!(reg.candidates(EdgeType(0)).is_empty());
+        assert_eq!(reg.candidates(EdgeType(1)), &[b]);
+        assert!(reg.deregister(a).is_none(), "double deregister");
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut reg = QueryRegistry::new();
+        let a = reg.register(engine_for(&[EdgeType(0)], None));
+        reg.deregister(a);
+        let b = reg.register(engine_for(&[EdgeType(0)], None));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn graph_retention_is_max_window() {
+        let mut reg = QueryRegistry::new();
+        assert_eq!(reg.graph_retention(), None);
+        reg.register(engine_for(&[EdgeType(0)], Some(10)));
+        assert_eq!(reg.graph_retention(), Some(10));
+        let wide = reg.register(engine_for(&[EdgeType(1)], Some(500)));
+        assert_eq!(reg.graph_retention(), Some(500));
+        reg.register(engine_for(&[EdgeType(2)], None));
+        assert_eq!(reg.graph_retention(), None);
+        reg.deregister(wide);
+        assert_eq!(reg.graph_retention(), None);
+    }
+
+    #[test]
+    fn duplicate_edge_types_in_one_query_index_once() {
+        let mut reg = QueryRegistry::new();
+        let a = reg.register(engine_for(&[EdgeType(3), EdgeType(3)], None));
+        assert_eq!(reg.candidates(EdgeType(3)), &[a]);
+    }
+}

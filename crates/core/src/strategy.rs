@@ -133,7 +133,10 @@ mod tests {
     #[test]
     fn policy_and_laziness_mapping() {
         assert_eq!(Strategy::Single.policy(), Some(PrimitivePolicy::SingleEdge));
-        assert_eq!(Strategy::PathLazy.policy(), Some(PrimitivePolicy::TwoEdgePath));
+        assert_eq!(
+            Strategy::PathLazy.policy(),
+            Some(PrimitivePolicy::TwoEdgePath)
+        );
         assert_eq!(Strategy::Vf2Baseline.policy(), None);
         assert!(Strategy::SingleLazy.is_lazy());
         assert!(Strategy::PathLazy.is_lazy());
@@ -144,7 +147,10 @@ mod tests {
     #[test]
     fn labels_match_the_paper() {
         let labels: Vec<&str> = Strategy::ALL.iter().map(|s| s.label()).collect();
-        assert_eq!(labels, vec!["Path", "Single", "PathLazy", "SingleLazy", "VF2"]);
+        assert_eq!(
+            labels,
+            vec!["Path", "Single", "PathLazy", "SingleLazy", "VF2"]
+        );
         assert_eq!(Strategy::PathLazy.to_string(), "PathLazy");
     }
 

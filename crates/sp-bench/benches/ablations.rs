@@ -11,11 +11,15 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind};
 use sp_query::QuerySubgraph;
 use sp_sjtree::{decompose, PrimitivePolicy, SjTree};
-use streampattern::{ContinuousQueryEngine, StreamProcessor, Strategy};
+use streampattern::{ContinuousQueryEngine, Strategy, StreamProcessor};
 
 const STREAM_EDGES: usize = 1_000;
 
-fn fixture() -> (sp_datasets::Dataset, streampattern::SelectivityEstimator, Vec<streampattern::QueryGraph>) {
+fn fixture() -> (
+    sp_datasets::Dataset,
+    streampattern::SelectivityEstimator,
+    Vec<streampattern::QueryGraph>,
+) {
     let dataset = NetflowConfig {
         num_hosts: 1_000,
         num_edges: STREAM_EDGES,
@@ -53,7 +57,8 @@ fn join_order_ablation(c: &mut Criterion) {
                 b.iter(|| {
                     let engine =
                         ContinuousQueryEngine::from_tree(tree.clone(), true, None).unwrap();
-                    let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+                    let mut proc = StreamProcessor::with_engine(dataset.schema.clone(), engine)
+                        .with_statistics(false);
                     proc.process_all(dataset.events().iter())
                 })
             });
@@ -69,12 +74,18 @@ fn lazy_ablation(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1200));
     for (i, q) in queries.iter().enumerate() {
-        for strategy in [Strategy::Single, Strategy::SingleLazy, Strategy::Path, Strategy::PathLazy] {
+        for strategy in [
+            Strategy::Single,
+            Strategy::SingleLazy,
+            Strategy::Path,
+            Strategy::PathLazy,
+        ] {
             group.bench_with_input(BenchmarkId::new(strategy.label(), i), q, |b, q| {
                 b.iter(|| {
                     let engine =
                         ContinuousQueryEngine::new(q.clone(), strategy, &estimator, None).unwrap();
-                    let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+                    let mut proc = StreamProcessor::with_engine(dataset.schema.clone(), engine)
+                        .with_statistics(false);
                     proc.process_all(dataset.events().iter())
                 })
             });
@@ -103,7 +114,8 @@ fn window_purge_ablation(c: &mut Criterion) {
                         Some(2_000),
                     )
                     .unwrap();
-                    let mut proc = StreamProcessor::new(dataset.schema.clone(), engine)
+                    let mut proc = StreamProcessor::with_engine(dataset.schema.clone(), engine)
+                        .with_statistics(false)
                         .with_purge_interval(interval);
                     proc.process_all(dataset.events().iter())
                 })
@@ -113,5 +125,10 @@ fn window_purge_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, join_order_ablation, lazy_ablation, window_purge_ablation);
+criterion_group!(
+    benches,
+    join_order_ablation,
+    lazy_ablation,
+    window_purge_ablation
+);
 criterion_main!(benches);

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sp_bench::runner::sample_by_expected_selectivity;
 use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind};
-use streampattern::{ContinuousQueryEngine, StreamProcessor, Strategy};
+use streampattern::{ContinuousQueryEngine, Strategy, StreamProcessor};
 
 const STREAM_EDGES: usize = 1_000;
 const BASELINE_EDGES: usize = 200;
@@ -45,15 +45,12 @@ fn bench_panel(c: &mut Criterion, panel: &str, kinds: &[(usize, QueryKind)]) {
                     b.iter(|| {
                         let mut total = 0u64;
                         for q in queries {
-                            let engine = ContinuousQueryEngine::new(
-                                q.clone(),
-                                strategy,
-                                &estimator,
-                                None,
-                            )
-                            .expect("engine builds");
+                            let engine =
+                                ContinuousQueryEngine::new(q.clone(), strategy, &estimator, None)
+                                    .expect("engine builds");
                             let mut proc =
-                                StreamProcessor::new(dataset.schema.clone(), engine);
+                                StreamProcessor::with_engine(dataset.schema.clone(), engine)
+                                    .with_statistics(false);
                             total += proc.process_all(dataset.events()[..limit].iter());
                         }
                         total

@@ -3,12 +3,12 @@
 //! greedy decomposition, and the dataset generators themselves.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind, ZipfSampler};
 use sp_iso::find_matches_containing_edge;
 use sp_query::QuerySubgraph;
 use sp_sjtree::{decompose, MatchStore, PrimitivePolicy};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
 
 fn anchored_search(c: &mut Criterion) {
     let dataset = NetflowConfig {
@@ -76,10 +76,18 @@ fn sjtree_operations(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(300));
     group.measurement_time(std::time::Duration::from_millis(1500));
     group.bench_function("decompose_single", |b| {
-        b.iter(|| decompose(&query, PrimitivePolicy::SingleEdge, &estimator).unwrap().num_nodes())
+        b.iter(|| {
+            decompose(&query, PrimitivePolicy::SingleEdge, &estimator)
+                .unwrap()
+                .num_nodes()
+        })
     });
     group.bench_function("decompose_path", |b| {
-        b.iter(|| decompose(&query, PrimitivePolicy::TwoEdgePath, &estimator).unwrap().num_nodes())
+        b.iter(|| {
+            decompose(&query, PrimitivePolicy::TwoEdgePath, &estimator)
+                .unwrap()
+                .num_nodes()
+        })
     });
 
     // Hash-join insert throughput: pre-compute leaf matches for a batch of

@@ -4,9 +4,12 @@
 
 use crate::report::{ascii_histogram, fmt_ratio, fmt_seconds, markdown_table, render_groups};
 use crate::runner::{
-    query_relative_selectivity, run_group, run_query, sample_by_expected_selectivity, Scale,
+    query_relative_selectivity, run_group, run_multi_query, run_query,
+    sample_by_expected_selectivity, Scale,
 };
-use sp_datasets::{Dataset, LsbenchConfig, NetflowConfig, NytimesConfig, QueryGenerator, QueryKind};
+use sp_datasets::{
+    Dataset, LsbenchConfig, NetflowConfig, NytimesConfig, QueryGenerator, QueryKind,
+};
 use sp_query::QueryGraph;
 use sp_selectivity::TwoEdgePathCounter;
 use sp_sjtree::{decompose, CostModel, PrimitivePolicy};
@@ -113,10 +116,7 @@ pub fn fig7(scale: Scale) -> String {
             fmt_ratio(top as f64 / median.max(1) as f64),
         ]);
         if d.name == "lsbench" {
-            let logs: Vec<f64> = desc
-                .iter()
-                .map(|&(_, c)| (c as f64).log10())
-                .collect();
+            let logs: Vec<f64> = desc.iter().map(|&(_, c)| (c as f64).log10()).collect();
             out.push_str(&format!(
                 "log10(count) histogram of the {} unique LSBench wedges:\n\n```\n{}```\n\n",
                 desc.len(),
@@ -147,7 +147,11 @@ pub fn fig8(scale: Scale) -> String {
     let mut q = QueryGraph::new("fig8-path");
     let v: Vec<_> = (0..5).map(|_| q.add_any_vertex()).collect();
     for (i, proto) in ["ESP", "TCP", "ICMP", "GRE"].iter().enumerate() {
-        q.add_edge(v[i], v[i + 1], schema.edge_type(proto).expect("protocol interned"));
+        q.add_edge(
+            v[i],
+            v[i + 1],
+            schema.edge_type(proto).expect("protocol interned"),
+        );
     }
     let single = decompose(&q, PrimitivePolicy::SingleEdge, &est).expect("decomposes");
     let path = decompose(&q, PrimitivePolicy::TwoEdgePath, &est).expect("decomposes");
@@ -230,8 +234,7 @@ pub fn fig9(scale: Scale, panel: &str) -> String {
     let mut baseline_groups = Vec::new();
     for (name, kind) in &chosen.groups {
         let raw = generator.generate_valid_batch(*kind, scale.queries_per_group(), &estimator);
-        let queries =
-            sample_by_expected_selectivity(raw, &estimator, scale.sampled_queries());
+        let queries = sample_by_expected_selectivity(raw, &estimator, scale.sampled_queries());
         if queries.is_empty() {
             continue;
         }
@@ -274,9 +277,8 @@ pub fn fig9(scale: Scale, panel: &str) -> String {
 /// the three datasets (log10 scale, like the paper's x-axis).
 pub fn fig10(scale: Scale) -> String {
     let all = datasets(scale);
-    let mut out = String::from(
-        "## Figure 10 — Relative Selectivity of 4-edge queries (log10 buckets)\n\n",
-    );
+    let mut out =
+        String::from("## Figure 10 — Relative Selectivity of 4-edge queries (log10 buckets)\n\n");
     for (i, d) in all.iter().enumerate() {
         let estimator = d.estimator_from_prefix(d.len() / 4);
         let mut generator =
@@ -314,8 +316,7 @@ pub fn profile(scale: Scale) -> String {
     let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
     let mut generator =
         QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 555);
-    let queries =
-        generator.generate_valid_batch(QueryKind::Path { length: 4 }, 10, &estimator);
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 10, &estimator);
     let queries = sample_by_expected_selectivity(queries, &estimator, 3);
     let mut rows = Vec::new();
     for strategy in Strategy::SJ_TREE {
@@ -334,7 +335,14 @@ pub fn profile(scale: Scale) -> String {
     format!(
         "## §6.4 profiling — time split between subgraph isomorphism and SJ-Tree update\n\n{}",
         markdown_table(
-            &["query", "strategy", "runtime", "iso share", "iso searches", "skipped"],
+            &[
+                "query",
+                "strategy",
+                "runtime",
+                "iso share",
+                "iso searches",
+                "skipped"
+            ],
             &rows
         )
     )
@@ -348,10 +356,12 @@ pub fn strategy_selection(scale: Scale) -> String {
     let mut total = 0usize;
     for (i, dataset) in all.iter().take(2).enumerate() {
         let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
-        let mut generator =
-            QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 900 + i as u64);
-        let queries =
-            generator.generate_valid_batch(QueryKind::Path { length: 4 }, 20, &estimator);
+        let mut generator = QueryGenerator::new(
+            dataset.schema.clone(),
+            dataset.valid_triples.clone(),
+            900 + i as u64,
+        );
+        let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 20, &estimator);
         let queries = sample_by_expected_selectivity(queries, &estimator, scale.sampled_queries());
         for q in &queries {
             let choice = match choose_strategy(q, &estimator, RELATIVE_SELECTIVITY_THRESHOLD) {
@@ -398,7 +408,72 @@ pub fn strategy_selection(scale: Scale) -> String {
         "## §6.5 strategy selection — ξ-rule vs measured fastest lazy strategy\n\n\
          rule agreement: {hits}/{total}\n\n{}",
         markdown_table(
-            &["dataset", "query", "xi", "rule picks", "SingleLazy", "PathLazy", "faster"],
+            &[
+                "dataset",
+                "query",
+                "xi",
+                "rule picks",
+                "SingleLazy",
+                "PathLazy",
+                "faster"
+            ],
+            &rows
+        )
+    )
+}
+
+/// Multi-query scaling — the StreamWorks deployment story: N continuous
+/// queries watching one stream. Compares one shared-graph processor with
+/// edge-type dispatch against N independent single-query processors (the
+/// pre-registry architecture: N graph copies, N ingest passes).
+pub fn multiquery(scale: Scale) -> String {
+    let dataset = &datasets(scale)[0];
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let mut generator =
+        QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 3301);
+    let pool = generator.generate_valid_batch(
+        QueryKind::Path { length: 3 },
+        scale.queries_per_group(),
+        &estimator,
+    );
+    let mut rows = Vec::new();
+    for n in [2usize, 4, 8] {
+        if pool.len() < n {
+            continue;
+        }
+        let queries = &pool[..n];
+        let m = run_multi_query(
+            dataset,
+            &estimator,
+            queries,
+            streampattern::Strategy::SingleLazy,
+            scale.stream_edges(),
+            None,
+        );
+        rows.push(vec![
+            n.to_string(),
+            m.edges.to_string(),
+            fmt_seconds(m.shared_elapsed.as_secs_f64()),
+            fmt_seconds(m.separate_elapsed.as_secs_f64()),
+            fmt_ratio(m.speedup()),
+            format!("{:.1}%", 100.0 * m.dispatch_savings()),
+            m.shared_matches.to_string(),
+        ]);
+    }
+    format!(
+        "## Multi-query scaling — shared graph + edge-type dispatch vs N independent processors\n\n\
+         Both executions report identical matches (asserted); `dispatch savings` is the\n\
+         fraction of engine invocations the edge-type index eliminated.\n\n{}",
+        markdown_table(
+            &[
+                "queries",
+                "edges",
+                "shared",
+                "separate",
+                "speedup",
+                "dispatch savings",
+                "matches",
+            ],
             &rows
         )
     )
@@ -411,8 +486,7 @@ pub fn costmodel(scale: Scale) -> String {
     let graph_stats = dataset.build_graph().degree_stats();
     let mut generator =
         QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 4242);
-    let queries =
-        generator.generate_valid_batch(QueryKind::Path { length: 4 }, 12, &estimator);
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 12, &estimator);
     let queries = sample_by_expected_selectivity(queries, &estimator, 4);
     let mut rows = Vec::new();
     for q in &queries {
@@ -467,8 +541,21 @@ pub fn costmodel(scale: Scale) -> String {
 
 /// Every experiment id accepted by the `reproduce` binary.
 pub const ALL_EXPERIMENTS: &[&str] = &[
-    "table1", "fig6a", "fig6b", "fig6c", "fig7", "fig8", "fig9a", "fig9b", "fig9c", "fig9d",
-    "fig10", "profile", "strategy", "costmodel",
+    "table1",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7",
+    "fig8",
+    "fig9a",
+    "fig9b",
+    "fig9c",
+    "fig9d",
+    "fig10",
+    "profile",
+    "strategy",
+    "costmodel",
+    "multiquery",
 ];
 
 /// Runs one experiment by id, returning its markdown section.
@@ -488,6 +575,7 @@ pub fn run_experiment(id: &str, scale: Scale) -> Option<String> {
         "profile" => profile(scale),
         "strategy" => strategy_selection(scale),
         "costmodel" => costmodel(scale),
+        "multiquery" => multiquery(scale),
         _ => return None,
     };
     Some(section)
@@ -506,7 +594,7 @@ mod tests {
             assert!(
                 *id == "table1"
                     || id.starts_with("fig")
-                    || ["profile", "strategy", "costmodel"].contains(id)
+                    || ["profile", "strategy", "costmodel", "multiquery"].contains(id)
             );
         }
         assert!(run_experiment("unknown", Scale::Small).is_none());

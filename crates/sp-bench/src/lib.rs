@@ -14,6 +14,7 @@
 //! | `profile`  | §6.4 — time split between isomorphism and SJ-Tree update | [`experiments::profile`] |
 //! | `strategy` | §6.5 — ξ-rule vs measured fastest strategy | [`experiments::strategy_selection`] |
 //! | `costmodel`| Appendix A — analytic cost model vs measurement | [`experiments::costmodel`] |
+//! | `multiquery` | Multi-query scaling: shared graph + edge-type dispatch vs N independent processors | [`experiments::multiquery`] |
 //!
 //! The `reproduce` binary drives these functions and renders markdown tables
 //! (the basis of `EXPERIMENTS.md`); the Criterion benches under `benches/`
@@ -26,4 +27,4 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{QueryGroupResult, RunMeasurement, Scale};
+pub use runner::{MultiQueryMeasurement, QueryGroupResult, RunMeasurement, Scale};

@@ -56,11 +56,7 @@ pub fn render_groups(groups: &[QueryGroupResult], strategies: &[&str]) -> String
     header.push("best-lazy vs last");
     let mut rows = Vec::new();
     for g in groups {
-        let mut row = vec![
-            g.group.clone(),
-            g.queries.to_string(),
-            g.edges.to_string(),
-        ];
+        let mut row = vec![g.group.clone(), g.queries.to_string(), g.edges.to_string()];
         for s in strategies {
             row.push(
                 g.mean_seconds(s)
@@ -76,11 +72,13 @@ pub fn render_groups(groups: &[QueryGroupResult], strategies: &[&str]) -> String
             .last()
             .and_then(|s| g.mean_seconds(s))
             .unwrap_or(f64::NAN);
-        row.push(if best_lazy.is_finite() && baseline.is_finite() && best_lazy > 0.0 {
-            fmt_ratio(baseline / best_lazy)
-        } else {
-            "-".to_owned()
-        });
+        row.push(
+            if best_lazy.is_finite() && baseline.is_finite() && best_lazy > 0.0 {
+                fmt_ratio(baseline / best_lazy)
+            } else {
+                "-".to_owned()
+            },
+        );
         rows.push(row);
     }
     markdown_table(&header, &rows)
@@ -144,10 +142,7 @@ mod tests {
             group: "path-3".into(),
             queries: 3,
             edges: 1000,
-            per_strategy: vec![
-                ("SingleLazy".into(), 0.01, 5.0),
-                ("VF2".into(), 1.0, 5.0),
-            ],
+            per_strategy: vec![("SingleLazy".into(), 0.01, 5.0), ("VF2".into(), 1.0, 5.0)],
         };
         let table = render_groups(&[g], &["SingleLazy", "VF2"]);
         assert!(table.contains("path-3"));

@@ -9,7 +9,7 @@ use sp_query::QueryGraph;
 use sp_selectivity::SelectivityEstimator;
 use sp_sjtree::{decompose, expected_selectivity, PrimitivePolicy};
 use std::time::{Duration, Instant};
-use streampattern::{ContinuousQueryEngine, ProfileCounters, StreamProcessor, Strategy};
+use streampattern::{ContinuousQueryEngine, ProfileCounters, Strategy, StreamProcessor};
 
 /// Experiment scale: how many stream edges each measurement processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -150,7 +150,11 @@ pub fn run_query(
 ) -> RunMeasurement {
     let engine = ContinuousQueryEngine::new(query.clone(), strategy, estimator, window)
         .expect("query decomposes");
-    let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+    // Statistics collection stays off: the paper's methodology feeds the
+    // estimator from a stream prefix only, and the measurement should not
+    // include statistics maintenance.
+    let mut proc =
+        StreamProcessor::with_engine(dataset.schema.clone(), engine).with_statistics(false);
     let events = &dataset.events()[..limit.min(dataset.len())];
     let start = Instant::now();
     let matches = proc.process_all(events.iter());
@@ -168,7 +172,121 @@ pub fn run_query(
         elapsed,
         matches,
         peak_partial_matches: peak,
-        profile: proc.profile().clone(),
+        profile: proc.profile(),
+    }
+}
+
+/// One measured multi-query run: the same query set executed once on a
+/// shared-graph [`StreamProcessor`] (one ingest pass, edge-type dispatch)
+/// and once as N independent single-query processors (N graph copies, N
+/// ingest passes — the pre-registry architecture).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiQueryMeasurement {
+    /// Number of queries executed.
+    pub queries: usize,
+    /// Number of stream edges processed (once for shared, per query for
+    /// separate).
+    pub edges: usize,
+    /// Wall-clock time of the shared multi-query processor.
+    #[serde(with = "serde_duration")]
+    pub shared_elapsed: Duration,
+    /// Wall-clock time of the N independent processors, summed.
+    #[serde(with = "serde_duration")]
+    pub separate_elapsed: Duration,
+    /// Matches found by the shared processor (all queries).
+    pub shared_matches: u64,
+    /// Matches found by the independent processors, summed.
+    pub separate_matches: u64,
+    /// Sum of per-engine `edges_processed` in the shared run — the edges
+    /// that actually reached an engine after edge-type dispatch.
+    pub dispatched_edges: u64,
+    /// `queries × edges`: the engine invocations the pre-registry
+    /// architecture performs.
+    pub undispatched_edges: u64,
+}
+
+impl MultiQueryMeasurement {
+    /// Speedup of the shared processor over the N independent processors.
+    pub fn speedup(&self) -> f64 {
+        self.shared_elapsed.as_secs_f64().max(1e-12).recip() * self.separate_elapsed.as_secs_f64()
+    }
+
+    /// Fraction of engine invocations the dispatch index eliminated.
+    pub fn dispatch_savings(&self) -> f64 {
+        if self.undispatched_edges == 0 {
+            0.0
+        } else {
+            1.0 - self.dispatched_edges as f64 / self.undispatched_edges as f64
+        }
+    }
+}
+
+/// Runs `queries` over the first `limit` events of the dataset twice — once
+/// sharing a single data graph through the registry, once as independent
+/// processors — and reports both measurements. The two executions must find
+/// the same matches; this is asserted.
+pub fn run_multi_query(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    queries: &[QueryGraph],
+    strategy: Strategy,
+    limit: usize,
+    window: Option<u64>,
+) -> MultiQueryMeasurement {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+
+    // Shared: one graph, one ingest pass, dispatch through the registry.
+    // Both executions decompose against the same prefix statistics.
+    let mut shared = StreamProcessor::new(dataset.schema.clone())
+        .with_estimator(estimator.clone())
+        .with_statistics(false);
+    for query in queries {
+        shared
+            .register(query.clone(), strategy, window)
+            .expect("query decomposes");
+    }
+    let start = Instant::now();
+    let shared_matches = shared.process_all(events.iter());
+    let shared_elapsed = start.elapsed();
+    let dispatched_edges: u64 = shared
+        .query_ids()
+        .iter()
+        .filter_map(|&id| shared.profile_for(id))
+        .map(|p| p.edges_processed)
+        .sum();
+
+    // Separate: the pre-registry architecture — every query pays a full
+    // graph copy and a full ingest pass. Engines are built outside the
+    // timed section, mirroring the shared arm where registration (and its
+    // SJ-Tree decomposition) happens before the timer starts.
+    let mut separate_procs: Vec<StreamProcessor> = queries
+        .iter()
+        .map(|query| {
+            let engine = ContinuousQueryEngine::new(query.clone(), strategy, estimator, window)
+                .expect("query decomposes");
+            StreamProcessor::with_engine(dataset.schema.clone(), engine).with_statistics(false)
+        })
+        .collect();
+    let mut separate_matches = 0u64;
+    let start = Instant::now();
+    for proc in &mut separate_procs {
+        separate_matches += proc.process_all(events.iter());
+    }
+    let separate_elapsed = start.elapsed();
+
+    assert_eq!(
+        shared_matches, separate_matches,
+        "shared and separate execution disagree"
+    );
+    MultiQueryMeasurement {
+        queries: queries.len(),
+        edges: events.len(),
+        shared_elapsed,
+        separate_elapsed,
+        shared_matches,
+        separate_matches,
+        dispatched_edges,
+        undispatched_edges: queries.len() as u64 * events.len() as u64,
     }
 }
 
@@ -185,8 +303,9 @@ pub fn query_relative_selectivity(query: &QueryGraph, estimator: &SelectivityEst
     let single = decompose(query, PrimitivePolicy::SingleEdge, estimator);
     let path = decompose(query, PrimitivePolicy::TwoEdgePath, estimator);
     match (single, path) {
-        (Ok(s), Ok(p)) => expected_selectivity(&p, estimator)
-            .relative_to(&expected_selectivity(&s, estimator)),
+        (Ok(s), Ok(p)) => {
+            expected_selectivity(&p, estimator).relative_to(&expected_selectivity(&s, estimator))
+        }
         _ => 1.0,
     }
 }
@@ -237,7 +356,11 @@ pub fn run_group(
             total_matches += m.matches as f64;
         }
         let n = queries.len().max(1) as f64;
-        per_strategy.push((strategy.label().to_owned(), total_time / n, total_matches / n));
+        per_strategy.push((
+            strategy.label().to_owned(),
+            total_time / n,
+            total_matches / n,
+        ));
     }
     QueryGroupResult {
         group: group.to_owned(),
@@ -322,6 +445,22 @@ mod tests {
         assert_eq!(result.per_strategy.len(), 2);
         assert!(result.mean_seconds("SingleLazy").unwrap() > 0.0);
         assert!(result.mean_seconds("VF2").is_none());
+    }
+
+    #[test]
+    fn multi_query_shared_and_separate_agree() {
+        let (d, est) = tiny();
+        let mut gen = QueryGenerator::new(d.schema.clone(), d.valid_triples.clone(), 21);
+        let queries = gen.generate_valid_batch(QueryKind::Path { length: 3 }, 4, &est);
+        assert!(queries.len() >= 2, "generator produced too few queries");
+        let m = run_multi_query(&d, &est, &queries, Strategy::SingleLazy, 1_000, None);
+        assert_eq!(m.queries, queries.len());
+        assert_eq!(m.edges, 1_000);
+        assert_eq!(m.shared_matches, m.separate_matches);
+        // The dispatch index can only reduce engine invocations.
+        assert!(m.dispatched_edges <= m.undispatched_edges);
+        assert!(m.dispatch_savings() >= 0.0);
+        assert!(m.speedup() > 0.0);
     }
 
     #[test]

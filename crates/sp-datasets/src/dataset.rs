@@ -33,11 +33,7 @@ impl Dataset {
 
     /// Number of distinct external vertex ids referenced by the stream.
     pub fn num_vertices(&self) -> usize {
-        let mut ids: Vec<u64> = self
-            .events
-            .iter()
-            .flat_map(|e| [e.src, e.dst])
-            .collect();
+        let mut ids: Vec<u64> = self.events.iter().flat_map(|e| [e.src, e.dst]).collect();
         ids.sort_unstable();
         ids.dedup();
         ids.len()
@@ -114,7 +110,11 @@ mod tests {
             name: "tiny".into(),
             schema,
             events,
-            valid_triples: vec![EdgeSignature::new(VertexType(0), EdgeType(0), VertexType(0))],
+            valid_triples: vec![EdgeSignature::new(
+                VertexType(0),
+                EdgeType(0),
+                VertexType(0),
+            )],
         }
     }
 

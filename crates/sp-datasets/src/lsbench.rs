@@ -185,11 +185,23 @@ impl LsbenchConfig {
 
         let static_weights: Vec<f64> = rels
             .iter()
-            .map(|r| if r.phase == Phase::Static { r.weight } else { 0.0 })
+            .map(|r| {
+                if r.phase == Phase::Static {
+                    r.weight
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let activity_weights: Vec<f64> = rels
             .iter()
-            .map(|r| if r.phase == Phase::Activity { r.weight } else { 0.0 })
+            .map(|r| {
+                if r.phase == Phase::Activity {
+                    r.weight
+                } else {
+                    0.0
+                }
+            })
             .collect();
 
         let mut rng = SmallRng::seed_from_u64(self.seed);
@@ -267,7 +279,11 @@ mod tests {
         let d = LsbenchConfig::tiny().generate();
         let g = d.build_graph();
         let paths = sp_selectivity::TwoEdgePathCounter::from_graph(&g);
-        assert!(paths.num_signatures() > 50, "got {}", paths.num_signatures());
+        assert!(
+            paths.num_signatures() > 50,
+            "got {}",
+            paths.num_signatures()
+        );
         let desc = paths.descending();
         let top = desc[0].1 as f64;
         let median = desc[desc.len() / 2].1 as f64;

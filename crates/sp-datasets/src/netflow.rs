@@ -140,8 +140,12 @@ mod tests {
         let hist = est.edge_histogram();
         let tcp = d.schema.edge_type("TCP").unwrap();
         let ah = d.schema.edge_type("AH").unwrap();
-        assert!(hist.count(tcp) > 50 * hist.count(ah).max(1) / 10,
-            "TCP must dominate AH: {} vs {}", hist.count(tcp), hist.count(ah));
+        assert!(
+            hist.count(tcp) > 50 * hist.count(ah).max(1) / 10,
+            "TCP must dominate AH: {} vs {}",
+            hist.count(tcp),
+            hist.count(ah)
+        );
         // Rarest-first order puts a tunnelling protocol first.
         let order = hist.rank_order();
         let rare_name = d.schema.edge_type_name(order[0]);
@@ -153,7 +157,11 @@ mod tests {
         let a = NetflowConfig::tiny().generate();
         let b = NetflowConfig::tiny().generate();
         assert_eq!(a.events, b.events);
-        let c = NetflowConfig { seed: 7, ..NetflowConfig::tiny() }.generate();
+        let c = NetflowConfig {
+            seed: 7,
+            ..NetflowConfig::tiny()
+        }
+        .generate();
         assert_ne!(a.events, c.events);
     }
 

@@ -153,7 +153,7 @@ mod tests {
     fn mentions_volume_scales_with_articles() {
         let d = NytimesConfig::tiny().generate();
         let per_article = d.len() as f64 / 500.0;
-        assert!(per_article >= 2.0 && per_article <= 8.0, "got {per_article}");
+        assert!((2.0..=8.0).contains(&per_article), "got {per_article}");
         assert_eq!(d.valid_triples.len(), 4);
     }
 }

@@ -428,10 +428,7 @@ impl DynamicGraph {
 
     /// In-degree of a vertex.
     pub fn in_degree(&self, v: VertexId) -> usize {
-        self.vertices
-            .get(&v)
-            .map(|d| d.in_edges.len())
-            .unwrap_or(0)
+        self.vertices.get(&v).map(|d| d.in_edges.len()).unwrap_or(0)
     }
 
     /// Iterates over every edge incident to `v` (both directions), yielding
@@ -676,10 +673,7 @@ mod tests {
         let data = g.remove_edge(e).unwrap();
         assert_eq!(data.id, e);
         assert_eq!(g.num_edges(), 0);
-        assert!(matches!(
-            g.remove_edge(e),
-            Err(GraphError::UnknownEdge(_))
-        ));
+        assert!(matches!(g.remove_edge(e), Err(GraphError::UnknownEdge(_))));
     }
 
     #[test]

@@ -75,9 +75,7 @@ impl Timestamp {
 }
 
 /// Direction of an edge relative to an anchor vertex.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Direction {
     /// The anchor vertex is the source of the edge.
     Outgoing,

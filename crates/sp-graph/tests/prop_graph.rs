@@ -1,6 +1,12 @@
-//! Property-based tests for the dynamic graph store.
+//! Randomized property tests for the dynamic graph store.
+//!
+//! The workspace builds offline, so instead of `proptest` these tests draw a
+//! few hundred random stream specifications from a seeded PRNG and check the
+//! same invariants on each. Failures print the offending seed so a case can
+//! be replayed by hand.
 
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use sp_graph::{DynamicGraph, EdgeType, Schema, Timestamp, VertexType};
 
 /// A compact description of a random edge stream.
@@ -10,11 +16,24 @@ struct StreamSpec {
     window: Option<u64>,
 }
 
-fn stream_strategy() -> impl Strategy<Value = StreamSpec> {
-    let edge = (0u64..20, 0u64..20, 0u32..5, 0u64..1000);
-    (proptest::collection::vec(edge, 1..200), proptest::option::of(1u64..500)).prop_map(
-        |(edges, window)| StreamSpec { edges, window },
-    )
+fn random_spec(rng: &mut SmallRng) -> StreamSpec {
+    let len = rng.gen_range(1usize..200);
+    let edges = (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0u64..20),
+                rng.gen_range(0u64..20),
+                rng.gen_range(0u32..5),
+                rng.gen_range(0u64..1000),
+            )
+        })
+        .collect();
+    let window = if rng.gen_bool(0.5) {
+        Some(rng.gen_range(1u64..500))
+    } else {
+        None
+    };
+    StreamSpec { edges, window }
 }
 
 fn build_graph(spec: &StreamSpec) -> DynamicGraph {
@@ -36,65 +55,84 @@ fn build_graph(spec: &StreamSpec) -> DynamicGraph {
     g
 }
 
-proptest! {
-    /// The sum of out-degrees and the sum of in-degrees both equal the number
-    /// of live edges, and every adjacency entry refers to a live edge.
-    #[test]
-    fn adjacency_is_consistent(spec in stream_strategy()) {
+/// Runs `check` over a deterministic batch of random stream specs.
+fn for_random_specs(cases: u64, check: impl Fn(&StreamSpec, &DynamicGraph)) {
+    for seed in 0..cases {
+        let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+        let spec = random_spec(&mut rng);
         let g = build_graph(&spec);
+        check(&spec, &g);
+    }
+}
+
+/// The sum of out-degrees and the sum of in-degrees both equal the number of
+/// live edges, and every adjacency entry refers to a live edge.
+#[test]
+fn adjacency_is_consistent() {
+    for_random_specs(100, |spec, g| {
         let out_sum: usize = g.vertices().map(|(v, _)| g.out_degree(v)).sum();
         let in_sum: usize = g.vertices().map(|(v, _)| g.in_degree(v)).sum();
-        prop_assert_eq!(out_sum, g.num_edges());
-        prop_assert_eq!(in_sum, g.num_edges());
+        assert_eq!(out_sum, g.num_edges(), "spec: {spec:?}");
+        assert_eq!(in_sum, g.num_edges(), "spec: {spec:?}");
         for (v, _) in g.vertices() {
             for inc in g.incident_edges(v) {
                 let e = g.edge(inc.edge).expect("adjacency points at live edge");
-                prop_assert!(e.touches(v));
+                assert!(e.touches(v), "spec: {spec:?}");
             }
         }
-    }
+    });
+}
 
-    /// After expiry, every live edge is within the window of the newest edge.
-    #[test]
-    fn window_invariant_holds(spec in stream_strategy()) {
-        let g = build_graph(&spec);
+/// After expiry, every live edge is within the window of the newest edge.
+#[test]
+fn window_invariant_holds() {
+    for_random_specs(100, |spec, g| {
         if let Some(w) = g.window() {
             let newest = g.latest_timestamp();
             let cutoff = newest.0.saturating_sub(w);
             for e in g.edges() {
-                prop_assert!(e.timestamp.0 >= cutoff,
-                    "edge at {} violates window starting at {}", e.timestamp.0, cutoff);
+                assert!(
+                    e.timestamp.0 >= cutoff,
+                    "edge at {} violates window starting at {cutoff}; spec: {spec:?}",
+                    e.timestamp.0
+                );
             }
         }
-    }
+    });
+}
 
-    /// No isolated vertices survive window expiry.
-    #[test]
-    fn no_isolated_vertices(spec in stream_strategy()) {
-        let g = build_graph(&spec);
+/// No isolated vertices survive window expiry.
+#[test]
+fn no_isolated_vertices() {
+    for_random_specs(100, |spec, g| {
         for (v, data) in g.vertices() {
-            prop_assert!(data.degree() > 0, "vertex {v} is isolated");
+            assert!(data.degree() > 0, "vertex {v} is isolated; spec: {spec:?}");
         }
-    }
+    });
+}
 
-    /// total_edges_seen is monotone and never smaller than the live count.
-    #[test]
-    fn seen_count_dominates_live_count(spec in stream_strategy()) {
-        let g = build_graph(&spec);
-        prop_assert_eq!(g.total_edges_seen(), spec.edges.len() as u64);
-        prop_assert!(g.num_edges() as u64 <= g.total_edges_seen());
-    }
+/// total_edges_seen is monotone and never smaller than the live count.
+#[test]
+fn seen_count_dominates_live_count() {
+    for_random_specs(100, |spec, g| {
+        assert_eq!(g.total_edges_seen(), spec.edges.len() as u64);
+        assert!(g.num_edges() as u64 <= g.total_edges_seen());
+    });
+}
 
-    /// Degree stats average equals 2E/V for live graphs.
-    #[test]
-    fn degree_stats_matches_handshake_lemma(spec in stream_strategy()) {
-        let g = build_graph(&spec);
+/// Degree stats average equals 2E/V for live graphs.
+#[test]
+fn degree_stats_matches_handshake_lemma() {
+    for_random_specs(100, |spec, g| {
         if g.num_vertices() > 0 {
             let stats = g.degree_stats();
             let expected = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
-            prop_assert!((stats.average_degree - expected).abs() < 1e-9);
+            assert!(
+                (stats.average_degree - expected).abs() < 1e-9,
+                "spec: {spec:?}"
+            );
         }
-    }
+    });
 }
 
 #[test]

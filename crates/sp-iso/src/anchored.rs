@@ -367,7 +367,10 @@ mod tests {
 
         let e = *g.edges_between(a, b).next().unwrap();
         let matches = find_matches_containing_edge(&g, &q, &sub, &e);
-        assert!(matches.is_empty(), "a->b->a must be rejected, got {matches:?}");
+        assert!(
+            matches.is_empty(),
+            "a->b->a must be rejected, got {matches:?}"
+        );
     }
 
     #[test]

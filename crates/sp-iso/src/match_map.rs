@@ -154,7 +154,11 @@ impl SubgraphMatch {
                     }
                 }
                 None => {
-                    if other.vertex_map.iter().any(|(&oqv, &odv)| oqv != qv && odv == dv) {
+                    if other
+                        .vertex_map
+                        .iter()
+                        .any(|(&oqv, &odv)| oqv != qv && odv == dv)
+                    {
                         return false;
                     }
                 }

@@ -49,11 +49,7 @@ impl Vf2Matcher {
     /// anchored on every compatible data edge in turn, and an embedding binds
     /// the first query edge to exactly one data edge.
     pub fn find_all(&self, graph: &DynamicGraph) -> Vec<SubgraphMatch> {
-        let first = self
-            .query
-            .edge_ids()
-            .next()
-            .expect("non-empty query graph");
+        let first = self.query.edge_ids().next().expect("non-empty query graph");
         let first_type = self.query.edge(first).edge_type;
         let mut out = Vec::new();
         // Snapshot candidate anchor edges to avoid holding the iterator while

@@ -235,7 +235,11 @@ impl QueryGraph {
     /// schema for readable names.
     pub fn describe(&self, schema: &Schema) -> String {
         let mut out = String::new();
-        out.push_str(&format!("query \"{}\" ({} edges):\n", self.name, self.edges.len()));
+        out.push_str(&format!(
+            "query \"{}\" ({} edges):\n",
+            self.name,
+            self.edges.len()
+        ));
         for e in &self.edges {
             let st = self.vertices[e.src.0].vertex_type;
             let dt = self.vertices[e.dst.0].vertex_type;
@@ -281,10 +285,7 @@ mod tests {
         let q = path3();
         assert_eq!(q.degree(QueryVertexId(0)), 1);
         assert_eq!(q.degree(QueryVertexId(1)), 2);
-        let incident: Vec<_> = q
-            .incident_edges(QueryVertexId(1))
-            .map(|e| e.id.0)
-            .collect();
+        let incident: Vec<_> = q.incident_edges(QueryVertexId(1)).map(|e| e.id.0).collect();
         assert_eq!(incident, vec![0, 1]);
     }
 

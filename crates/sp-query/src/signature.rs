@@ -21,9 +21,7 @@ use std::fmt;
 
 /// An edge type together with its direction relative to a reference vertex
 /// (the shared center vertex for 2-edge paths).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DirectedEdgeType {
     /// The edge type.
     pub edge_type: EdgeType,
@@ -221,9 +219,7 @@ pub(crate) fn wedge_signature(
         return None;
     }
     // Find a shared vertex; prefer any.
-    let shared = [ea.src, ea.dst]
-        .into_iter()
-        .find(|&v| eb.touches(v))?;
+    let shared = [ea.src, ea.dst].into_iter().find(|&v| eb.touches(v))?;
     let dir = |e: &crate::query::QueryEdge| {
         if e.src == shared {
             Direction::Outgoing

@@ -94,7 +94,10 @@ impl QuerySubgraph {
     /// `CUT-SUBGRAPH`). The decomposition partitions edges, so the
     /// intersection never contains edges.
     pub fn cut_vertices(&self, other: &QuerySubgraph) -> Vec<QueryVertexId> {
-        self.vertices.intersection(&other.vertices).copied().collect()
+        self.vertices
+            .intersection(&other.vertices)
+            .copied()
+            .collect()
     }
 
     /// Returns `true` if the two subgraphs share no edges.
@@ -206,7 +209,10 @@ mod tests {
         let one = QuerySubgraph::from_edges(&q, [QueryEdgeId(2)]);
         assert!(matches!(one.primitive(&q), Some(Primitive::SingleEdge(t)) if t == EdgeType(2)));
         let wedge = QuerySubgraph::from_edges(&q, [QueryEdgeId(1), QueryEdgeId(2)]);
-        assert!(matches!(wedge.primitive(&q), Some(Primitive::TwoEdgePath(_))));
+        assert!(matches!(
+            wedge.primitive(&q),
+            Some(Primitive::TwoEdgePath(_))
+        ));
         let non_wedge = QuerySubgraph::from_edges(&q, [QueryEdgeId(0), QueryEdgeId(3)]);
         assert!(non_wedge.primitive(&q).is_none());
         let big = QuerySubgraph::from_edges(&q, [QueryEdgeId(0), QueryEdgeId(1), QueryEdgeId(2)]);

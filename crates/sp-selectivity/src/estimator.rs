@@ -183,7 +183,7 @@ mod tests {
         let est = SelectivityEstimator::from_graph(&g);
         let tcp = g.schema().edge_type("tcp").unwrap();
         let udp = g.schema().edge_type("udp").unwrap();
-        let leaves = vec![Primitive::SingleEdge(tcp), Primitive::SingleEdge(udp)];
+        let leaves = [Primitive::SingleEdge(tcp), Primitive::SingleEdge(udp)];
         let d = est.expected_selectivity(leaves.iter());
         assert_eq!(d.leaf_selectivities.len(), 2);
         assert!((d.expected - 0.9 * 0.1).abs() < 1e-12);
@@ -202,8 +202,8 @@ mod tests {
             tcp,
             Direction::Outgoing,
         ));
-        let single_leaves = vec![Primitive::SingleEdge(tcp), Primitive::SingleEdge(udp)];
-        let path_leaves = vec![wedge, Primitive::SingleEdge(udp)];
+        let single_leaves = [Primitive::SingleEdge(tcp), Primitive::SingleEdge(udp)];
+        let path_leaves = [wedge, Primitive::SingleEdge(udp)];
         let xi = est.relative_selectivity(path_leaves.iter(), single_leaves.iter());
         assert!(xi.is_finite());
         assert!(xi > 0.0);

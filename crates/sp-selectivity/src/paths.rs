@@ -183,12 +183,7 @@ mod tests {
         // incident edge, so no other wedges.
         assert_eq!(c.total(), 10);
         let tcp = g.schema().edge_type("tcp").unwrap();
-        let sig = TwoEdgePathCounter::signature(
-            tcp,
-            Direction::Outgoing,
-            tcp,
-            Direction::Outgoing,
-        );
+        let sig = TwoEdgePathCounter::signature(tcp, Direction::Outgoing, tcp, Direction::Outgoing);
         assert_eq!(c.count(&sig), 10);
         assert_eq!(c.num_signatures(), 1);
     }
@@ -208,20 +203,11 @@ mod tests {
         g.add_edge(b, c, udp, Timestamp(2));
         let counter = TwoEdgePathCounter::from_graph(&g);
         assert_eq!(counter.total(), 1);
-        let sig = TwoEdgePathCounter::signature(
-            tcp,
-            Direction::Incoming,
-            udp,
-            Direction::Outgoing,
-        );
+        let sig = TwoEdgePathCounter::signature(tcp, Direction::Incoming, udp, Direction::Outgoing);
         assert_eq!(counter.count(&sig), 1);
         // The out-out variant was never observed.
-        let other = TwoEdgePathCounter::signature(
-            tcp,
-            Direction::Outgoing,
-            udp,
-            Direction::Outgoing,
-        );
+        let other =
+            TwoEdgePathCounter::signature(tcp, Direction::Outgoing, udp, Direction::Outgoing);
         assert_eq!(counter.count(&other), 0);
     }
 
@@ -229,14 +215,18 @@ mod tests {
     fn incremental_matches_batch_on_random_like_graph() {
         let mut schema = Schema::new();
         let vt = schema.intern_vertex_type("v");
-        let types: Vec<EdgeType> = (0..3).map(|i| schema.intern_edge_type(&format!("t{i}"))).collect();
+        let types: Vec<EdgeType> = (0..3)
+            .map(|i| schema.intern_edge_type(&format!("t{i}")))
+            .collect();
         let mut g = DynamicGraph::new(schema);
         let vs: Vec<VertexId> = (0..8).map(|_| g.add_vertex(vt)).collect();
         let mut incremental = TwoEdgePathCounter::new();
         // A deterministic pseudo-random edge pattern.
         let mut x: u64 = 7;
         for i in 0..60u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let s = vs[(x >> 33) as usize % vs.len()];
             let mut y = x ^ (i << 7);
             y = y.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
@@ -261,19 +251,11 @@ mod tests {
         let g = star_graph(3);
         let c = TwoEdgePathCounter::from_graph(&g);
         let tcp = g.schema().edge_type("tcp").unwrap();
-        let seen = TwoEdgePathCounter::signature(
-            tcp,
-            Direction::Outgoing,
-            tcp,
-            Direction::Outgoing,
-        );
+        let seen =
+            TwoEdgePathCounter::signature(tcp, Direction::Outgoing, tcp, Direction::Outgoing);
         assert!((c.selectivity(&seen) - 1.0).abs() < 1e-12);
-        let unseen = TwoEdgePathCounter::signature(
-            tcp,
-            Direction::Incoming,
-            tcp,
-            Direction::Incoming,
-        );
+        let unseen =
+            TwoEdgePathCounter::signature(tcp, Direction::Incoming, tcp, Direction::Incoming);
         assert!(c.selectivity(&unseen) > 0.0);
         assert!(c.selectivity(&unseen) < 1.0);
     }

@@ -147,7 +147,11 @@ mod tests {
         let mut t = EdgeDistributionTimeline::new(100);
         for i in 0..1000u32 {
             // Always 9:1 ratio between type 0 and type 1.
-            let ty = if i % 10 == 0 { EdgeType(1) } else { EdgeType(0) };
+            let ty = if i % 10 == 0 {
+                EdgeType(1)
+            } else {
+                EdgeType(0)
+            };
             t.observe(ty);
         }
         assert!((t.rank_stability() - 1.0).abs() < 1e-12);
@@ -159,11 +163,19 @@ mod tests {
         // First half dominated by type 0, second half by type 1 (like the
         // LSBench phase shift).
         for i in 0..400u32 {
-            let ty = if i % 10 == 0 { EdgeType(1) } else { EdgeType(0) };
+            let ty = if i % 10 == 0 {
+                EdgeType(1)
+            } else {
+                EdgeType(0)
+            };
             t.observe(ty);
         }
         for i in 0..400u32 {
-            let ty = if i % 10 == 0 { EdgeType(0) } else { EdgeType(1) };
+            let ty = if i % 10 == 0 {
+                EdgeType(0)
+            } else {
+                EdgeType(1)
+            };
             t.observe(ty);
         }
         let s = t.rank_stability();

@@ -43,7 +43,12 @@ impl CostModel {
     ///   which scales the cost of searching for a 2-edge leaf;
     /// * `stream_len` is the number of edges the statistics were collected
     ///   over (`N` in Appendix A).
-    pub fn build(tree: &SjTree, estimator: &SelectivityEstimator, avg_degree: f64, stream_len: u64) -> Self {
+    pub fn build(
+        tree: &SjTree,
+        estimator: &SelectivityEstimator,
+        avg_degree: f64,
+        stream_len: u64,
+    ) -> Self {
         let n = stream_len.max(1) as f64;
         let mut node_frequency = vec![0.0_f64; tree.num_nodes()];
 
@@ -134,7 +139,12 @@ mod tests {
         g.add_edge(nodes[49], nodes[0], esp, Timestamp(100));
         let stats = g.degree_stats();
         let len = g.num_edges() as u64;
-        (schema, SelectivityEstimator::from_graph(&g), stats.average_degree, len)
+        (
+            schema,
+            SelectivityEstimator::from_graph(&g),
+            stats.average_degree,
+            len,
+        )
     }
 
     fn two_edge_query(schema: &Schema) -> QueryGraph {
@@ -218,6 +228,6 @@ mod tests {
         assert!(CostModel::worth_decomposing(100.0, 90.0, 2.0, 3));
         // Whole subgraph vastly rarer than the part -> searching for the
         // whole directly is fine.
-        assert!(!CostModel::worth_decomposing(100.0, 100_000_0.0, 2.0, 3));
+        assert!(!CostModel::worth_decomposing(100.0, 1_000_000.0, 2.0, 3));
     }
 }

@@ -146,10 +146,13 @@ fn select_candidate(
                 if estimator.is_unseen(&primitive) {
                     continue;
                 }
-                consider(&mut best, Candidate {
-                    edges: vec![a, b],
-                    frequency: estimator.frequency(&primitive),
-                });
+                consider(
+                    &mut best,
+                    Candidate {
+                        edges: vec![a, b],
+                        frequency: estimator.frequency(&primitive),
+                    },
+                );
             }
         }
     }
@@ -162,10 +165,13 @@ fn select_candidate(
                 continue;
             }
             let primitive = query.edge_primitive(e);
-            consider(&mut best, Candidate {
-                edges: vec![e],
-                frequency: estimator.frequency(&primitive),
-            });
+            consider(
+                &mut best,
+                Candidate {
+                    edges: vec![e],
+                    frequency: estimator.frequency(&primitive),
+                },
+            );
         }
     }
 
@@ -174,10 +180,13 @@ fn select_candidate(
     if best.is_none() {
         for &e in remaining.iter() {
             let primitive = query.edge_primitive(e);
-            consider(&mut best, Candidate {
-                edges: vec![e],
-                frequency: estimator.frequency(&primitive),
-            });
+            consider(
+                &mut best,
+                Candidate {
+                    edges: vec![e],
+                    frequency: estimator.frequency(&primitive),
+                },
+            );
         }
     }
 
@@ -257,7 +266,10 @@ mod tests {
         // First leaf must be the esp edge (rarest).
         let first = tree.subgraph(tree.leaf(0));
         let prim = first.primitive(tree.query()).unwrap();
-        assert_eq!(prim, Primitive::SingleEdge(schema.edge_type("esp").unwrap()));
+        assert_eq!(
+            prim,
+            Primitive::SingleEdge(schema.edge_type("esp").unwrap())
+        );
         // All leaves are single edges.
         for sg in tree.leaf_subgraphs() {
             assert_eq!(sg.num_edges(), 1);

@@ -96,12 +96,8 @@ impl MatchStore {
             }
             return;
         }
-        let parent = tree
-            .parent(node)
-            .expect("non-root node has a parent");
-        let sibling = tree
-            .sibling(node)
-            .expect("non-root node has a sibling");
+        let parent = tree.parent(node).expect("non-root node has a parent");
+        let sibling = tree.sibling(node).expect("non-root node has a sibling");
         let cut = &tree.node(parent).cut_vertices;
         let Some(key) = m.project_vertices(cut) else {
             // The match does not bind all cut vertices; this cannot happen
@@ -111,8 +107,7 @@ impl MatchStore {
         };
 
         // Deduplicate.
-        if self
-            .tables[node.0]
+        if self.tables[node.0]
             .get(&key)
             .is_some_and(|bucket| bucket.contains(&m))
         {
@@ -261,9 +256,21 @@ mod tests {
         let tree = two_leaf_tree();
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 1),
+            None,
+            &mut complete,
+        );
         assert!(complete.is_empty());
-        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 2), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(11, 12, 101, 2),
+            None,
+            &mut complete,
+        );
         assert_eq!(complete.len(), 1);
         assert_eq!(complete[0].num_edges(), 2);
         assert_eq!(
@@ -277,9 +284,21 @@ mod tests {
         let tree = two_leaf_tree();
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 1),
+            None,
+            &mut complete,
+        );
         // leaf-1 match whose v1 binding (20) differs from the stored 11.
-        store.insert(&tree, tree.leaf(1), leaf1_match(20, 21, 101, 2), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(20, 21, 101, 2),
+            None,
+            &mut complete,
+        );
         assert!(complete.is_empty());
         assert_eq!(store.live_matches(tree.leaf(0)), 1);
         assert_eq!(store.live_matches(tree.leaf(1)), 1);
@@ -290,9 +309,21 @@ mod tests {
         let tree = two_leaf_tree();
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 2), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(11, 12, 101, 2),
+            None,
+            &mut complete,
+        );
         assert!(complete.is_empty());
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 1),
+            None,
+            &mut complete,
+        );
         assert_eq!(complete.len(), 1);
     }
 
@@ -301,12 +332,30 @@ mod tests {
         let tree = two_leaf_tree();
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 0), Some(50), &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 0),
+            Some(50),
+            &mut complete,
+        );
         // Second edge arrives 100 ticks later: τ = 100 ≥ 50, rejected.
-        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 100), Some(50), &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(11, 12, 101, 100),
+            Some(50),
+            &mut complete,
+        );
         assert!(complete.is_empty());
         // Within the window it is accepted.
-        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 102, 30), Some(50), &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(11, 12, 102, 30),
+            Some(50),
+            &mut complete,
+        );
         assert_eq!(complete.len(), 1);
     }
 
@@ -315,11 +364,33 @@ mod tests {
         let tree = two_leaf_tree();
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 1),
+            None,
+            &mut complete,
+        );
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 1),
+            None,
+            &mut complete,
+        );
         assert_eq!(store.live_matches(tree.leaf(0)), 1);
-        store.insert(&tree, tree.leaf(1), leaf1_match(11, 12, 101, 2), None, &mut complete);
-        assert_eq!(complete.len(), 1, "duplicate leaf matches must not double-report");
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(11, 12, 101, 2),
+            None,
+            &mut complete,
+        );
+        assert_eq!(
+            complete.len(),
+            1,
+            "duplicate leaf matches must not double-report"
+        );
     }
 
     #[test]
@@ -329,9 +400,21 @@ mod tests {
         let mut complete = Vec::new();
         // Three leaf-1 matches sharing the cut vertex 11.
         for (i, c) in [(0u64, 12u64), (1, 13), (2, 14)] {
-            store.insert(&tree, tree.leaf(1), leaf1_match(11, c, 200 + i, 2), None, &mut complete);
+            store.insert(
+                &tree,
+                tree.leaf(1),
+                leaf1_match(11, c, 200 + i, 2),
+                None,
+                &mut complete,
+            );
         }
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 1),
+            None,
+            &mut complete,
+        );
         assert_eq!(complete.len(), 3);
     }
 
@@ -341,10 +424,17 @@ mod tests {
         let a = q.add_any_vertex();
         let b = q.add_any_vertex();
         q.add_edge(a, b, EdgeType(0));
-        let tree = SjTree::from_leaves(q.clone(), vec![QuerySubgraph::from_edges(&q, q.edge_ids())]);
+        let tree =
+            SjTree::from_leaves(q.clone(), vec![QuerySubgraph::from_edges(&q, q.edge_ids())]);
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.root(), leaf0_match(1, 2, 3, 0), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.root(),
+            leaf0_match(1, 2, 3, 0),
+            None,
+            &mut complete,
+        );
         assert_eq!(complete.len(), 1);
         assert_eq!(store.stats().total_live_matches, 0);
     }
@@ -387,8 +477,20 @@ mod tests {
         let tree = two_leaf_tree();
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 5), None, &mut complete);
-        store.insert(&tree, tree.leaf(0), leaf0_match(20, 21, 101, 90), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 5),
+            None,
+            &mut complete,
+        );
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(20, 21, 101, 90),
+            None,
+            &mut complete,
+        );
         assert_eq!(store.stats().total_live_matches, 2);
         let removed = store.purge_expired(Timestamp(100), 50);
         assert_eq!(removed, 1);
@@ -426,7 +528,13 @@ mod tests {
         let tree = two_leaf_tree();
         let mut store = MatchStore::new(&tree);
         let mut complete = Vec::new();
-        store.insert(&tree, tree.leaf(0), leaf0_match(10, 11, 100, 1), None, &mut complete);
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 100, 1),
+            None,
+            &mut complete,
+        );
         let stats = store.stats();
         assert_eq!(stats.total_live_matches, 1);
         assert_eq!(stats.live_matches_per_node[tree.leaf(0).0], 1);

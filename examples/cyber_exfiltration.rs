@@ -23,7 +23,7 @@
 use sp_datasets::NetflowConfig;
 use sp_graph::{EdgeEvent, Timestamp};
 use sp_query::QueryGraph;
-use streampattern::{choose_strategy, ContinuousQueryEngine, StreamProcessor, Strategy};
+use streampattern::{choose_strategy, ContinuousQueryEngine, Strategy, StreamProcessor};
 
 fn main() {
     // Background traffic.
@@ -71,8 +71,12 @@ fn main() {
 
     // Statistics from the first 20% of the stream drive strategy selection.
     let estimator = dataset.estimator_from_prefix(dataset.len() / 5);
-    let choice = choose_strategy(&query, &estimator, streampattern::RELATIVE_SELECTIVITY_THRESHOLD)
-        .expect("query decomposes");
+    let choice = choose_strategy(
+        &query,
+        &estimator,
+        streampattern::RELATIVE_SELECTIVITY_THRESHOLD,
+    )
+    .expect("query decomposes");
     println!(
         "relative selectivity = {:.3e} -> chosen strategy: {}",
         choice.relative_selectivity, choice.strategy
@@ -84,19 +88,18 @@ fn main() {
     for strategy in [choice.strategy, Strategy::Single] {
         let engine = ContinuousQueryEngine::new(query.clone(), strategy, &estimator, Some(50_000))
             .expect("engine builds");
-        let mut proc = StreamProcessor::new(schema.clone(), engine);
+        let mut proc = StreamProcessor::with_engine(schema.clone(), engine).with_statistics(false);
         let start = std::time::Instant::now();
         let mut detected = 0u64;
         for ev in &events {
-            let matches = proc.process(ev);
-            for m in &matches {
+            for (_, m) in proc.process(ev) {
                 detected += 1;
                 let a = m.vertex_pairs().next().map(|(_, d)| d.0).unwrap_or(0);
                 println!("  [{strategy}] detected exfiltration rooted at host {a}");
             }
         }
         let elapsed = start.elapsed();
-        reports.push((strategy, detected, elapsed, proc.profile().clone()));
+        reports.push((strategy, detected, elapsed, proc.profile()));
     }
 
     println!("\n=== summary ===");

@@ -11,8 +11,7 @@
 
 use sp_graph::{EdgeEvent, Schema, Timestamp};
 use sp_query::QueryGraph;
-use sp_selectivity::SelectivityEstimator;
-use streampattern::{ContinuousQueryEngine, StreamProcessor, Strategy};
+use streampattern::{Strategy, StreamProcessor};
 
 fn main() {
     // 1. A schema shared by the stream and the query.
@@ -30,17 +29,24 @@ fn main() {
     query.add_edge(y, z, tcp);
     println!("{}", query.describe(&schema));
 
-    // 3. Build the engine. With no stream statistics yet the decomposition
-    //    falls back to a neutral ordering; see the `strategy_selection`
-    //    example for statistics-driven strategy choice.
-    let estimator = SelectivityEstimator::new();
-    let engine = ContinuousQueryEngine::new(query, Strategy::SingleLazy, &estimator, Some(1_000))
+    // 3. Build the processor and register the query. With no stream
+    //    statistics yet the decomposition falls back to a neutral ordering;
+    //    see the `strategy_selection` example for statistics-driven strategy
+    //    choice, and `multi_pattern_monitor` for several queries sharing one
+    //    processor.
+    let mut processor = StreamProcessor::new(schema.clone());
+    let qid = processor
+        .register(query, Strategy::SingleLazy, Some(1_000))
         .expect("query is valid");
     println!(
-        "SJ-Tree decomposition:\n{}",
-        engine.tree().expect("SJ-Tree strategy").describe(&schema)
+        "registered as {qid}; SJ-Tree decomposition:\n{}",
+        processor
+            .engine_for(qid)
+            .unwrap()
+            .tree()
+            .expect("SJ-Tree strategy")
+            .describe(&schema)
     );
-    let mut processor = StreamProcessor::new(schema, engine);
 
     // 4. Stream a handful of edges. Host ids are plain integers.
     let stream = [
@@ -52,14 +58,10 @@ fn main() {
     ];
 
     for event in &stream {
-        let matches = processor.process(event);
-        for m in matches {
-            let pairs: Vec<String> = m
-                .vertex_pairs()
-                .map(|(q, d)| format!("{q}->{d}"))
-                .collect();
+        for (query_id, m) in processor.process(event) {
+            let pairs: Vec<String> = m.vertex_pairs().map(|(q, d)| format!("{q}->{d}")).collect();
             println!(
-                "MATCH at t={}: {{{}}} (span {} ticks)",
+                "MATCH for {query_id} at t={}: {{{}}} (span {} ticks)",
                 event.timestamp,
                 pairs.join(", "),
                 m.duration()
@@ -67,11 +69,12 @@ fn main() {
         }
     }
 
+    let profile = processor.profile();
     println!(
         "\nprocessed {} edges, found {} matches, {} subgraph-iso searches ({} skipped by lazy search)",
-        processor.profile().edges_processed,
+        profile.edges_processed,
         processor.total_matches(),
-        processor.profile().iso_searches,
-        processor.profile().searches_skipped,
+        profile.iso_searches,
+        profile.searches_skipped,
     );
 }

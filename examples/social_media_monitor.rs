@@ -48,8 +48,12 @@ fn main() {
 
     // Statistics from the static half of the stream.
     let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
-    let choice = choose_strategy(&query, &estimator, streampattern::RELATIVE_SELECTIVITY_THRESHOLD)
-        .expect("query decomposes");
+    let choice = choose_strategy(
+        &query,
+        &estimator,
+        streampattern::RELATIVE_SELECTIVITY_THRESHOLD,
+    )
+    .expect("query decomposes");
     println!(
         "expected selectivity: single={:.3e} path={:.3e} -> strategy {}",
         choice.expected_single, choice.expected_path, choice.strategy
@@ -61,12 +65,12 @@ fn main() {
         "decomposition:\n{}",
         engine.tree().expect("SJ-Tree strategy").describe(&schema)
     );
-    let mut proc = StreamProcessor::new(schema.clone(), engine);
+    let mut proc = StreamProcessor::with_engine(schema.clone(), engine).with_statistics(false);
 
     let start = std::time::Instant::now();
     let mut alerts = 0u64;
     for ev in dataset.events() {
-        for m in proc.process(ev) {
+        for (_, m) in proc.process(ev) {
             alerts += 1;
             if alerts <= 10 {
                 let who: Vec<String> = m

@@ -12,7 +12,7 @@
 
 use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind};
 use streampattern::{
-    choose_strategy, ContinuousQueryEngine, StreamProcessor, Strategy,
+    choose_strategy, ContinuousQueryEngine, Strategy, StreamProcessor,
     RELATIVE_SELECTIVITY_THRESHOLD,
 };
 
@@ -25,11 +25,8 @@ fn main() {
     .generate();
     let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
 
-    let mut generator = QueryGenerator::new(
-        dataset.schema.clone(),
-        dataset.valid_triples.clone(),
-        2026,
-    );
+    let mut generator =
+        QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 2026);
     let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 12, &estimator);
     println!(
         "generated {} valid 4-edge path queries (unseen-wedge queries dropped)\n",
@@ -51,7 +48,8 @@ fn main() {
             let engine =
                 ContinuousQueryEngine::new(query.clone(), strategy, &estimator, Some(1_000_000))
                     .expect("engine builds");
-            let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+            let mut proc =
+                StreamProcessor::with_engine(dataset.schema.clone(), engine).with_statistics(false);
             let start = std::time::Instant::now();
             proc.process_all(dataset.events().iter());
             timings.push((strategy, start.elapsed()));
@@ -92,7 +90,5 @@ fn main() {
             fastest
         );
     }
-    println!(
-        "\nthe ξ-rule picked the faster lazy variant for {rule_hits}/{evaluated} queries"
-    );
+    println!("\nthe ξ-rule picked the faster lazy variant for {rule_hits}/{evaluated} queries");
 }

@@ -4,7 +4,7 @@
 use sp_datasets::{LsbenchConfig, NetflowConfig};
 use sp_graph::{EdgeEvent, Timestamp};
 use sp_query::QueryGraph;
-use streampattern::{ContinuousQueryEngine, Schema, StreamProcessor, Strategy};
+use streampattern::{ContinuousQueryEngine, Schema, Strategy, StreamProcessor};
 
 /// Builds the Figure-1c exfiltration query over the netflow schema.
 fn exfiltration_query(schema: &Schema) -> QueryGraph {
@@ -64,7 +64,7 @@ fn injected_attacks_are_detected_by_every_strategy() {
     for strategy in Strategy::SJ_TREE {
         let engine = ContinuousQueryEngine::new(query.clone(), strategy, &estimator, None)
             .expect("engine builds");
-        let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+        let mut proc = StreamProcessor::with_engine(dataset.schema.clone(), engine);
         let found = proc.process_all(events.iter());
         counts.push((strategy, found));
     }
@@ -106,13 +106,16 @@ fn cyclic_query_is_supported_end_to_end() {
     for strategy in Strategy::ALL {
         let engine = ContinuousQueryEngine::new(q.clone(), strategy, &estimator, None)
             .expect("engine builds");
-        let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+        let mut proc = StreamProcessor::with_engine(dataset.schema.clone(), engine);
         let found = proc.process_all(dataset.events().iter());
         results.push((strategy, found));
     }
     let reference = results[0].1;
     for (strategy, found) in &results {
-        assert_eq!(*found, reference, "{strategy} disagrees on the cyclic query");
+        assert_eq!(
+            *found, reference,
+            "{strategy} disagrees on the cyclic query"
+        );
     }
 }
 
@@ -122,7 +125,7 @@ fn profile_counters_reflect_the_workload() {
     let estimator = dataset.estimator_from_prefix(dataset.len());
     let query = exfiltration_query(&dataset.schema);
     let engine = ContinuousQueryEngine::new(query, Strategy::PathLazy, &estimator, None).unwrap();
-    let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+    let mut proc = StreamProcessor::with_engine(dataset.schema.clone(), engine);
     proc.process_all(dataset.events().iter());
     let p = proc.profile();
     assert_eq!(p.edges_processed, dataset.len() as u64);
@@ -153,8 +156,8 @@ fn persisted_sjtree_produces_identical_results() {
     let tree = streampattern::SjTree::from_json(&json).unwrap();
     let restored = ContinuousQueryEngine::from_tree(tree, true, None).unwrap();
 
-    let mut a = StreamProcessor::new(dataset.schema.clone(), engine);
-    let mut b = StreamProcessor::new(dataset.schema.clone(), restored);
+    let mut a = StreamProcessor::with_engine(dataset.schema.clone(), engine);
+    let mut b = StreamProcessor::with_engine(dataset.schema.clone(), restored);
     let found_a = a.process_all(dataset.events().iter());
     let found_b = b.process_all(dataset.events().iter());
     assert_eq!(found_a, found_b);
@@ -179,9 +182,8 @@ fn multi_edge_streams_are_handled() {
 
     let estimator = dataset.estimator_from_prefix(dataset.len());
     for strategy in Strategy::ALL {
-        let engine =
-            ContinuousQueryEngine::new(q.clone(), strategy, &estimator, None).unwrap();
-        let mut proc = StreamProcessor::new(schema.clone(), engine);
+        let engine = ContinuousQueryEngine::new(q.clone(), strategy, &estimator, None).unwrap();
+        let mut proc = StreamProcessor::with_engine(schema.clone(), engine);
         // 1 esp edge followed by 3 parallel tcp edges: 3 distinct matches.
         let events = [
             EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)),

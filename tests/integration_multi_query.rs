@@ -1,0 +1,293 @@
+//! Multi-query behavior of the shared-graph [`StreamProcessor`]: edge-type
+//! dispatch provably skips unrelated engines, windows are per query over one
+//! shared graph, queries can be deregistered mid-stream, and the shared
+//! execution reports exactly what independent single-query processors would.
+
+use sp_datasets::NetflowConfig;
+use sp_graph::{EdgeEvent, Timestamp};
+use sp_query::QueryGraph;
+use streampattern::{ContinuousQueryEngine, Schema, Strategy, StreamProcessor};
+
+/// x -[a]-> y -[b]-> z
+fn two_hop(schema: &Schema, name: &str, a: &str, b: &str) -> QueryGraph {
+    let ta = schema.edge_type(a).unwrap();
+    let tb = schema.edge_type(b).unwrap();
+    let mut q = QueryGraph::new(name);
+    let x = q.add_any_vertex();
+    let y = q.add_any_vertex();
+    let z = q.add_any_vertex();
+    q.add_edge(x, y, ta);
+    q.add_edge(y, z, tb);
+    q
+}
+
+#[test]
+fn dispatch_index_skips_engines_with_disjoint_edge_types() {
+    let mut schema = Schema::new();
+    let ip = schema.intern_vertex_type("ip");
+    let tcp = schema.intern_edge_type("TCP");
+    let esp = schema.intern_edge_type("ESP");
+    let udp = schema.intern_edge_type("UDP");
+    let icmp = schema.intern_edge_type("ICMP");
+
+    let mut proc = StreamProcessor::new(schema.clone());
+    // Two queries with disjoint edge-type sets.
+    let q_tcp_esp = proc
+        .register(
+            two_hop(&schema, "tcp-esp", "TCP", "ESP"),
+            Strategy::SingleLazy,
+            None,
+        )
+        .unwrap();
+    let q_udp_icmp = proc
+        .register(
+            two_hop(&schema, "udp-icmp", "UDP", "ICMP"),
+            Strategy::SingleLazy,
+            None,
+        )
+        .unwrap();
+
+    let events = [
+        EdgeEvent::homogeneous(1, 2, ip, tcp, Timestamp(1)),
+        EdgeEvent::homogeneous(2, 3, ip, esp, Timestamp(2)), // completes tcp-esp
+        EdgeEvent::homogeneous(10, 11, ip, udp, Timestamp(3)),
+        EdgeEvent::homogeneous(20, 21, ip, tcp, Timestamp(4)),
+        EdgeEvent::homogeneous(11, 12, ip, icmp, Timestamp(5)), // completes udp-icmp
+    ];
+    let mut per_query = vec![0u64; 2];
+    for ev in &events {
+        for (qid, _) in proc.process(ev) {
+            if qid == q_tcp_esp {
+                per_query[0] += 1;
+            } else {
+                per_query[1] += 1;
+            }
+        }
+    }
+    assert_eq!(per_query, vec![1, 1]);
+
+    // The dispatch index provably skipped the other engine: each engine's
+    // own counter saw only its types (3 tcp/esp edges, 2 udp/icmp edges),
+    // while the processor ingested all 5 into the one shared graph.
+    assert_eq!(proc.profile_for(q_tcp_esp).unwrap().edges_processed, 3);
+    assert_eq!(proc.profile_for(q_udp_icmp).unwrap().edges_processed, 2);
+    assert_eq!(proc.profile().edges_processed, 5);
+    assert_eq!(proc.graph().num_edges(), 5);
+}
+
+#[test]
+fn per_query_windows_share_one_graph() {
+    let mut schema = Schema::new();
+    let ip = schema.intern_vertex_type("ip");
+    let tcp = schema.intern_edge_type("TCP");
+    let esp = schema.intern_edge_type("ESP");
+
+    let mut proc = StreamProcessor::new(schema.clone()).with_purge_interval(1);
+    let query = two_hop(&schema, "tcp-esp", "TCP", "ESP");
+    let narrow = proc
+        .register(query.clone(), Strategy::Single, Some(10))
+        .unwrap();
+    let wide = proc.register(query, Strategy::Single, Some(1_000)).unwrap();
+
+    // Instance 1 completes in 5 ticks (inside both windows); instance 2
+    // takes 100 ticks (only inside the wide window).
+    let events = [
+        EdgeEvent::homogeneous(1, 2, ip, tcp, Timestamp(0)),
+        EdgeEvent::homogeneous(2, 3, ip, esp, Timestamp(5)),
+        EdgeEvent::homogeneous(10, 11, ip, tcp, Timestamp(200)),
+        EdgeEvent::homogeneous(11, 12, ip, esp, Timestamp(300)),
+    ];
+    let mut narrow_found = 0u64;
+    let mut wide_found = 0u64;
+    for ev in &events {
+        for (qid, m) in proc.process(ev) {
+            if qid == narrow {
+                narrow_found += 1;
+                assert!(m.duration() < 10);
+            } else {
+                wide_found += 1;
+                assert!(m.duration() < 1_000);
+            }
+        }
+    }
+    assert_eq!(
+        narrow_found, 1,
+        "narrow window must reject the slow instance"
+    );
+    assert_eq!(wide_found, 2, "wide window sees both instances");
+
+    // Graph retention follows the *largest* registered window: the edges at
+    // t=0/5 are still live relative to t=300 under tW=1000, even though the
+    // narrow query has long forgotten them.
+    assert_eq!(proc.graph().num_edges(), 4);
+    assert_eq!(proc.graph().window(), Some(1_000));
+
+    // Dropping the wide query shrinks retention to the narrow window.
+    proc.deregister(wide);
+    assert_eq!(proc.graph().window(), Some(10));
+}
+
+#[test]
+fn deregistration_mid_stream_stops_one_query_only() {
+    let dataset = NetflowConfig {
+        num_hosts: 300,
+        num_edges: 2_000,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
+    let q_a = two_hop(&schema, "tcp-esp", "TCP", "ESP");
+    let q_b = two_hop(&schema, "udp-gre", "UDP", "GRE");
+    let half = dataset.len() / 2;
+
+    // Shared processor: deregister query A halfway through the stream.
+    let mut proc = StreamProcessor::new(schema.clone())
+        .with_estimator(estimator.clone())
+        .with_statistics(false);
+    let a_id = proc
+        .register(q_a.clone(), Strategy::SingleLazy, None)
+        .unwrap();
+    let b_id = proc
+        .register(q_b.clone(), Strategy::SingleLazy, None)
+        .unwrap();
+    let mut a_found = 0u64;
+    let mut b_found = 0u64;
+    for (i, ev) in dataset.events().iter().enumerate() {
+        if i == half {
+            let engine = proc.deregister(a_id).expect("a registered");
+            assert!(engine.profile().edges_processed > 0);
+        }
+        for (qid, _) in proc.process(ev) {
+            if qid == a_id {
+                a_found += 1;
+            } else {
+                assert_eq!(qid, b_id);
+                b_found += 1;
+            }
+        }
+    }
+    assert_eq!(proc.num_queries(), 1);
+
+    // Reference runs: A over the first half only, B over the whole stream.
+    let ref_a = {
+        let engine =
+            ContinuousQueryEngine::new(q_a, Strategy::SingleLazy, &estimator, None).unwrap();
+        let mut p = StreamProcessor::with_engine(schema.clone(), engine).with_statistics(false);
+        p.process_all(dataset.events()[..half].iter())
+    };
+    let ref_b = {
+        let engine =
+            ContinuousQueryEngine::new(q_b, Strategy::SingleLazy, &estimator, None).unwrap();
+        let mut p = StreamProcessor::with_engine(schema, engine).with_statistics(false);
+        p.process_all(dataset.events().iter())
+    };
+    assert_eq!(
+        a_found, ref_a,
+        "query A must stop exactly at deregistration"
+    );
+    assert_eq!(b_found, ref_b, "query B must be unaffected by A's removal");
+}
+
+#[test]
+fn shared_graph_equals_independent_processors() {
+    let dataset = NetflowConfig {
+        num_hosts: 300,
+        num_edges: 3_000,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
+    let queries = [
+        two_hop(&schema, "tcp-esp", "TCP", "ESP"),
+        two_hop(&schema, "udp-udp", "UDP", "UDP"),
+        two_hop(&schema, "icmp-tcp", "ICMP", "TCP"),
+    ];
+
+    // One shared processor for all three queries.
+    let mut shared = StreamProcessor::new(schema.clone())
+        .with_estimator(estimator.clone())
+        .with_statistics(false);
+    let ids: Vec<_> = queries
+        .iter()
+        .map(|q| {
+            shared
+                .register(q.clone(), Strategy::SingleLazy, Some(5_000))
+                .unwrap()
+        })
+        .collect();
+    let mut shared_counts = vec![0u64; queries.len()];
+    for ev in dataset.events() {
+        for (qid, _) in shared.process(ev) {
+            let slot = ids.iter().position(|&i| i == qid).unwrap();
+            shared_counts[slot] += 1;
+        }
+    }
+
+    // Independent single-query processors, each with its own graph copy.
+    for (slot, query) in queries.iter().enumerate() {
+        let engine = ContinuousQueryEngine::new(
+            query.clone(),
+            Strategy::SingleLazy,
+            &estimator,
+            Some(5_000),
+        )
+        .unwrap();
+        let mut p = StreamProcessor::with_engine(schema.clone(), engine).with_statistics(false);
+        let found = p.process_all(dataset.events().iter());
+        assert_eq!(
+            shared_counts[slot],
+            found,
+            "shared execution disagrees with the independent run of {}",
+            query.name()
+        );
+    }
+
+    // All three queries really did share one graph.
+    assert_eq!(shared.num_queries(), 3);
+    assert!(shared.graph().num_edges() > 0);
+}
+
+#[test]
+fn estimator_feeds_auto_registration_mid_stream() {
+    let dataset = NetflowConfig {
+        num_hosts: 200,
+        num_edges: 1_500,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    // Statistics collection on (the default): the processor learns the
+    // stream's distribution while processing.
+    let mut proc = StreamProcessor::new(schema.clone());
+    let half = dataset.len() / 2;
+    for ev in &dataset.events()[..half] {
+        proc.process(ev);
+    }
+    assert_eq!(proc.estimator().num_edges_observed(), half as u64);
+    // Register a query mid-stream with Auto strategy, driven by the live
+    // statistics; it starts matching from here on.
+    let qid = proc
+        .register(
+            two_hop(&schema, "tcp-esp", "TCP", "ESP"),
+            streampattern::StrategySpec::Auto,
+            None,
+        )
+        .unwrap();
+    assert!(proc.engine_for(qid).unwrap().strategy().is_lazy());
+    for ev in &dataset.events()[half..] {
+        proc.process(ev);
+    }
+    assert_eq!(
+        proc.profile_for(qid).unwrap().edges_processed as usize,
+        dataset.events()[half..]
+            .iter()
+            .filter(|e| {
+                let t = schema.edge_type("TCP").unwrap();
+                let s = schema.edge_type("ESP").unwrap();
+                e.edge_type == t || e.edge_type == s
+            })
+            .count()
+    );
+}

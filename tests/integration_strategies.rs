@@ -4,11 +4,11 @@
 //! selector returns one of the lazy strategies.
 
 use sp_datasets::{NetflowConfig, QueryGenerator, QueryKind};
+use std::collections::HashSet;
 use streampattern::{
-    choose_strategy, ContinuousQueryEngine, StreamProcessor, Strategy,
+    choose_strategy, ContinuousQueryEngine, Strategy, StreamProcessor,
     RELATIVE_SELECTIVITY_THRESHOLD,
 };
-use std::collections::HashSet;
 
 /// Runs one query with one strategy over the full stream and returns the set
 /// of reported matches as canonical (query edge, data edge) pair lists plus
@@ -21,10 +21,10 @@ fn run(
     let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
     let engine = ContinuousQueryEngine::new(query.clone(), strategy, &estimator, None)
         .expect("engine builds");
-    let mut proc = StreamProcessor::new(dataset.schema.clone(), engine);
+    let mut proc = StreamProcessor::with_engine(dataset.schema.clone(), engine);
     let mut found = HashSet::new();
     for ev in dataset.events() {
-        for m in proc.process(ev) {
+        for (_, m) in proc.process(ev) {
             let key: Vec<(usize, u64)> = m.edge_pairs().map(|(q, d)| (q.0, d.0)).collect();
             assert!(found.insert(key), "duplicate match reported by {strategy}");
         }
@@ -47,15 +47,15 @@ fn random_path_queries_agree_across_all_strategies() {
     let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
     let mut generator =
         QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 17);
-    let queries =
-        generator.generate_valid_batch(QueryKind::Path { length: 3 }, 4, &estimator);
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 3 }, 4, &estimator);
     assert!(!queries.is_empty());
     for query in &queries {
         let (reference, _) = run(&dataset, query, Strategy::Vf2Baseline);
         for strategy in Strategy::SJ_TREE {
             let (found, _) = run(&dataset, query, strategy);
             assert_eq!(
-                found, reference,
+                found,
+                reference,
                 "{strategy} disagrees with VF2 on {}",
                 query.name()
             );
@@ -86,8 +86,7 @@ fn lazy_strategies_do_less_search_work() {
     let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
     let mut generator =
         QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 31);
-    let queries =
-        generator.generate_valid_batch(QueryKind::Path { length: 4 }, 4, &estimator);
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 4, &estimator);
     for query in &queries {
         let (_, eager) = run(&dataset, query, Strategy::Single);
         let (_, lazy) = run(&dataset, query, Strategy::SingleLazy);
@@ -108,8 +107,7 @@ fn lazy_strategies_store_fewer_partial_matches() {
     let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
     let mut generator =
         QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 37);
-    let queries =
-        generator.generate_valid_batch(QueryKind::Path { length: 3 }, 4, &estimator);
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 3 }, 4, &estimator);
     for query in &queries {
         let (_, eager) = run(&dataset, query, Strategy::Single);
         let (_, lazy) = run(&dataset, query, Strategy::SingleLazy);
@@ -137,8 +135,7 @@ fn selector_picks_a_lazy_strategy_and_xi_is_in_range() {
     let estimator = dataset.estimator_from_prefix(dataset.len() / 2);
     let mut generator =
         QueryGenerator::new(dataset.schema.clone(), dataset.valid_triples.clone(), 41);
-    let queries =
-        generator.generate_valid_batch(QueryKind::Path { length: 4 }, 8, &estimator);
+    let queries = generator.generate_valid_batch(QueryKind::Path { length: 4 }, 8, &estimator);
     for query in &queries {
         let choice = choose_strategy(query, &estimator, RELATIVE_SELECTIVITY_THRESHOLD)
             .expect("query decomposes");

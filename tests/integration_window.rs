@@ -5,7 +5,9 @@
 use sp_datasets::NetflowConfig;
 use sp_graph::{EdgeEvent, Timestamp};
 use sp_query::QueryGraph;
-use streampattern::{ContinuousQueryEngine, Schema, SelectivityEstimator, StreamProcessor, Strategy};
+use streampattern::{
+    ContinuousQueryEngine, Schema, SelectivityEstimator, Strategy, StreamProcessor,
+};
 
 fn two_hop_query(schema: &Schema) -> QueryGraph {
     let esp = schema.edge_type("ESP").unwrap();
@@ -39,7 +41,7 @@ fn matches_slower_than_the_window_are_not_reported() {
     for strategy in Strategy::ALL {
         let engine =
             ContinuousQueryEngine::new(query.clone(), strategy, &estimator, Some(50)).unwrap();
-        let mut proc = StreamProcessor::new(schema.clone(), engine).with_purge_interval(1);
+        let mut proc = StreamProcessor::with_engine(schema.clone(), engine).with_purge_interval(1);
         let found = proc.process_all(events.iter());
         assert_eq!(found, 1, "strategy {strategy}");
     }
@@ -68,7 +70,7 @@ fn graph_stays_bounded_under_a_window() {
     let estimator = SelectivityEstimator::new();
     let engine =
         ContinuousQueryEngine::new(query, Strategy::SingleLazy, &estimator, Some(100)).unwrap();
-    let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(64);
+    let mut proc = StreamProcessor::with_engine(schema, engine).with_purge_interval(64);
 
     // 10 000 edges spread over 100 000 ticks: at any point only ~1% of them
     // fit in the window.
@@ -106,9 +108,8 @@ fn partial_matches_are_purged_with_the_window() {
         q
     };
     let estimator = SelectivityEstimator::new();
-    let engine =
-        ContinuousQueryEngine::new(query, Strategy::Single, &estimator, Some(50)).unwrap();
-    let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(16);
+    let engine = ContinuousQueryEngine::new(query, Strategy::Single, &estimator, Some(50)).unwrap();
+    let mut proc = StreamProcessor::with_engine(schema, engine).with_purge_interval(16);
 
     // Thousands of esp edges that never complete: without purging, the store
     // would grow linearly.
@@ -121,7 +122,10 @@ fn partial_matches_are_purged_with_the_window() {
         .store_stats()
         .expect("sj-tree strategy")
         .total_live_matches;
-    assert!(live < 100, "store kept {live} partial matches despite the window");
+    assert!(
+        live < 100,
+        "store kept {live} partial matches despite the window"
+    );
     assert!(proc.profile().partial_matches_purged > 4_000);
 
     // The engine still works after heavy purging.
@@ -155,7 +159,7 @@ fn window_equivalence_between_lazy_and_eager() {
         let engine =
             ContinuousQueryEngine::new(query.clone(), strategy, &estimator, window).unwrap();
         let mut proc =
-            StreamProcessor::new(dataset.schema.clone(), engine).with_purge_interval(128);
+            StreamProcessor::with_engine(dataset.schema.clone(), engine).with_purge_interval(128);
         totals.push((strategy, proc.process_all(dataset.events().iter())));
     }
     let reference = totals[0].1;

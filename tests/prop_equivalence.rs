@@ -1,18 +1,22 @@
-//! Property-based equivalence tests: on arbitrary small streams and
-//! arbitrary path queries, every strategy — including the non-incremental
-//! VF2 baseline — must report exactly the same set of matches, and the lazy
-//! variants must never do more isomorphism work than their eager
-//! counterparts.
+//! Randomized equivalence tests: on arbitrary small streams and arbitrary
+//! path queries, every strategy — including the non-incremental VF2 baseline
+//! — must report exactly the same set of matches, and the lazy variants must
+//! never do more isomorphism work than their eager counterparts.
+//!
+//! The workspace builds offline, so instead of `proptest` these tests draw
+//! scenarios from a seeded PRNG; failures print the scenario so a case can
+//! be replayed.
 
-use proptest::prelude::*;
-use proptest::strategy::Strategy as _;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use sp_graph::{EdgeEvent, EdgeType, Schema, Timestamp, VertexType};
 use sp_query::QueryGraph;
-use streampattern::{ContinuousQueryEngine, SelectivityEstimator, StreamProcessor, Strategy};
 use std::collections::HashSet;
+use streampattern::{ContinuousQueryEngine, SelectivityEstimator, Strategy, StreamProcessor};
 
 const NUM_EDGE_TYPES: u32 = 3;
 const NUM_VERTICES: u64 = 10;
+const CASES: u64 = 48;
 
 #[derive(Debug, Clone)]
 struct Scenario {
@@ -21,18 +25,38 @@ struct Scenario {
     window: Option<u64>,
 }
 
-fn scenario_strategy() -> impl proptest::strategy::Strategy<Value = Scenario> {
-    let edge = (0..NUM_VERTICES, 0..NUM_VERTICES, 0..NUM_EDGE_TYPES);
-    (
-        proptest::collection::vec(edge, 1..120),
-        proptest::collection::vec(0..NUM_EDGE_TYPES, 1..4),
-        proptest::option::of(5u64..200),
-    )
-        .prop_map(|(stream, query_types, window)| Scenario {
-            stream,
-            query_types,
-            window,
+fn random_scenario(rng: &mut SmallRng) -> Scenario {
+    let len = rng.gen_range(1usize..120);
+    let stream = (0..len)
+        .map(|_| {
+            (
+                rng.gen_range(0..NUM_VERTICES),
+                rng.gen_range(0..NUM_VERTICES),
+                rng.gen_range(0..NUM_EDGE_TYPES),
+            )
         })
+        .collect();
+    let query_len = rng.gen_range(1usize..4);
+    let query_types = (0..query_len)
+        .map(|_| rng.gen_range(0..NUM_EDGE_TYPES))
+        .collect();
+    let window = if rng.gen_bool(0.5) {
+        Some(rng.gen_range(5u64..200))
+    } else {
+        None
+    };
+    Scenario {
+        stream,
+        query_types,
+        window,
+    }
+}
+
+fn scenarios() -> impl Iterator<Item = Scenario> {
+    (0..CASES).map(|seed| {
+        let mut rng = SmallRng::seed_from_u64(0x5EED ^ seed);
+        random_scenario(&mut rng)
+    })
 }
 
 fn build_schema() -> (Schema, VertexType, Vec<EdgeType>) {
@@ -74,14 +98,16 @@ fn run(scenario: &Scenario, strategy: Strategy) -> (HashSet<Vec<(usize, u64)>>, 
     }
     let engine = ContinuousQueryEngine::new(query, strategy, &estimator, scenario.window)
         .expect("engine builds");
-    let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(16);
+    let mut proc = StreamProcessor::with_engine(schema, engine)
+        .with_purge_interval(16)
+        .with_statistics(false);
     let mut found = HashSet::new();
     for (i, &(s, d, t)) in scenario.stream.iter().enumerate() {
         if s == d {
             continue; // self-loops are legal but uninteresting here
         }
         let ev = EdgeEvent::homogeneous(s, d, vt, types[t as usize], Timestamp(i as u64));
-        for m in proc.process(&ev) {
+        for (_, m) in proc.process(&ev) {
             let key: Vec<(usize, u64)> = m.edge_pairs().map(|(q, e)| (q.0, e.0)).collect();
             found.insert(key);
         }
@@ -89,54 +115,65 @@ fn run(scenario: &Scenario, strategy: Strategy) -> (HashSet<Vec<(usize, u64)>>, 
     (found, proc.profile().iso_searches)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Single, SingleLazy, Path, PathLazy and the VF2 baseline agree on
-    /// every randomly generated stream/query/window combination.
-    #[test]
-    fn all_strategies_report_identical_match_sets(scenario in scenario_strategy()) {
+/// Single, SingleLazy, Path, PathLazy and the VF2 baseline agree on every
+/// randomly generated stream/query/window combination.
+#[test]
+fn all_strategies_report_identical_match_sets() {
+    for scenario in scenarios() {
         let (reference, _) = run(&scenario, Strategy::Vf2Baseline);
         for strategy in Strategy::SJ_TREE {
             let (found, _) = run(&scenario, strategy);
-            prop_assert_eq!(
-                &found,
-                &reference,
-                "{} disagrees with VF2 ({} vs {} matches)",
-                strategy,
+            assert_eq!(
+                found,
+                reference,
+                "{strategy} disagrees with VF2 ({} vs {} matches) on {scenario:?}",
                 found.len(),
                 reference.len()
             );
         }
     }
+}
 
-    /// The lazy variants never perform more leaf searches than their eager
-    /// counterparts.
-    #[test]
-    fn lazy_never_searches_more_than_eager(scenario in scenario_strategy()) {
+/// The lazy variants never perform more leaf searches than their eager
+/// counterparts.
+#[test]
+fn lazy_never_searches_more_than_eager() {
+    for scenario in scenarios() {
         let (_, eager_single) = run(&scenario, Strategy::Single);
         let (_, lazy_single) = run(&scenario, Strategy::SingleLazy);
-        prop_assert!(lazy_single <= eager_single);
+        assert!(lazy_single <= eager_single, "scenario: {scenario:?}");
         let (_, eager_path) = run(&scenario, Strategy::Path);
         let (_, lazy_path) = run(&scenario, Strategy::PathLazy);
-        prop_assert!(lazy_path <= eager_path);
+        assert!(lazy_path <= eager_path, "scenario: {scenario:?}");
     }
+}
 
-    /// Every reported match respects the time window.
-    #[test]
-    fn reported_matches_respect_the_window(scenario in scenario_strategy()) {
-        let Some(w) = scenario.window else { return Ok(()); };
+/// Every reported match respects the time window.
+#[test]
+fn reported_matches_respect_the_window() {
+    for scenario in scenarios() {
+        let Some(w) = scenario.window else {
+            continue;
+        };
         let (schema, vt, types) = build_schema();
         let query = build_query(&types, &scenario.query_types);
         let estimator = SelectivityEstimator::new();
         let engine = ContinuousQueryEngine::new(query, Strategy::PathLazy, &estimator, Some(w))
             .expect("engine builds");
-        let mut proc = StreamProcessor::new(schema, engine).with_purge_interval(8);
+        let mut proc = StreamProcessor::with_engine(schema, engine)
+            .with_purge_interval(8)
+            .with_statistics(false);
         for (i, &(s, d, t)) in scenario.stream.iter().enumerate() {
-            if s == d { continue; }
+            if s == d {
+                continue;
+            }
             let ev = EdgeEvent::homogeneous(s, d, vt, types[t as usize], Timestamp(i as u64));
-            for m in proc.process(&ev) {
-                prop_assert!(m.duration() < w, "match spans {} >= window {}", m.duration(), w);
+            for (_, m) in proc.process(&ev) {
+                assert!(
+                    m.duration() < w,
+                    "match spans {} >= window {w}; scenario: {scenario:?}",
+                    m.duration()
+                );
             }
         }
     }

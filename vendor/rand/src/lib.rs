@@ -1,0 +1,198 @@
+//! Minimal, dependency-free stand-in for the `rand` crate.
+//!
+//! Provides the slice of the rand 0.8 API the workspace's synthetic
+//! generators use: `rngs::SmallRng`, `SeedableRng::seed_from_u64`, and the
+//! `Rng` extension trait with `gen_range` / `gen_bool`. The generator is
+//! xoshiro256++ seeded through SplitMix64 — deterministic for a given seed,
+//! which is all the dataset generators require.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the given range.
+    ///
+    /// # Panics
+    /// Panics when the range is empty.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        next_f64(self) < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// Seeding trait; only the `seed_from_u64` entry point is provided.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform `f64` in `[0, 1)` using the top 53 bits.
+fn next_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                // Modulo sampling: the bias is negligible for the spans the
+                // generators use (far below 2^32).
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                self.start + (self.end - self.start) * (next_f64(rng) as $t)
+            }
+        }
+    )*};
+}
+impl_sample_float!(f32, f64);
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    /// SplitMix64, used to expand the 64-bit seed into the full state.
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut state = seed;
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Alias so code written against `StdRng` also works.
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let b: Vec<u64> = {
+            let mut r = SmallRng::seed_from_u64(42);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        use super::RngCore;
+        let a: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let u = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&u));
+            let v = rng.gen_range(0u64..5);
+            assert!(v < 5);
+            let w = rng.gen_range(0usize..=4);
+            assert!(w <= 4);
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_probability() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((1_800..3_200).contains(&hits), "hits = {hits}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        use super::RngCore;
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,124 @@
+//! Helpers used by the generated code of the `serde_derive` stand-in. Not a
+//! stable API.
+
+use crate::de::{from_value, Deserialize, ValueDeserializer};
+use crate::error::Error;
+use crate::ser::{to_value, Serialize, ValueSerializer};
+use crate::value::Value;
+
+/// Builds the object value of a derived struct serialization.
+#[derive(Debug, Default)]
+pub struct StructBuilder {
+    entries: Vec<(String, Value)>,
+}
+
+impl StructBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes one field.
+    pub fn field<T: Serialize + ?Sized>(&mut self, name: &'static str, v: &T) -> Result<(), Error> {
+        self.entries.push((name.to_owned(), to_value(v)?));
+        Ok(())
+    }
+
+    /// Serializes one `#[serde(with = "module")]` field through the module's
+    /// `serialize` function.
+    pub fn field_with<F>(&mut self, name: &'static str, f: F) -> Result<(), Error>
+    where
+        F: FnOnce(ValueSerializer) -> Result<Value, Error>,
+    {
+        self.entries.push((name.to_owned(), f(ValueSerializer)?));
+        Ok(())
+    }
+
+    /// Finishes the object.
+    pub fn finish(self) -> Value {
+        Value::Object(self.entries)
+    }
+}
+
+/// Reads the fields of a derived struct deserialization.
+#[derive(Debug)]
+pub struct StructReader<'a> {
+    entries: &'a [(String, Value)],
+}
+
+impl<'a> StructReader<'a> {
+    /// Wraps an object value.
+    pub fn new(v: &'a Value) -> Result<Self, Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?;
+        Ok(Self { entries })
+    }
+
+    fn lookup(&self, name: &str) -> Result<&'a Value, Error> {
+        self.entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| Error::custom(format!("missing field '{name}'")))
+    }
+
+    /// Deserializes one field.
+    pub fn field<T: for<'de> Deserialize<'de>>(&self, name: &str) -> Result<T, Error> {
+        from_value(self.lookup(name)?)
+    }
+
+    /// Deserializes one `#[serde(with = "module")]` field through the
+    /// module's `deserialize` function.
+    pub fn field_with<T, F>(&self, name: &str, f: F) -> Result<T, Error>
+    where
+        F: FnOnce(ValueDeserializer) -> Result<T, Error>,
+    {
+        f(ValueDeserializer::from_ref(self.lookup(name)?))
+    }
+}
+
+/// Serializes a value into the [`Value`] tree (re-export for generated code).
+pub fn ser<T: Serialize + ?Sized>(v: &T) -> Result<Value, Error> {
+    to_value(v)
+}
+
+/// Deserializes a value from the [`Value`] tree (re-export for generated
+/// code).
+pub fn de<T: for<'de> Deserialize<'de>>(v: &Value) -> Result<T, Error> {
+    from_value(v)
+}
+
+/// Builds the externally tagged encoding of a data-carrying enum variant.
+pub fn tagged(variant: &str, payload: Value) -> Value {
+    Value::Object(vec![(variant.to_owned(), payload)])
+}
+
+/// Splits an enum value into `(variant name, optional payload)`: a plain
+/// string is a unit variant, a single-entry object is a data variant.
+pub fn variant_parts(v: &Value) -> Result<(&str, Option<&Value>), Error> {
+    match v {
+        Value::Str(s) => Ok((s, None)),
+        Value::Object(entries) if entries.len() == 1 => {
+            Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+        }
+        other => Err(Error::custom(format!(
+            "expected enum representation, got {}",
+            other.kind()
+        ))),
+    }
+}
+
+/// Extracts the elements of a fixed-length array value.
+pub fn seq(v: &Value, expected: usize) -> Result<&[Value], Error> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?;
+    if items.len() != expected {
+        return Err(Error::custom(format!(
+            "expected {expected} elements, got {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}

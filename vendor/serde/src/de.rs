@@ -1,0 +1,249 @@
+//! Deserialization traits and the canonical value-reading deserializer.
+
+use crate::error::Error;
+use crate::value::Value;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::hash::Hash;
+
+/// A type that can be reconstructed from a [`Value`] through any
+/// [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes an instance from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// The deserializer contract: hand over the underlying [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// The error type.
+    type Error: From<Error>;
+
+    /// Consumes the deserializer, yielding the value it wraps.
+    fn into_value(self) -> Result<Value, Self::Error>;
+}
+
+/// The canonical deserializer: wraps an owned [`Value`].
+#[derive(Debug, Clone)]
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wraps an owned value.
+    pub fn new(value: Value) -> Self {
+        Self { value }
+    }
+
+    /// Clones a borrowed value into a deserializer.
+    pub fn from_ref(value: &Value) -> Self {
+        Self {
+            value: value.clone(),
+        }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn into_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}
+
+/// Deserializes any owned type from a borrowed [`Value`].
+pub fn from_value<T: for<'de> Deserialize<'de>>(value: &Value) -> Result<T, Error> {
+    T::deserialize(ValueDeserializer::from_ref(value))
+}
+
+fn type_error<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::custom(format!(
+        "expected {expected}, got {}",
+        got.kind()
+    )))
+}
+
+macro_rules! impl_deserialize_uint {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.into_value()?;
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| Error::custom(format!("expected unsigned integer, got {}", v.kind())))?;
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::from(Error::custom("integer out of range")))
+            }
+        }
+    )*};
+}
+impl_deserialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_deserialize_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.into_value()?;
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| Error::custom(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(n)
+                    .map_err(|_| D::Error::from(Error::custom("integer out of range")))
+            }
+        }
+    )*};
+}
+impl_deserialize_int!(i8, i16, i32, i64, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        match v.as_f64() {
+            Some(f) => Ok(f),
+            None => Err(D::Error::from(type_error::<f64>("number", &v).unwrap_err())),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        Ok(f64::deserialize(d)? as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        match v.as_bool() {
+            Some(b) => Ok(b),
+            None => Err(D::Error::from(type_error::<bool>("bool", &v).unwrap_err())),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(D::Error::from(
+                type_error::<String>("string", &other).unwrap_err(),
+            )),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        d.into_value()
+    }
+}
+
+impl<'de, T: for<'de2> Deserialize<'de2>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(from_value(&other)?)),
+        }
+    }
+}
+
+fn value_to_seq<T: for<'de> Deserialize<'de>>(v: &Value) -> Result<Vec<T>, Error> {
+    let items = v
+        .as_array()
+        .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?;
+    items.iter().map(from_value).collect()
+}
+
+impl<'de, T: for<'de2> Deserialize<'de2>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        Ok(value_to_seq(&v)?)
+    }
+}
+
+impl<'de, T: for<'de2> Deserialize<'de2> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        Ok(value_to_seq::<T>(&v)?.into_iter().collect())
+    }
+}
+
+impl<'de, T: for<'de2> Deserialize<'de2> + Eq + Hash> Deserialize<'de> for HashSet<T> {
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        Ok(value_to_seq::<T>(&v)?.into_iter().collect())
+    }
+}
+
+/// Reverses [`crate::ser::key_to_string`]: try the raw string first, then its
+/// JSON parse (numbers, embedded structured keys).
+fn key_from_string<K: for<'de> Deserialize<'de>>(key: &str) -> Result<K, Error> {
+    if let Ok(k) = from_value::<K>(&Value::Str(key.to_owned())) {
+        return Ok(k);
+    }
+    let parsed = crate::json::parse(key)
+        .map_err(|e| Error::custom(format!("cannot parse map key '{key}': {e}")))?;
+    from_value(&parsed)
+}
+
+fn value_to_map_entries<K, V>(v: &Value) -> Result<Vec<(K, V)>, Error>
+where
+    K: for<'de> Deserialize<'de>,
+    V: for<'de> Deserialize<'de>,
+{
+    let entries = v
+        .as_object()
+        .ok_or_else(|| Error::custom(format!("expected object, got {}", v.kind())))?;
+    entries
+        .iter()
+        .map(|(k, val)| Ok((key_from_string(k)?, from_value(val)?)))
+        .collect()
+}
+
+impl<'de, K, V> Deserialize<'de> for HashMap<K, V>
+where
+    K: for<'de2> Deserialize<'de2> + Eq + Hash,
+    V: for<'de2> Deserialize<'de2>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        Ok(value_to_map_entries::<K, V>(&v)?.into_iter().collect())
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for BTreeMap<K, V>
+where
+    K: for<'de2> Deserialize<'de2> + Ord,
+    V: for<'de2> Deserialize<'de2>,
+{
+    fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+        let v = d.into_value()?;
+        Ok(value_to_map_entries::<K, V>(&v)?.into_iter().collect())
+    }
+}
+
+macro_rules! impl_deserialize_tuple {
+    ($(($len:expr; $($n:tt $t:ident),+)),+) => {$(
+        impl<'de, $($t: for<'de2> Deserialize<'de2>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize<D: Deserializer<'de>>(d: D) -> Result<Self, D::Error> {
+                let v = d.into_value()?;
+                let items = v
+                    .as_array()
+                    .ok_or_else(|| Error::custom(format!("expected array, got {}", v.kind())))?;
+                if items.len() != $len {
+                    return Err(D::Error::from(Error::custom(format!(
+                        "expected {}-tuple, got {} elements",
+                        $len,
+                        items.len()
+                    ))));
+                }
+                Ok(($(from_value::<$t>(&items[$n])?,)+))
+            }
+        }
+    )+};
+}
+impl_deserialize_tuple!(
+    (2; 0 A, 1 B),
+    (3; 0 A, 1 B, 2 C),
+    (4; 0 A, 1 B, 2 C, 3 Dd)
+);

@@ -1,0 +1,28 @@
+//! Minimal, dependency-free stand-in for the `serde` crate.
+//!
+//! This workspace builds in fully offline environments, so it cannot pull the
+//! real `serde` from crates.io. This crate implements the small slice of the
+//! serde API surface the workspace actually uses — `Serialize` /
+//! `Deserialize` derives for plain structs and enums, `#[serde(skip)]`,
+//! `#[serde(with = "module")]`, and the generic `Serializer` /
+//! `Deserializer` trait shapes — on top of a simple JSON-like [`Value`]
+//! model. It is intentionally NOT wire-compatible with upstream serde; it
+//! only guarantees self-consistent round trips within this workspace.
+
+pub mod de;
+mod error;
+pub mod json;
+pub mod ser;
+mod value;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, Deserializer, ValueDeserializer};
+pub use error::Error;
+pub use ser::{Serialize, Serializer, ValueSerializer};
+pub use value::Value;
+
+// Re-export the derive macros under the same names as the traits, mirroring
+// serde's `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,478 @@
+//! Derive macros for the workspace's offline `serde` stand-in.
+//!
+//! Implemented without `syn`/`quote` (no crates.io access): the item token
+//! stream is parsed by hand. Supported shapes — everything this workspace
+//! derives on:
+//!
+//! * structs with named fields, honoring `#[serde(skip)]` and
+//!   `#[serde(with = "module")]` field attributes;
+//! * tuple structs (newtype structs serialize transparently);
+//! * enums whose variants are unit or tuple variants.
+//!
+//! Generics, struct variants and container-level serde attributes are not
+//! supported and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    arity: usize,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("valid error tokens")
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok((name, shape)) => {
+            let code = match mode {
+                Mode::Ser => gen_serialize(&name, &shape),
+                Mode::De => gen_deserialize(&name, &shape),
+            };
+            match code.parse() {
+                Ok(ts) => ts,
+                Err(e) => compile_error(&format!("serde_derive generated invalid code: {e}")),
+            }
+        }
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token-level item parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected `struct` or `enum`".into()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde_derive: expected item name".into()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive: generic type `{name}` is not supported by the offline serde stand-in"
+        ));
+    }
+
+    let shape = match (keyword.as_str(), tokens.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_top_level_segments(g.stream()))
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Shape::Unit,
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        _ => return Err(format!("serde_derive: unsupported item shape for `{name}`")),
+    };
+    Ok((name, shape))
+}
+
+/// Skips a run of outer attributes (`#[...]`) starting at `*i`.
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+            *i += 1;
+        }
+    }
+}
+
+/// Skips `pub` / `pub(...)` starting at `*i`.
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Collects `#[serde(...)]` directives from a run of attributes, advancing
+/// `*i` past all attributes.
+fn collect_serde_attrs(
+    tokens: &[TokenTree],
+    i: &mut usize,
+) -> Result<(bool, Option<String>), String> {
+    let mut skip = false;
+    let mut with = None;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1;
+        let Some(TokenTree::Group(attr)) = tokens.get(*i) else {
+            return Err("serde_derive: malformed attribute".into());
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+        let is_serde =
+            matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde");
+        if !is_serde {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        let args: Vec<TokenTree> = args.stream().into_iter().collect();
+        let mut j = 0;
+        while j < args.len() {
+            match &args[j] {
+                TokenTree::Ident(id) if id.to_string() == "skip" => {
+                    skip = true;
+                    j += 1;
+                }
+                TokenTree::Ident(id) if id.to_string() == "with" => {
+                    // with = "module::path"
+                    let Some(TokenTree::Literal(lit)) = args.get(j + 2) else {
+                        return Err("serde_derive: `with` expects a string literal".into());
+                    };
+                    let text = lit.to_string();
+                    with = Some(text.trim_matches('"').to_owned());
+                    j += 3;
+                }
+                TokenTree::Punct(_) => j += 1,
+                other => {
+                    return Err(format!(
+                        "serde_derive: unsupported serde attribute `{other}`"
+                    ));
+                }
+            }
+        }
+    }
+    Ok((skip, with))
+}
+
+/// Parses the fields of a braced struct body.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (skip, with) = collect_serde_attrs(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde_derive: expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => return Err(format!("serde_derive: expected ':' after field `{name}`")),
+        }
+        // Skip the type: everything up to the next comma at angle-depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, skip, with });
+    }
+    Ok(fields)
+}
+
+/// Counts comma-separated segments at angle-depth 0 (tuple struct / tuple
+/// variant field count).
+fn count_top_level_segments(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut last_was_comma = false;
+    for tok in &tokens {
+        last_was_comma = false;
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                last_was_comma = true;
+            }
+            _ => {}
+        }
+    }
+    if last_was_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+/// Parses the variants of an enum body.
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let _ = collect_serde_attrs(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde_derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let mut arity = 0;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_top_level_segments(g.stream());
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde_derive: struct variant `{name}` is not supported by the offline serde stand-in"
+                ));
+            }
+            _ => {}
+        }
+        // Skip an optional discriminant `= expr` up to the separating comma.
+        while let Some(tok) = tokens.get(i) {
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, arity });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(name: &str, shape: &Shape) -> String {
+    // `?` converts the builder's `serde::Error` into `__S::Error` through the
+    // `Error: From<serde::Error>` bound on the `Serializer` trait.
+    let body = match shape {
+        Shape::Unit => "__s.serialize_unit()".to_owned(),
+        Shape::Tuple(1) => "::serde::ser::Serialize::serialize(&self.0, __s)".to_owned(),
+        Shape::Tuple(n) => {
+            let mut code = String::from("let mut __items = ::std::vec::Vec::new();\n");
+            for k in 0..*n {
+                code.push_str(&format!(
+                    "__items.push(::serde::__private::ser(&self.{k})?);\n"
+                ));
+            }
+            code.push_str("__s.serialize_value(::serde::Value::Array(__items))");
+            code
+        }
+        Shape::Named(fields) => {
+            let mut code = String::from(
+                "#[allow(unused_mut)] let mut __b = ::serde::__private::StructBuilder::new();\n",
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let fname = &f.name;
+                match &f.with {
+                    Some(path) => code.push_str(&format!(
+                        "__b.field_with(\"{fname}\", |__vs| {path}::serialize(&self.{fname}, __vs))?;\n"
+                    )),
+                    None => code.push_str(&format!(
+                        "__b.field(\"{fname}\", &self.{fname})?;\n"
+                    )),
+                }
+            }
+            code.push_str("__s.serialize_value(__b.finish())");
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut code = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    code.push_str(&format!(
+                        "{name}::{vname} => __s.serialize_str(\"{vname}\"),\n"
+                    ));
+                } else {
+                    let binds: Vec<String> = (0..v.arity).map(|k| format!("__f{k}")).collect();
+                    let payload = if v.arity == 1 {
+                        "::serde::__private::ser(__f0)?".to_owned()
+                    } else {
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::__private::ser({b})?"))
+                            .collect();
+                        format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                    };
+                    code.push_str(&format!(
+                        "{name}::{vname}({}) => {{ let __payload = {payload}; __s.serialize_value(::serde::__private::tagged(\"{vname}\", __payload)) }}\n",
+                        binds.join(", ")
+                    ));
+                }
+            }
+            code.push('}');
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(&self, __s: __S) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(name: &str, shape: &Shape) -> String {
+    // As in `gen_serialize`, `?` converts `serde::Error` into `__D::Error`
+    // through the `Error: From<serde::Error>` bound on `Deserializer`.
+    let body = match shape {
+        Shape::Unit => format!("let _ = __d.into_value()?; ::core::result::Result::Ok({name})"),
+        Shape::Tuple(1) => format!(
+            "let __v = __d.into_value()?;\n\
+             ::core::result::Result::Ok({name}(::serde::__private::de(&__v)?))"
+        ),
+        Shape::Tuple(n) => {
+            let mut code = String::from("let __v = __d.into_value()?;\n");
+            code.push_str(&format!(
+                "let __items = ::serde::__private::seq(&__v, {n})?;\n"
+            ));
+            let items: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::__private::de(&__items[{k}])?"))
+                .collect();
+            code.push_str(&format!(
+                "::core::result::Result::Ok({name}({}))",
+                items.join(", ")
+            ));
+            code
+        }
+        Shape::Named(fields) => {
+            let mut code = String::from("let __v = __d.into_value()?;\n");
+            code.push_str("let __r = ::serde::__private::StructReader::new(&__v)?;\n");
+            code.push_str(&format!("::core::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                let fname = &f.name;
+                if f.skip {
+                    code.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+                } else if let Some(path) = &f.with {
+                    code.push_str(&format!(
+                        "{fname}: __r.field_with(\"{fname}\", |__vd| {path}::deserialize(__vd))?,\n"
+                    ));
+                } else {
+                    code.push_str(&format!("{fname}: __r.field(\"{fname}\")?,\n"));
+                }
+            }
+            code.push_str("})");
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut code = String::from("let __v = __d.into_value()?;\n");
+            code.push_str("let (__tag, __payload) = ::serde::__private::variant_parts(&__v)?;\n");
+            code.push_str("match __tag {\n");
+            for v in variants {
+                let vname = &v.name;
+                if v.arity == 0 {
+                    code.push_str(&format!(
+                        "\"{vname}\" => ::core::result::Result::Ok({name}::{vname}),\n"
+                    ));
+                } else {
+                    let mut arm = format!(
+                        "\"{vname}\" => {{\n\
+                         let __p = __payload.ok_or_else(|| ::serde::Error::custom(\"variant {vname} expects data\"))?;\n"
+                    );
+                    if v.arity == 1 {
+                        arm.push_str(&format!(
+                            "::core::result::Result::Ok({name}::{vname}(::serde::__private::de(__p)?))\n"
+                        ));
+                    } else {
+                        arm.push_str(&format!(
+                            "let __items = ::serde::__private::seq(__p, {})?;\n",
+                            v.arity
+                        ));
+                        let items: Vec<String> = (0..v.arity)
+                            .map(|k| format!("::serde::__private::de(&__items[{k}])?"))
+                            .collect();
+                        arm.push_str(&format!(
+                            "::core::result::Result::Ok({name}::{vname}({}))\n",
+                            items.join(", ")
+                        ));
+                    }
+                    arm.push_str("}\n");
+                    code.push_str(&arm);
+                }
+            }
+            code.push_str(&format!(
+                "__other => ::core::result::Result::Err(::core::convert::From::from(::serde::Error::custom(::std::format!(\"unknown variant '{{}}' of {name}\", __other)))),\n"
+            ));
+            code.push('}');
+            code
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: ::serde::de::Deserializer<'de>>(__d: __D) -> ::core::result::Result<Self, __D::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,93 @@
+//! Minimal, dependency-free stand-in for the `serde_json` crate, built on the
+//! workspace's offline `serde` stand-in. Provides the `to_string` /
+//! `to_string_pretty` / `from_str` entry points the workspace uses.
+
+use serde::ser::to_value;
+use serde::{Deserialize, Serialize};
+
+pub use serde::Error;
+pub use serde::Value;
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::to_compact_string(&to_value(value)?))
+}
+
+/// Serializes a value to a pretty-printed JSON string.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::json::to_pretty_string(&to_value(value)?))
+}
+
+/// Parses a JSON string into a value of type `T`.
+pub fn from_str<T: for<'de> Deserialize<'de>>(s: &str) -> Result<T> {
+    let value = serde::json::parse(s)?;
+    serde::de::from_value(&value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn primitives_roundtrip() {
+        let json = to_string(&42u64).unwrap();
+        assert_eq!(json, "42");
+        assert_eq!(from_str::<u64>(&json).unwrap(), 42);
+        assert_eq!(
+            from_str::<u64>(&to_string(&u64::MAX).unwrap()).unwrap(),
+            u64::MAX
+        );
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("2.5").unwrap(), 2.5);
+        assert!(from_str::<bool>("true").unwrap());
+        assert_eq!(from_str::<String>("\"a\\nb\"").unwrap(), "a\nb");
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let v = vec![(1u32, 2.5f64), (3, 4.0)];
+        let back: Vec<(u32, f64)> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert(7u32, "seven".to_owned());
+        let back: HashMap<u32, String> = from_str(&to_string(&m).unwrap()).unwrap();
+        assert_eq!(back, m);
+
+        let opt: Option<u64> = None;
+        assert_eq!(to_string(&opt).unwrap(), "null");
+        assert_eq!(from_str::<Option<u64>>("null").unwrap(), None);
+        assert_eq!(from_str::<Option<u64>>("3").unwrap(), Some(3));
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let v = vec![1u8, 2];
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains('\n'));
+        assert_eq!(from_str::<Vec<u8>>(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn surrogate_pairs_parse_to_non_bmp_chars() {
+        // The escaping upstream serde_json emits for non-BMP characters.
+        assert_eq!(from_str::<String>("\"\\ud83d\\ude00\"").unwrap(), "😀");
+        // Unpaired or malformed surrogates are rejected.
+        assert!(from_str::<String>("\"\\ud83d\"").is_err());
+        assert!(from_str::<String>("\"\\ud83d\\u0041\"").is_err());
+        // Our own serializer emits raw UTF-8, which round-trips too.
+        let s = "emoji: 😀".to_owned();
+        assert_eq!(from_str::<String>(&to_string(&s).unwrap()).unwrap(), s);
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_str::<u64>("not json").is_err());
+        assert!(from_str::<u64>("12 trailing").is_err());
+        assert!(from_str::<Vec<u64>>("[1, 2").is_err());
+    }
+}
