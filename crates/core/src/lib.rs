@@ -102,7 +102,7 @@ pub use error::EngineError;
 pub use lazy::LazyBitmap;
 pub use processor::StreamProcessor;
 pub use profile::ProfileCounters;
-pub use registry::{QueryId, QueryRegistry, StrategySpec};
+pub use registry::{retention_for_windows, QueryId, QueryRegistry, StrategySpec};
 pub use sink::{CollectSink, CountSink, FnSink, MatchSink};
 pub use strategy::{choose_strategy, Strategy, StrategyChoice, RELATIVE_SELECTIVITY_THRESHOLD};
 

@@ -124,17 +124,34 @@ impl StreamProcessor {
     }
 
     /// Deregisters a query mid-stream, returning its engine (and runtime
-    /// state). The graph's retention window shrinks to the remaining
-    /// queries' maximum on the next purge. Deregistering the *last* query
-    /// keeps the current retention window in place (rather than reverting
-    /// to unbounded retention), so an idle processor does not accumulate
-    /// edges forever; the next registration recomputes it.
+    /// state). The graph's retention window is recomputed immediately from
+    /// the remaining queries (it shrinks when the removed query held the
+    /// maximum `tW`), and the dispatch index stops routing the query's edge
+    /// types. Deregistering the *last* query keeps the current retention
+    /// window in place (rather than reverting to unbounded retention), so an
+    /// idle processor does not accumulate edges forever; the next
+    /// registration recomputes it.
     pub fn deregister(&mut self, id: QueryId) -> Option<ContinuousQueryEngine> {
         let engine = self.registry.deregister(id)?;
         if !self.registry.is_empty() {
             self.graph.set_window(self.registry.graph_retention());
         }
         Some(engine)
+    }
+
+    /// Overrides the shared graph's retention window, bypassing the
+    /// per-registry recomputation that [`StreamProcessor::register`] and
+    /// [`StreamProcessor::deregister`] perform.
+    ///
+    /// This is the hook the parallel runtime (`sp-runtime`) uses to keep
+    /// every worker's graph replica retaining edges for the *global* maximum
+    /// window across all shards, so that a query registered mid-stream on
+    /// any shard still finds the history it is entitled to. Callers that
+    /// use the override are responsible for re-applying it after
+    /// registering or deregistering queries (both recompute the window from
+    /// the local registry).
+    pub fn set_graph_retention(&mut self, window: Option<u64>) {
+        self.graph.set_window(window);
     }
 
     /// Ingests one stream event, pushing every complete match it creates
@@ -325,6 +342,20 @@ impl StreamProcessor {
     }
 }
 
+// The parallel runtime moves engines and whole processors across worker
+// threads; pin the `Send` guarantee at compile time so a future field (an
+// `Rc`, a raw pointer) cannot silently take it away.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<StreamProcessor>();
+    assert_send::<ContinuousQueryEngine>();
+    assert_send::<QueryRegistry>();
+    assert_send::<ProfileCounters>();
+    assert_send::<SubgraphMatch>();
+    assert_send::<crate::sink::CollectSink>();
+    assert_send::<crate::sink::CountSink>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,6 +510,61 @@ mod tests {
         proc.process(&EdgeEvent::homogeneous(2, 3, ip, esp, Timestamp(2)));
         assert_eq!(proc.total_matches(), 0);
         assert!(proc.deregister(qid).is_none());
+    }
+
+    #[test]
+    fn deregister_recomputes_retention_and_dispatch_immediately() {
+        // Regression test: removing the query with the widest window must
+        // shrink the graph's retention to the remaining maximum right away
+        // (not keep the old maximum), and the dispatch index must stop
+        // routing the removed query's edge types.
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let esp = schema.intern_edge_type("esp");
+        let mut proc = StreamProcessor::new(schema);
+        let mut wide = QueryGraph::new("wide");
+        let a = wide.add_any_vertex();
+        let b = wide.add_any_vertex();
+        wide.add_edge(a, b, esp);
+        let mut narrow = QueryGraph::new("narrow");
+        let a = narrow.add_any_vertex();
+        let b = narrow.add_any_vertex();
+        narrow.add_edge(a, b, tcp);
+        let wide_id = proc.register(wide, Strategy::Single, Some(1_000)).unwrap();
+        let narrow_id = proc.register(narrow, Strategy::Single, Some(10)).unwrap();
+        assert_eq!(proc.graph().window(), Some(1_000));
+
+        proc.deregister(wide_id).expect("wide query was registered");
+        // Retention shrinks immediately, not on the next purge.
+        assert_eq!(proc.graph().window(), Some(10));
+        assert!(proc.registry().candidates(esp).is_empty());
+        assert_eq!(proc.registry().candidates(tcp), &[narrow_id]);
+
+        // With the narrow window in force, old edges actually expire.
+        let mut proc = proc.with_purge_interval(1);
+        for i in 0..50u64 {
+            proc.process(&EdgeEvent::homogeneous(
+                i,
+                i + 500,
+                ip,
+                tcp,
+                Timestamp(i * 10),
+            ));
+        }
+        assert!(proc.graph().num_edges() <= 2);
+    }
+
+    #[test]
+    fn set_graph_retention_overrides_registry_window() {
+        let (_, mut proc) = simple_setup(Strategy::SingleLazy, Some(10));
+        assert_eq!(proc.graph().window(), Some(10));
+        // The runtime facade widens retention beyond the local registry's
+        // maximum (e.g. another shard holds a wider query).
+        proc.set_graph_retention(Some(500));
+        assert_eq!(proc.graph().window(), Some(500));
+        proc.set_graph_retention(None);
+        assert_eq!(proc.graph().window(), None);
     }
 
     #[test]

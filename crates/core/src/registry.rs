@@ -136,23 +136,13 @@ impl QueryRegistry {
             .unwrap_or(&[])
     }
 
-    /// The graph retention window implied by the registered queries: the
-    /// maximum `tW` across engines, or `None` (retain everything) when any
-    /// engine is unwindowed or the registry is empty. Individual engines
-    /// still purge and filter with their own, possibly smaller, window.
+    /// The graph retention window implied by the registered queries (see
+    /// [`retention_for_windows`]): the maximum `tW` across engines, or
+    /// `None` (retain everything) when any engine is unwindowed or the
+    /// registry is empty. Individual engines still purge and filter with
+    /// their own, possibly smaller, window.
     pub fn graph_retention(&self) -> Option<u64> {
-        let mut max = 0u64;
-        for engine in self.engines.values() {
-            match engine.window() {
-                None => return None,
-                Some(w) => max = max.max(w),
-            }
-        }
-        if self.engines.is_empty() {
-            None
-        } else {
-            Some(max)
-        }
+        retention_for_windows(self.engines.values().map(|e| e.window()))
     }
 
     /// Dispatches one new edge (already inserted into `graph`) to every
@@ -187,6 +177,34 @@ impl QueryRegistry {
     /// total number of partial matches dropped.
     pub fn purge(&mut self, graph: &DynamicGraph) -> usize {
         self.engines.values_mut().map(|e| e.purge(graph)).sum()
+    }
+}
+
+/// The graph retention window implied by a set of per-query windows: the
+/// maximum `tW`, or `None` (retain everything) when any window is `None` or
+/// the set is empty. This is the single encoding of the retention rule,
+/// shared by [`QueryRegistry::graph_retention`] and the parallel runtime's
+/// global-retention broadcast — the sequential-equivalence guarantee depends
+/// on both sides computing it identically.
+pub fn retention_for_windows<I>(windows: I) -> Option<u64>
+where
+    I: IntoIterator<Item = Option<u64>>,
+{
+    let mut max = 0u64;
+    let mut any = false;
+    for window in windows {
+        match window {
+            None => return None,
+            Some(w) => {
+                any = true;
+                max = max.max(w);
+            }
+        }
+    }
+    if any {
+        Some(max)
+    } else {
+        None
     }
 }
 
@@ -261,6 +279,14 @@ mod tests {
         assert_eq!(reg.graph_retention(), None);
         reg.deregister(wide);
         assert_eq!(reg.graph_retention(), None);
+    }
+
+    #[test]
+    fn retention_rule_helper_matches_registry_semantics() {
+        assert_eq!(retention_for_windows([]), None);
+        assert_eq!(retention_for_windows([Some(10)]), Some(10));
+        assert_eq!(retention_for_windows([Some(10), Some(500)]), Some(500));
+        assert_eq!(retention_for_windows([Some(10), None]), None);
     }
 
     #[test]

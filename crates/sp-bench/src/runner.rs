@@ -290,6 +290,138 @@ pub fn run_multi_query(
     }
 }
 
+/// One measured run of the parallel runtime against the sequential
+/// [`StreamProcessor`] on the same multi-query workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParallelMeasurement {
+    /// Worker threads in the parallel run.
+    pub workers: usize,
+    /// Number of registered queries.
+    pub queries: usize,
+    /// Stream edges processed.
+    pub edges: usize,
+    /// Wall-clock time of the sequential shared-graph processor.
+    #[serde(with = "serde_duration")]
+    pub sequential_elapsed: Duration,
+    /// Wall-clock time of the parallel runtime (including ingest, transport
+    /// and the final drain).
+    #[serde(with = "serde_duration")]
+    pub parallel_elapsed: Duration,
+    /// Matches found (asserted identical between the two runs).
+    pub matches: u64,
+    /// Backpressure events recorded by the parallel ingest loop.
+    pub backpressure_events: u64,
+    /// Per-query engine counters from the parallel run, labelled with the
+    /// query name (aggregated across shards by the facade).
+    pub per_query: Vec<(String, ProfileCounters)>,
+}
+
+impl ParallelMeasurement {
+    /// Speedup of the parallel runtime over the sequential processor.
+    pub fn speedup(&self) -> f64 {
+        self.sequential_elapsed.as_secs_f64() / self.parallel_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Parallel throughput in stream edges per second.
+    pub fn throughput_eps(&self) -> f64 {
+        self.edges as f64 / self.parallel_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Sequential throughput in stream edges per second.
+    pub fn sequential_throughput_eps(&self) -> f64 {
+        self.edges as f64 / self.sequential_elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs `queries` over the first `limit` events on the sequential
+/// shared-graph [`StreamProcessor`] and returns `(elapsed, matches)` — the
+/// baseline a worker-count sweep measures [`run_parallel`] against once,
+/// instead of re-timing it for every sweep point.
+pub fn run_sequential_baseline(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    queries: &[QueryGraph],
+    strategy: Strategy,
+    limit: usize,
+    window: Option<u64>,
+) -> (Duration, u64) {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    let mut seq = StreamProcessor::new(dataset.schema.clone())
+        .with_estimator(estimator.clone())
+        .with_statistics(false);
+    for query in queries {
+        seq.register(query.clone(), strategy, window)
+            .expect("query decomposes");
+    }
+    let start = Instant::now();
+    let matches = seq.process_all(events.iter());
+    (start.elapsed(), matches)
+}
+
+/// Runs `queries` over the first `limit` events on the sharded
+/// [`ParallelStreamProcessor`](sp_runtime::ParallelStreamProcessor) with
+/// `workers` threads and reports the measurement against a sequential
+/// baseline. `baseline` is the [`run_sequential_baseline`] result to
+/// compare (and assert match-count equality) against; pass `None` to
+/// measure it in place. `ingest_filter` enables shard-local graph filtering
+/// in the parallel arm (safe here: queries are registered before the stream
+/// starts).
+#[allow(clippy::too_many_arguments)]
+pub fn run_parallel(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    queries: &[QueryGraph],
+    strategy: Strategy,
+    limit: usize,
+    window: Option<u64>,
+    workers: usize,
+    ingest_filter: bool,
+    baseline: Option<(Duration, u64)>,
+) -> ParallelMeasurement {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    let (sequential_elapsed, seq_matches) = baseline.unwrap_or_else(|| {
+        run_sequential_baseline(dataset, estimator, queries, strategy, limit, window)
+    });
+
+    // Parallel arm: same queries, same prefix statistics, N shards.
+    let config = sp_runtime::RuntimeConfig::with_workers(workers)
+        .statistics(false)
+        .ingest_filtering(ingest_filter);
+    let mut par = sp_runtime::ParallelStreamProcessor::new(dataset.schema.clone(), config)
+        .with_estimator(estimator.clone());
+    let mut ids = Vec::with_capacity(queries.len());
+    for query in queries {
+        ids.push(
+            par.register(query.clone(), strategy, window)
+                .expect("query decomposes"),
+        );
+    }
+    let start = Instant::now();
+    let par_matches = par.process_all(events.iter());
+    let parallel_elapsed = start.elapsed();
+
+    assert_eq!(
+        seq_matches, par_matches,
+        "sequential and parallel execution disagree at {workers} workers"
+    );
+    let per_query = ids
+        .iter()
+        .zip(queries)
+        .filter_map(|(&id, q)| par.profile_for(id).map(|p| (q.name().to_owned(), p)))
+        .collect();
+    let backpressure_events = par.stats().backpressure_events;
+    ParallelMeasurement {
+        workers,
+        queries: queries.len(),
+        edges: events.len(),
+        sequential_elapsed,
+        parallel_elapsed,
+        matches: par_matches,
+        backpressure_events,
+        per_query,
+    }
+}
+
 /// Expected Selectivity of a query under the 2-edge-path decomposition —
 /// the quantity the paper samples query groups by.
 pub fn query_expected_selectivity(query: &QueryGraph, estimator: &SelectivityEstimator) -> f64 {
@@ -461,6 +593,36 @@ mod tests {
         assert!(m.dispatched_edges <= m.undispatched_edges);
         assert!(m.dispatch_savings() >= 0.0);
         assert!(m.speedup() > 0.0);
+    }
+
+    #[test]
+    fn parallel_runner_matches_sequential_and_times_both() {
+        let (d, est) = tiny();
+        let mut gen = QueryGenerator::new(d.schema.clone(), d.valid_triples.clone(), 31);
+        let queries = gen.generate_valid_batch(QueryKind::Path { length: 3 }, 4, &est);
+        assert!(queries.len() >= 2, "generator produced too few queries");
+        let m = run_parallel(
+            &d,
+            &est,
+            &queries,
+            Strategy::SingleLazy,
+            1_000,
+            None,
+            2,
+            false,
+            None,
+        );
+        assert_eq!(m.workers, 2);
+        assert_eq!(m.edges, 1_000);
+        assert!(m.parallel_elapsed > Duration::ZERO);
+        assert!(m.sequential_elapsed > Duration::ZERO);
+        assert!(m.speedup() > 0.0);
+        assert!(m.throughput_eps() > 0.0);
+        assert_eq!(m.per_query.len(), queries.len());
+        // Each query's engine saw only its dispatched edges.
+        for (_, p) in &m.per_query {
+            assert!(p.edges_processed <= 1_000);
+        }
     }
 
     #[test]

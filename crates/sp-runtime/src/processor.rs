@@ -1,0 +1,619 @@
+//! The parallel facade: mirrors the sequential [`StreamProcessor`] API on
+//! top of N sharded worker threads.
+
+use crate::config::RuntimeConfig;
+use crate::worker::{worker_loop, DrainAck, MatchBatch, WorkerMsg, WorkerReport};
+use sp_graph::{EdgeData, EdgeEvent, EdgeId, Schema, VertexId};
+use sp_iso::SubgraphMatch;
+use sp_query::QueryGraph;
+use sp_selectivity::SelectivityEstimator;
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use streampattern::{
+    choose_strategy, retention_for_windows, CollectSink, ContinuousQueryEngine, CountSink,
+    EngineError, MatchSink, ProfileCounters, QueryId, StrategySpec, RELATIVE_SELECTIVITY_THRESHOLD,
+};
+
+/// How long a control wait sleeps on the aggregation channel before
+/// re-checking its reply channel. Small enough to stay responsive, large
+/// enough not to spin.
+const CONTROL_POLL: Duration = Duration::from_micros(50);
+
+/// Observable counters of the runtime itself (as opposed to the query
+/// engines' [`ProfileCounters`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Ingest batches broadcast so far (one count per batch, not per worker
+    /// copy).
+    pub batches_sent: u64,
+    /// Times the ingest loop found a worker's bounded input channel full and
+    /// had to wait — the backpressure signal. A sustained non-zero rate
+    /// means the workers (or the match consumer) are the bottleneck.
+    pub backpressure_events: u64,
+    /// Match batches received from the aggregation channel.
+    pub match_batches_received: u64,
+}
+
+/// Final report returned by [`ParallelStreamProcessor::shutdown`].
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// Aggregated profiling counters (see
+    /// [`ParallelStreamProcessor::profile`] for the aggregation rules).
+    pub profile: ProfileCounters,
+    /// Per-worker snapshots, in shard order.
+    pub workers: Vec<WorkerReport>,
+    /// Runtime counters.
+    pub stats: RuntimeStats,
+    /// Total matches found over the runtime's lifetime.
+    pub total_matches: u64,
+    /// Matches that were drained but never handed to a caller's sink (e.g.
+    /// matches produced right before shutdown with no intervening
+    /// `process_all_into`).
+    pub pending_matches: Vec<(QueryId, SubgraphMatch)>,
+}
+
+struct WorkerHandle {
+    tx: SyncSender<WorkerMsg>,
+    join: Option<JoinHandle<()>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ShardAssignment {
+    worker: usize,
+    cost: f64,
+}
+
+/// A parallel, sharded multi-query stream processor.
+///
+/// `ParallelStreamProcessor` mirrors the sequential
+/// [`StreamProcessor`](streampattern::StreamProcessor) API —
+/// [`register`](Self::register) / [`deregister`](Self::deregister) /
+/// [`process_all`](Self::process_all) / [`profile`](Self::profile) — but
+/// executes the registered queries on `N` worker threads:
+///
+/// * every query is assigned to one worker shard, chosen greedily by the
+///   selectivity-based cost estimate
+///   ([`SelectivityEstimator::estimate_query_cost`]) so shards stay
+///   balanced;
+/// * the calling thread is the ingest thread: it batches events and
+///   broadcasts each batch over a bounded channel per worker, blocking when
+///   a worker falls behind (backpressure);
+/// * each worker owns a full windowed graph replica plus its shard of the
+///   registry, and its local edge-type dispatch index skips engines exactly
+///   as the sequential processor would;
+/// * complete matches flow back through one bounded MPSC aggregation
+///   channel, tagged `(QueryId, SubgraphMatch)`; per-worker emission order
+///   is preserved, interleaving across workers is arbitrary.
+///
+/// Because control messages share the per-worker FIFO channels with the
+/// edge batches, a query registered between two `process_all` calls
+/// observes exactly the stream suffix a sequential processor would — the
+/// equivalence tests assert identical match multisets for 1, 2 and 4
+/// workers.
+pub struct ParallelStreamProcessor {
+    config: RuntimeConfig,
+    estimator: SelectivityEstimator,
+    workers: Vec<WorkerHandle>,
+    match_rx: Receiver<MatchBatch>,
+    assignments: HashMap<QueryId, ShardAssignment>,
+    windows: HashMap<QueryId, Option<u64>>,
+    shard_costs: Vec<f64>,
+    next_id: u64,
+    retention: Option<u64>,
+    events_ingested: u64,
+    matches_received: u64,
+    total_matches: u64,
+    buffered: VecDeque<(QueryId, SubgraphMatch)>,
+    stats: RuntimeStats,
+}
+
+impl ParallelStreamProcessor {
+    /// Spawns the worker threads and returns an empty runtime (no registered
+    /// queries). Until a query is registered, processed edges only grow the
+    /// worker replicas.
+    pub fn new(schema: Schema, config: RuntimeConfig) -> Self {
+        let config = RuntimeConfig {
+            workers: config.workers.max(1),
+            batch_size: config.batch_size.max(1),
+            channel_capacity: config.channel_capacity.max(1),
+            match_capacity: config.match_capacity.max(1),
+            purge_interval: config.purge_interval.max(1),
+            ..config
+        };
+        let (match_tx, match_rx) = sync_channel::<MatchBatch>(config.match_capacity);
+        let mut workers = Vec::with_capacity(config.workers);
+        for idx in 0..config.workers {
+            let (tx, rx) = sync_channel::<WorkerMsg>(config.channel_capacity);
+            let schema = schema.clone();
+            let match_tx = match_tx.clone();
+            let join = std::thread::Builder::new()
+                .name(format!("sp-worker-{idx}"))
+                .spawn(move || worker_loop(idx, schema, config, rx, match_tx))
+                .expect("spawn worker thread");
+            workers.push(WorkerHandle {
+                tx,
+                join: Some(join),
+            });
+        }
+        let shard_costs = vec![0.0; config.workers];
+        Self {
+            config,
+            estimator: SelectivityEstimator::new(),
+            workers,
+            match_rx,
+            assignments: HashMap::new(),
+            windows: HashMap::new(),
+            shard_costs,
+            next_id: 0,
+            retention: None,
+            events_ingested: 0,
+            matches_received: 0,
+            total_matches: 0,
+            buffered: VecDeque::new(),
+            stats: RuntimeStats::default(),
+        }
+    }
+
+    /// Seeds the runtime's stream statistics (e.g. from
+    /// `Dataset::estimator_from_prefix`). Subsequent edges keep updating the
+    /// estimator unless statistics collection is disabled in the
+    /// [`RuntimeConfig`].
+    pub fn with_estimator(mut self, estimator: SelectivityEstimator) -> Self {
+        self.estimator = estimator;
+        self
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Number of worker shards.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runtime counters (batches, backpressure events).
+    pub fn stats(&self) -> RuntimeStats {
+        self.stats
+    }
+
+    /// The stream statistics collected so far on the ingest path.
+    pub fn estimator(&self) -> &SelectivityEstimator {
+        &self.estimator
+    }
+
+    /// Number of registered queries.
+    pub fn num_queries(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Ids of the registered queries, in ascending id (= registration)
+    /// order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        let mut ids: Vec<QueryId> = self.assignments.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The worker shard a query is assigned to.
+    pub fn shard_of(&self, id: QueryId) -> Option<usize> {
+        self.assignments.get(&id).map(|a| a.worker)
+    }
+
+    /// The current estimated cost load of every shard, in shard order.
+    pub fn shard_costs(&self) -> &[f64] {
+        &self.shard_costs
+    }
+
+    /// Registers a continuous query, mirroring
+    /// [`StreamProcessor::register`](streampattern::StreamProcessor::register):
+    /// the strategy is fixed or chosen by the Relative Selectivity rule
+    /// against the ingest-path statistics, and the query is assigned to the
+    /// least-loaded shard by estimated cost.
+    pub fn register(
+        &mut self,
+        query: QueryGraph,
+        spec: impl Into<StrategySpec>,
+        window: Option<u64>,
+    ) -> Result<QueryId, EngineError> {
+        let strategy = match spec.into() {
+            StrategySpec::Fixed(s) => s,
+            StrategySpec::Auto => {
+                choose_strategy(&query, &self.estimator, RELATIVE_SELECTIVITY_THRESHOLD)?.strategy
+            }
+        };
+        let engine = ContinuousQueryEngine::new(query, strategy, &self.estimator, window)?;
+        Ok(self.register_engine(engine))
+    }
+
+    /// Registers a pre-built engine (custom decompositions, replayed trees)
+    /// on the least-loaded shard.
+    pub fn register_engine(&mut self, engine: ContinuousQueryEngine) -> QueryId {
+        // Cost floor keeps a shard from absorbing unbounded many "free"
+        // queries: even a never-dispatched query costs registry space.
+        let cost = self.estimator.estimate_query_cost(engine.query()).max(1e-6);
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let worker = self
+            .shard_costs
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("costs are finite"))
+            .map(|(i, _)| i)
+            .expect("at least one worker");
+        self.shard_costs[worker] += cost;
+        self.windows.insert(id, engine.window());
+        self.assignments
+            .insert(id, ShardAssignment { worker, cost });
+        self.send_to_worker(
+            worker,
+            WorkerMsg::Register {
+                global: id,
+                engine: Box::new(engine),
+            },
+        );
+        self.broadcast_retention();
+        id
+    }
+
+    /// Deregisters a query, returning its engine with runtime state intact.
+    /// The owning worker removes it after finishing every batch sent before
+    /// this call, so no in-flight event is lost or double-processed.
+    pub fn deregister(&mut self, id: QueryId) -> Option<ContinuousQueryEngine> {
+        let assignment = self.assignments.remove(&id)?;
+        self.windows.remove(&id);
+        self.shard_costs[assignment.worker] =
+            (self.shard_costs[assignment.worker] - assignment.cost).max(0.0);
+        let (reply_tx, reply_rx) = channel();
+        self.send_to_worker(
+            assignment.worker,
+            WorkerMsg::Deregister {
+                global: id,
+                reply: reply_tx,
+            },
+        );
+        let engine = self.recv_reply(&reply_rx).map(|boxed| *boxed);
+        if !self.assignments.is_empty() {
+            self.broadcast_retention();
+        }
+        engine
+    }
+
+    /// Ingests a whole stream: batches the events, broadcasts each batch to
+    /// every worker, forwards every match into `sink`, and drains the
+    /// pipeline before returning. Returns the number of matches delivered
+    /// to `sink` by this call.
+    pub fn process_all_into<'a, I, S>(&mut self, events: I, sink: &mut S) -> u64
+    where
+        I: IntoIterator<Item = &'a EdgeEvent>,
+        S: MatchSink + ?Sized,
+    {
+        let mut delivered = self.flush_buffered(sink);
+        let mut batch: Vec<EdgeEvent> = Vec::with_capacity(self.config.batch_size);
+        for ev in events {
+            if self.config.collect_statistics {
+                self.estimator.observe_edge(&EdgeData {
+                    id: EdgeId(self.events_ingested),
+                    src: VertexId(ev.src),
+                    dst: VertexId(ev.dst),
+                    edge_type: ev.edge_type,
+                    timestamp: ev.timestamp,
+                });
+            }
+            self.events_ingested += 1;
+            batch.push(*ev);
+            if batch.len() >= self.config.batch_size {
+                self.broadcast(std::mem::take(&mut batch));
+                batch = Vec::with_capacity(self.config.batch_size);
+                delivered += self.flush_buffered(sink);
+            }
+        }
+        if !batch.is_empty() {
+            self.broadcast(batch);
+        }
+        delivered + self.drain_into(sink)
+    }
+
+    /// Ingests a whole stream and returns the total number of matches found,
+    /// mirroring [`StreamProcessor::process_all`](streampattern::StreamProcessor::process_all).
+    pub fn process_all<'a, I>(&mut self, events: I) -> u64
+    where
+        I: IntoIterator<Item = &'a EdgeEvent>,
+    {
+        let mut sink = CountSink::new();
+        self.process_all_into(events, &mut sink);
+        sink.matches
+    }
+
+    /// Ingests one event and returns the matches it created. This drains the
+    /// whole pipeline (a full barrier) per event — it mirrors
+    /// [`StreamProcessor::process`](streampattern::StreamProcessor::process)
+    /// for convenience and tests, but high-throughput callers should use
+    /// [`process_all_into`](Self::process_all_into).
+    pub fn process(&mut self, event: &EdgeEvent) -> Vec<(QueryId, SubgraphMatch)> {
+        let mut sink = CollectSink::new();
+        self.process_all_into(std::iter::once(event), &mut sink);
+        sink.into_matches()
+    }
+
+    /// Barrier: waits until every worker has processed every batch sent so
+    /// far, forwarding all resulting matches into `sink`. Returns the number
+    /// of matches delivered by this call.
+    pub fn drain_into<S: MatchSink + ?Sized>(&mut self, sink: &mut S) -> u64 {
+        self.drain();
+        self.flush_buffered(sink)
+    }
+
+    /// Barrier variant that buffers the drained matches internally (they are
+    /// delivered to the next sink-taking call, or via
+    /// [`take_pending_matches`](Self::take_pending_matches)).
+    pub fn drain(&mut self) {
+        let target = self.drain_barrier();
+        while self.matches_received < target {
+            match self.match_rx.recv() {
+                Ok(batch) => self.buffer_match_batch(batch),
+                Err(_) => panic!("a worker thread terminated unexpectedly"),
+            }
+        }
+    }
+
+    /// Matches drained during control operations (register, deregister,
+    /// profile, drain) that no sink has consumed yet.
+    pub fn take_pending_matches(&mut self) -> Vec<(QueryId, SubgraphMatch)> {
+        self.buffered.drain(..).collect()
+    }
+
+    /// Total matches found since construction, across all queries. Drains
+    /// the pipeline to make the count exact.
+    pub fn total_matches(&mut self) -> u64 {
+        self.drain();
+        self.total_matches
+    }
+
+    /// Aggregated profiling counters across all shards (drains the pipeline
+    /// first): every query's engine counters merged via
+    /// [`ProfileCounters::merge`], with `edges_processed` reporting events
+    /// ingested by the runtime and `vertex_type_conflicts` taken from the
+    /// replica that saw the most (replicas are identical unless ingest
+    /// filtering is on).
+    pub fn profile(&mut self) -> ProfileCounters {
+        let reports = self.worker_reports();
+        self.merge_reports(&reports)
+    }
+
+    /// Profiling counters of one query's engine (a snapshot; drains the
+    /// pipeline first).
+    pub fn profile_for(&mut self, id: QueryId) -> Option<ProfileCounters> {
+        let worker = self.assignments.get(&id)?.worker;
+        self.drain();
+        let report = self.report_worker(worker);
+        report
+            .per_query
+            .into_iter()
+            .find(|&(q, _)| q == id)
+            .map(|(_, p)| p)
+    }
+
+    /// The retention window currently broadcast to every graph replica (the
+    /// global maximum across registered queries; `None` retains
+    /// everything).
+    pub fn graph_retention(&self) -> Option<u64> {
+        self.retention
+    }
+
+    /// Merges worker snapshots into one aggregate, the same way
+    /// [`StreamProcessor::profile`](streampattern::StreamProcessor::profile)
+    /// aggregates its engines: engine counters summed via
+    /// [`ProfileCounters::merge`], `edges_processed` reporting events
+    /// ingested by the runtime, and `vertex_type_conflicts` taken from the
+    /// replica that saw the most.
+    fn merge_reports(&self, reports: &[WorkerReport]) -> ProfileCounters {
+        let mut total = ProfileCounters::new();
+        let mut conflicts = 0;
+        for r in reports {
+            for (_, p) in &r.per_query {
+                total.merge(p);
+            }
+            conflicts = conflicts.max(r.vertex_type_conflicts);
+        }
+        total.edges_processed = self.events_ingested;
+        total.vertex_type_conflicts = conflicts;
+        total
+    }
+
+    /// Snapshots of every worker, in shard order (drains the pipeline
+    /// first).
+    pub fn worker_reports(&mut self) -> Vec<WorkerReport> {
+        self.drain();
+        (0..self.workers.len())
+            .map(|w| self.report_worker(w))
+            .collect()
+    }
+
+    /// Graceful shutdown: drains the pipeline, collects the final reports,
+    /// terminates and joins every worker, and returns the merged report.
+    pub fn shutdown(mut self) -> RuntimeReport {
+        let workers = self.worker_reports();
+        let profile = self.merge_reports(&workers);
+        for w in 0..self.workers.len() {
+            self.send_to_worker(w, WorkerMsg::Shutdown);
+        }
+        for handle in &mut self.workers {
+            if let Some(join) = handle.join.take() {
+                let _ = join.join();
+            }
+        }
+        RuntimeReport {
+            profile,
+            workers,
+            stats: self.stats,
+            total_matches: self.total_matches,
+            pending_matches: self.buffered.drain(..).collect(),
+        }
+    }
+
+    // ---- internals ------------------------------------------------------
+
+    /// Sends one message to one worker without deadlocking: when the bounded
+    /// input channel is full, the ingest loop drains the aggregation channel
+    /// (a blocked worker is usually blocked *on that channel*) and yields
+    /// the core to the workers before retrying. Each blocked send counts as
+    /// one backpressure event regardless of how long it waits.
+    fn send_to_worker(&mut self, worker: usize, msg: WorkerMsg) {
+        let mut msg = Some(msg);
+        let mut blocked = false;
+        loop {
+            match self.workers[worker].tx.try_send(msg.take().expect("msg")) {
+                Ok(()) => return,
+                Err(TrySendError::Full(m)) => {
+                    msg = Some(m);
+                    if !blocked {
+                        blocked = true;
+                        self.stats.backpressure_events += 1;
+                    }
+                    if self.drain_pending_matches() == 0 {
+                        // Nothing to drain: the worker is compute-bound, not
+                        // blocked on the aggregation channel. Sleep-wait on
+                        // that channel instead of spinning — a match arrival
+                        // wakes us immediately, and otherwise we hand the
+                        // core to the workers for CONTROL_POLL.
+                        self.drain_one_match_batch();
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    panic!("worker {worker} terminated unexpectedly")
+                }
+            }
+        }
+    }
+
+    /// Broadcasts one batch to every worker.
+    fn broadcast(&mut self, batch: Vec<EdgeEvent>) {
+        let shared = Arc::new(batch);
+        for w in 0..self.workers.len() {
+            self.send_to_worker(w, WorkerMsg::Batch(shared.clone()));
+        }
+        self.stats.batches_sent += 1;
+    }
+
+    /// Receives one control reply, draining the aggregation channel while
+    /// waiting so a blocked worker can make progress toward replying.
+    fn recv_reply<T>(&mut self, rx: &Receiver<T>) -> T {
+        loop {
+            match rx.recv_timeout(CONTROL_POLL) {
+                Ok(v) => return v,
+                Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+                    self.drain_pending_matches();
+                }
+                Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+                    panic!("a worker thread terminated unexpectedly")
+                }
+            }
+        }
+    }
+
+    /// Sends the drain barrier to every worker and returns the cumulative
+    /// match target to wait for.
+    fn drain_barrier(&mut self) -> u64 {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for w in 0..self.workers.len() {
+            let (tx, rx) = channel();
+            self.send_to_worker(w, WorkerMsg::Drain { reply: tx });
+            replies.push(rx);
+        }
+        let mut target = 0;
+        for rx in replies {
+            let DrainAck { matches_emitted } = self.recv_reply(&rx);
+            target += matches_emitted;
+        }
+        target
+    }
+
+    fn report_worker(&mut self, worker: usize) -> WorkerReport {
+        let (tx, rx) = channel();
+        self.send_to_worker(worker, WorkerMsg::Report { reply: tx });
+        self.recv_reply(&rx)
+    }
+
+    fn buffer_match_batch(&mut self, (_, matches): MatchBatch) {
+        self.stats.match_batches_received += 1;
+        self.matches_received += matches.len() as u64;
+        self.total_matches += matches.len() as u64;
+        self.buffered.extend(matches);
+    }
+
+    /// Non-blocking drain of everything currently in the aggregation
+    /// channel. Returns the number of batches drained.
+    fn drain_pending_matches(&mut self) -> u64 {
+        let mut drained = 0;
+        while let Ok(batch) = self.match_rx.try_recv() {
+            self.buffer_match_batch(batch);
+            drained += 1;
+        }
+        drained
+    }
+
+    /// Blocks briefly for one match batch (used while a worker input channel
+    /// is full, to guarantee forward progress without spinning). Tolerates a
+    /// disconnected channel because it also runs during `Drop`, where the
+    /// workers may already be gone.
+    fn drain_one_match_batch(&mut self) {
+        if let Ok(batch) = self.match_rx.recv_timeout(CONTROL_POLL) {
+            self.buffer_match_batch(batch);
+        }
+    }
+
+    fn flush_buffered<S: MatchSink + ?Sized>(&mut self, sink: &mut S) -> u64 {
+        self.drain_pending_matches();
+        let mut delivered = 0;
+        while let Some((q, m)) = self.buffered.pop_front() {
+            sink.on_match(q, m);
+            delivered += 1;
+        }
+        delivered
+    }
+
+    /// Recomputes the global retention window with the same rule as the
+    /// sequential processor ([`retention_for_windows`]) and broadcasts it to
+    /// every replica. Only called with at least one registered query —
+    /// `deregister` skips the recompute when the last query leaves, which
+    /// mirrors the sequential "keep the current retention on empty"
+    /// behaviour.
+    fn broadcast_retention(&mut self) {
+        debug_assert!(!self.windows.is_empty());
+        let retention = retention_for_windows(self.windows.values().copied());
+        self.retention = retention;
+        for w in 0..self.workers.len() {
+            self.send_to_worker(w, WorkerMsg::SetRetention(retention));
+        }
+    }
+}
+
+impl Drop for ParallelStreamProcessor {
+    fn drop(&mut self) {
+        for w in 0..self.workers.len() {
+            // Best effort: a full channel drains through the normal path; a
+            // disconnected one means the worker is already gone.
+            let mut msg = Some(WorkerMsg::Shutdown);
+            loop {
+                match self.workers[w].tx.try_send(msg.take().expect("msg")) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(m)) => {
+                        msg = Some(m);
+                        self.drain_one_match_batch();
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+        }
+        for handle in &mut self.workers {
+            if let Some(join) = handle.join.take() {
+                let _ = join.join();
+            }
+        }
+    }
+}

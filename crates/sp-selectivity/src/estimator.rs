@@ -136,6 +136,32 @@ impl SelectivityEstimator {
     pub fn is_unseen(&self, p: &Primitive) -> bool {
         self.frequency(p) == 0
     }
+
+    /// Estimated per-stream-edge processing cost of running a continuous
+    /// query against this stream, used by the parallel runtime to balance
+    /// queries across worker shards.
+    ///
+    /// The estimate is `P(dispatch) × |E(query)|`: the probability that an
+    /// incoming edge's type occurs in the query (the fraction of the stream
+    /// that reaches the query's engine through the edge-type dispatch index)
+    /// times the number of query edges (a proxy for the per-invocation leaf
+    /// search and join work, which grows with the decomposition size). A
+    /// query full of frequent edge types on a large pattern therefore costs
+    /// the most; a query watching a rare type is nearly free.
+    ///
+    /// On an empty estimator every edge type reports selectivity 1, so the
+    /// estimate degrades to `(#distinct types) × |E|` — still a usable
+    /// relative ordering for shard assignment.
+    pub fn estimate_query_cost(&self, query: &sp_query::QueryGraph) -> f64 {
+        let mut types: Vec<_> = query.edges().map(|e| e.edge_type).collect();
+        types.sort_unstable();
+        types.dedup();
+        let dispatch_probability: f64 = types
+            .iter()
+            .map(|&t| self.selectivity(&Primitive::SingleEdge(t)))
+            .sum();
+        dispatch_probability * query.num_edges() as f64
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +269,41 @@ mod tests {
         let d = est.expected_selectivity(std::iter::empty());
         assert_eq!(d.expected, 1.0);
         assert!(d.leaf_selectivities.is_empty());
+    }
+
+    #[test]
+    fn query_cost_orders_frequent_before_rare() {
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap();
+        let udp = g.schema().edge_type("udp").unwrap();
+        let mut q_hot = QueryGraph::new("hot");
+        let a = q_hot.add_any_vertex();
+        let b = q_hot.add_any_vertex();
+        let c = q_hot.add_any_vertex();
+        q_hot.add_edge(a, b, tcp);
+        q_hot.add_edge(b, c, tcp);
+        let mut q_cold = QueryGraph::new("cold");
+        let a = q_cold.add_any_vertex();
+        let b = q_cold.add_any_vertex();
+        let c = q_cold.add_any_vertex();
+        q_cold.add_edge(a, b, udp);
+        q_cold.add_edge(b, c, udp);
+        // 90% of the stream dispatches to the tcp query, 10% to the udp one.
+        let hot = est.estimate_query_cost(&q_hot);
+        let cold = est.estimate_query_cost(&q_cold);
+        assert!(hot > cold, "hot={hot} cold={cold}");
+        assert!((hot - 0.9 * 2.0).abs() < 1e-9);
+        assert!((cold - 0.1 * 2.0).abs() < 1e-9);
+        // A larger pattern on the same types costs more.
+        let mut q_big = q_hot.clone();
+        let d = q_big.add_any_vertex();
+        let e0 = q_big.vertex_ids().next().unwrap();
+        q_big.add_edge(d, e0, tcp);
+        assert!(est.estimate_query_cost(&q_big) > hot);
+        // The empty estimator still yields a finite, positive ordering key.
+        let empty = SelectivityEstimator::new();
+        assert!(empty.estimate_query_cost(&q_hot) > 0.0);
     }
 
     #[test]
