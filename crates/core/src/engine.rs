@@ -27,7 +27,38 @@ use sp_query::QuerySubgraph;
 use sp_selectivity::SelectivityEstimator;
 use sp_sjtree::{decompose, MatchStore, NodeId, SjTree, StoreStats};
 use std::collections::VecDeque;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The shared leaf-search stage's verdict for one gate-passing leaf of one
+/// engine on one edge.
+#[derive(Debug)]
+pub enum LeafFanout {
+    /// The anchored search ran (or was memoized) centrally; here are its
+    /// results, already rebased onto this engine's numbering.
+    Prepared(PreparedLeaf),
+    /// This engine is the leaf shape's only subscriber, so there is nothing
+    /// to share: the engine runs its own anchored search, exactly as the
+    /// standalone path would — no canonicalized search, no rebase clone.
+    SearchLocally,
+}
+
+/// Leaf matches prepared by the shared leaf-search stage
+/// ([`SharedLeafIndex`](crate::SharedLeafIndex)) for one gate-passing leaf of
+/// one engine: the anchored-search results, already rebased onto this
+/// engine's vertex/edge numbering.
+#[derive(Debug)]
+pub struct PreparedLeaf {
+    /// The rebased matches the anchored search found (possibly empty).
+    pub matches: Vec<SubgraphMatch>,
+    /// Wall time of the underlying shared search, charged to exactly one of
+    /// its consumers (`None` for all others, and for leaves whose edge types
+    /// cannot contain the streaming edge).
+    pub charged: Option<Duration>,
+    /// `true` when the search had already run for another subscriber of the
+    /// same canonical leaf this edge — i.e. this engine's own search was
+    /// eliminated by sharing.
+    pub shared: bool,
+}
 
 /// Enables search for a leaf around `v`. On a fresh 0→1 transition, performs
 /// the retroactive neighborhood probe the paper mandates ("whenever we enable
@@ -193,10 +224,59 @@ impl ContinuousQueryEngine {
         }
     }
 
+    /// Whether this engine's leaf of the given selectivity rank would be
+    /// searched for `edge` — the Lazy Search gate. Eager strategies and the
+    /// most selective leaf (rank 0) always search; a lazy leaf of higher rank
+    /// searches only when its bitmap bit is set on one of the edge's
+    /// endpoints. The shared leaf-search stage uses this (pure) check to
+    /// decide the fan-out *before* running the shared search, so lazy
+    /// engines keep their gating by filtering the fan-out rather than by
+    /// re-searching.
+    pub fn leaf_accepts(&self, rank: usize, edge: &EdgeData) -> bool {
+        match &self.backend {
+            Backend::SjTree { lazy, bitmap, .. } => {
+                !*lazy
+                    || rank == 0
+                    || bitmap.is_enabled(edge.src, rank)
+                    || bitmap.is_enabled(edge.dst, rank)
+            }
+            Backend::Vf2 { .. } => true,
+        }
+    }
+
     /// Processes one new edge that has already been inserted into `graph`.
     /// Returns the complete query matches created by this edge, i.e.
     /// `M(G^{k+1}) − M(G^k)` of the problem statement.
     pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &EdgeData) -> Vec<SubgraphMatch> {
+        self.process_edge_inner(graph, edge, None)
+    }
+
+    /// Like [`ContinuousQueryEngine::process_edge`], but the per-leaf
+    /// anchored searches have already been performed by the shared
+    /// leaf-search stage: `prepared[rank]` carries the rebased matches for
+    /// every leaf whose gate ([`ContinuousQueryEngine::leaf_accepts`])
+    /// passed, and `None` for gated-off leaves. The engine still performs
+    /// all per-engine work itself — lazy enablement probes, the recursive
+    /// hash join, windowing — in exactly the order the standalone path
+    /// would, so the reported match multiset is identical.
+    ///
+    /// Falls back to the standalone path for the VF2 baseline (which has no
+    /// leaves to share).
+    pub fn process_edge_prepared(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        prepared: Vec<Option<LeafFanout>>,
+    ) -> Vec<SubgraphMatch> {
+        self.process_edge_inner(graph, edge, Some(prepared))
+    }
+
+    fn process_edge_inner(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        mut supplied: Option<Vec<Option<LeafFanout>>>,
+    ) -> Vec<SubgraphMatch> {
         self.profile.edges_processed += 1;
         let window = self.window;
         let mut complete = Vec::new();
@@ -226,11 +306,16 @@ impl ContinuousQueryEngine {
                 let mut worklist: VecDeque<(NodeId, SubgraphMatch)> = VecDeque::new();
 
                 for (rank, &leaf) in tree.leaves().iter().enumerate() {
+                    // The Lazy Search gate; `leaf_accepts` is this same
+                    // condition, exposed to the shared leaf-search stage.
                     if lazy
                         && rank > 0
                         && !bitmap.is_enabled(edge.src, rank)
                         && !bitmap.is_enabled(edge.dst, rank)
                     {
+                        debug_assert!(supplied
+                            .as_ref()
+                            .is_none_or(|p| p.get(rank).is_none_or(Option::is_none)));
                         self.profile.searches_skipped += 1;
                         continue;
                     }
@@ -266,9 +351,37 @@ impl ContinuousQueryEngine {
                             }
                         }
                     }
-                    let t0 = Instant::now();
-                    let found = find_matches_containing_edge(graph, &self.query, subgraph, edge);
-                    self.profile.iso_time += t0.elapsed();
+                    // The per-edge anchored search (the LeafMatcher stage):
+                    // either run it here, or consume the result the shared
+                    // stage prepared. `iso_searches` counts the searches this
+                    // query *logically* performed either way, so per-query
+                    // profiles keep their meaning; `leaf_searches_shared` and
+                    // the absent `iso_time` record that sharing made one
+                    // free.
+                    let slot = supplied
+                        .as_mut()
+                        .map(|prepared| prepared.get_mut(rank).and_then(Option::take));
+                    let found = match slot {
+                        // Standalone path, or the shared stage delegated the
+                        // search back (single-subscriber shape): run the
+                        // anchored search here.
+                        None | Some(Some(LeafFanout::SearchLocally)) | Some(None) => {
+                            let t0 = Instant::now();
+                            let found =
+                                find_matches_containing_edge(graph, &self.query, subgraph, edge);
+                            self.profile.iso_time += t0.elapsed();
+                            found
+                        }
+                        Some(Some(LeafFanout::Prepared(leaf_prep))) => {
+                            if let Some(elapsed) = leaf_prep.charged {
+                                self.profile.iso_time += elapsed;
+                            }
+                            if leaf_prep.shared {
+                                self.profile.leaf_searches_shared += 1;
+                            }
+                            leaf_prep.matches
+                        }
+                    };
                     self.profile.iso_searches += 1;
                     self.profile.leaf_matches += found.len() as u64;
                     for m in found {
@@ -370,10 +483,9 @@ impl ContinuousQueryEngine {
         else {
             return 0;
         };
-        let mut removed = store.purge_dead(graph);
-        if let Some(w) = self.window {
-            removed += store.purge_expired(graph.latest_timestamp(), w);
-        }
+        // Dead-edge and window expiry in one pass over every bucket (the two
+        // separate passes walked the whole store twice per maintenance tick).
+        let removed = store.purge(graph, graph.latest_timestamp(), self.window);
         self.profile.partial_matches_purged += removed as u64;
         let stats = store.stats();
         self.profile.note_partial_matches(stats.total_live_matches);

@@ -94,17 +94,22 @@ mod lazy;
 mod processor;
 mod profile;
 mod registry;
+mod sharing;
 mod sink;
 mod strategy;
 
-pub use engine::ContinuousQueryEngine;
+pub use engine::{ContinuousQueryEngine, LeafFanout, PreparedLeaf};
 pub use error::EngineError;
 pub use lazy::LazyBitmap;
 pub use processor::StreamProcessor;
 pub use profile::ProfileCounters;
 pub use registry::{retention_for_windows, QueryId, QueryRegistry, StrategySpec};
+pub use sharing::{EdgeSearchCache, SharedLeafIndex, SharedLeafStats};
 pub use sink::{CollectSink, CountSink, FnSink, MatchSink};
-pub use strategy::{choose_strategy, Strategy, StrategyChoice, RELATIVE_SELECTIVITY_THRESHOLD};
+pub use strategy::{
+    choose_strategy, choose_strategy_with_sharing, Strategy, StrategyChoice,
+    RELATIVE_SELECTIVITY_THRESHOLD,
+};
 
 // Re-export the building blocks so that downstream users only need one
 // dependency for common tasks.
@@ -112,6 +117,6 @@ pub use sp_graph::{
     DynamicGraph, EdgeData, EdgeEvent, EdgeId, EdgeType, Schema, Timestamp, VertexId, VertexType,
 };
 pub use sp_iso::SubgraphMatch;
-pub use sp_query::{QueryEdgeId, QueryGraph, QueryVertexId};
+pub use sp_query::{canonicalize_subgraph, LeafSignature, QueryEdgeId, QueryGraph, QueryVertexId};
 pub use sp_selectivity::SelectivityEstimator;
 pub use sp_sjtree::{PrimitivePolicy, SjTree};

@@ -18,7 +18,7 @@ use crate::error::EngineError;
 use crate::profile::ProfileCounters;
 use crate::registry::{QueryId, QueryRegistry, StrategySpec};
 use crate::sink::{CollectSink, CountSink, MatchSink};
-use crate::strategy::{choose_strategy, RELATIVE_SELECTIVITY_THRESHOLD};
+use crate::strategy::{choose_strategy_with_sharing, RELATIVE_SELECTIVITY_THRESHOLD};
 use sp_graph::{DynamicGraph, EdgeEvent, Schema, VertexId};
 use sp_iso::SubgraphMatch;
 use sp_query::QueryGraph;
@@ -94,6 +94,24 @@ impl StreamProcessor {
         self
     }
 
+    /// Enables or disables shared-leaf evaluation (on by default): with
+    /// sharing on, structurally identical SJ-Tree leaves from different
+    /// registered queries are searched **once** per edge and the results
+    /// fanned out; with sharing off every engine re-runs its own anchored
+    /// searches. The reported match multiset is identical either way — the
+    /// toggle exists for measurement (the `sharing` benchmark) and
+    /// equivalence testing.
+    pub fn with_sharing(mut self, enabled: bool) -> Self {
+        self.registry.set_sharing(enabled);
+        self
+    }
+
+    /// Snapshot of the shared-leaf index: distinct leaf shapes, current
+    /// subscriptions, and how many anchored searches sharing eliminated.
+    pub fn shared_leaf_stats(&self) -> crate::SharedLeafStats {
+        self.registry.shared_leaf_stats()
+    }
+
     /// Registers a continuous query: decomposes it under the given strategy
     /// (or picks one via the Relative Selectivity rule for
     /// [`StrategySpec::Auto`]) against the processor's current stream
@@ -109,7 +127,18 @@ impl StreamProcessor {
         let strategy = match spec.into() {
             StrategySpec::Fixed(s) => s,
             StrategySpec::Auto => {
-                choose_strategy(&query, &self.estimator, RELATIVE_SELECTIVITY_THRESHOLD)?.strategy
+                // Sharing-aware selection: the choice also reports how much
+                // of the new query's leaf work the registry already pays for
+                // (the rule itself is unchanged — equivalence with the
+                // runtime facade's Auto path depends on that).
+                let shared = self.registry.shared_leaves();
+                choose_strategy_with_sharing(
+                    &query,
+                    &self.estimator,
+                    RELATIVE_SELECTIVITY_THRESHOLD,
+                    |sig| shared.contains(sig),
+                )?
+                .strategy
             }
         };
         let engine = ContinuousQueryEngine::new(query, strategy, &self.estimator, window)?;

@@ -34,6 +34,12 @@ pub struct ProfileCounters {
     pub retroactive_searches: u64,
     /// Number of searches skipped because the lazy bitmap had them disabled.
     pub searches_skipped: u64,
+    /// Number of leaf searches this query did **not** have to run because a
+    /// structurally identical leaf had already been searched for this edge
+    /// (shared-leaf evaluation): the engine consumed the shared result
+    /// instead. Always 0 when sharing is disabled or the engine runs
+    /// standalone.
+    pub leaf_searches_shared: u64,
     /// Number of complete query matches reported.
     pub complete_matches: u64,
     /// Number of partial matches purged (window expiry).
@@ -82,6 +88,7 @@ impl ProfileCounters {
         self.leaf_matches += other.leaf_matches;
         self.retroactive_searches += other.retroactive_searches;
         self.searches_skipped += other.searches_skipped;
+        self.leaf_searches_shared += other.leaf_searches_shared;
         self.complete_matches += other.complete_matches;
         self.partial_matches_purged += other.partial_matches_purged;
         self.iso_time += other.iso_time;

@@ -13,6 +13,7 @@
 //! edge.
 
 use crate::engine::ContinuousQueryEngine;
+use crate::sharing::{EdgeSearchCache, SharedLeafIndex, SharedLeafStats};
 use crate::strategy::Strategy;
 use sp_graph::{DynamicGraph, EdgeData, EdgeType};
 use sp_iso::SubgraphMatch;
@@ -48,25 +49,70 @@ impl From<Strategy> for StrategySpec {
 }
 
 /// Owns the engines of all registered queries plus the edge-type dispatch
-/// index over them.
-#[derive(Debug, Clone, Default)]
+/// index and the shared-leaf index over them.
+#[derive(Debug, Clone)]
 pub struct QueryRegistry {
     /// Engines by query id; a `BTreeMap` keeps iteration (and therefore match
     /// reporting) in registration order.
     engines: BTreeMap<QueryId, ContinuousQueryEngine>,
     /// Edge type → queries whose pattern contains an edge of that type.
     dispatch: HashMap<EdgeType, Vec<QueryId>>,
+    /// Canonical leaf shape → subscribers; deduplicates the anchored leaf
+    /// searches across queries (see [`crate::SharedLeafIndex`]).
+    shared: SharedLeafIndex,
+    /// Whether dispatched edges go through the shared leaf-search stage
+    /// (default) or every engine re-runs its own searches.
+    sharing: bool,
     next_id: u64,
 }
 
+impl Default for QueryRegistry {
+    fn default() -> Self {
+        Self {
+            engines: BTreeMap::new(),
+            dispatch: HashMap::new(),
+            shared: SharedLeafIndex::new(),
+            sharing: true,
+            next_id: 0,
+        }
+    }
+}
+
 impl QueryRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry (shared-leaf evaluation enabled).
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Enables or disables shared-leaf evaluation. Disabling reverts to the
+    /// per-engine search path (each engine re-runs its own anchored leaf
+    /// searches); the reported match multiset is identical either way.
+    /// Queries registered while sharing is off still subscribe, so sharing
+    /// can be toggled back on at any time.
+    pub fn set_sharing(&mut self, enabled: bool) {
+        self.sharing = enabled;
+    }
+
+    /// Whether shared-leaf evaluation is active.
+    pub fn sharing_enabled(&self) -> bool {
+        self.sharing
+    }
+
+    /// Snapshot of the shared-leaf index bookkeeping (distinct shapes,
+    /// subscriptions, searches run vs eliminated).
+    pub fn shared_leaf_stats(&self) -> SharedLeafStats {
+        self.shared.stats()
+    }
+
+    /// Read access to the shared-leaf index (residency queries for
+    /// sharing-aware cost estimates).
+    pub fn shared_leaves(&self) -> &SharedLeafIndex {
+        &self.shared
+    }
+
     /// Registers an engine, indexing it under every edge type its query
-    /// uses. Returns the new query's id.
+    /// uses and subscribing its leaves to the shared-leaf index. Returns the
+    /// new query's id.
     pub fn register(&mut self, engine: ContinuousQueryEngine) -> QueryId {
         let id = QueryId(self.next_id);
         self.next_id += 1;
@@ -76,19 +122,22 @@ impl QueryRegistry {
                 slot.push(id);
             }
         }
+        self.shared.subscribe(id, &engine);
         self.engines.insert(id, engine);
         id
     }
 
     /// Removes a query, returning its engine (with all its runtime state) or
     /// `None` for an unknown id. The dispatch index drops the query from
-    /// every edge-type slot.
+    /// every edge-type slot, and the shared-leaf index drops shapes whose
+    /// last subscriber left.
     pub fn deregister(&mut self, id: QueryId) -> Option<ContinuousQueryEngine> {
         let engine = self.engines.remove(&id)?;
         self.dispatch.retain(|_, ids| {
             ids.retain(|&q| q != id);
             !ids.is_empty()
         });
+        self.shared.unsubscribe(id);
         Some(engine)
     }
 
@@ -148,6 +197,12 @@ impl QueryRegistry {
     /// Dispatches one new edge (already inserted into `graph`) to every
     /// candidate engine and forwards the complete matches to `emit`. Returns
     /// the number of matches reported.
+    ///
+    /// With sharing enabled this is the two-stage pipeline: the shared
+    /// leaf-search stage runs each distinct canonical leaf search **once**
+    /// for the edge and fans the rebased matches into each subscriber's
+    /// join stage; engines that cannot share (VF2 baseline, oversized
+    /// leaves) and the sharing-off path run their private searches instead.
     pub fn process_edge(
         &mut self,
         graph: &DynamicGraph,
@@ -155,17 +210,31 @@ impl QueryRegistry {
         mut emit: impl FnMut(QueryId, SubgraphMatch),
     ) -> u64 {
         let QueryRegistry {
-            engines, dispatch, ..
+            engines,
+            dispatch,
+            shared,
+            sharing,
+            ..
         } = self;
         let Some(ids) = dispatch.get(&edge.edge_type) else {
             return 0;
         };
         let mut reported = 0;
+        let mut cache = EdgeSearchCache::new();
         for &id in ids {
             let engine = engines
                 .get_mut(&id)
                 .expect("dispatch index only references live queries");
-            for m in engine.process_edge(graph, edge) {
+            let prepared = if *sharing {
+                shared.prepare(id, engine, graph, edge, &mut cache)
+            } else {
+                None
+            };
+            let matches = match prepared {
+                Some(fanout) => engine.process_edge_prepared(graph, edge, fanout),
+                None => engine.process_edge(graph, edge),
+            };
+            for m in matches {
                 reported += 1;
                 emit(id, m);
             }

@@ -1,0 +1,439 @@
+//! Shared-leaf evaluation: one anchored search per distinct leaf shape per
+//! streaming edge.
+//!
+//! The SJ-Tree decomposes each query into small leaf subgraphs whose matches
+//! are found by anchored search and joined upward. With many registered
+//! queries, distinct queries routinely decompose into *structurally
+//! identical* leaves (the same typed edge, the same wedge), and the
+//! per-engine pipeline re-ran the same anchored search once per query per
+//! edge. [`SharedLeafIndex`] deduplicates that work across the registry —
+//! the shared-subpattern design of "Large-scale continuous subgraph queries
+//! on streams" (Choudhury et al., 2012) and StreamWorks:
+//!
+//! * at registration, every SJ-Tree leaf is canonicalized to a
+//!   [`LeafSignature`] (vertex numbering normalized; vertex types, edge
+//!   types and direction preserved) and the query subscribes to that shape,
+//!   keeping the [`CanonicalMapping`] back to its own numbering;
+//! * per edge, the registry asks the index to [`prepare`](SharedLeafIndex::prepare)
+//!   each candidate engine: the anchored search for each distinct signature
+//!   runs **once** (memoized in an [`EdgeSearchCache`] for the duration of
+//!   the edge) and its matches are rebased onto every subscriber via
+//!   [`SubgraphMatch::remapped`];
+//! * lazy engines keep their enable/disable gating by *filtering the
+//!   fan-out* — the index consults
+//!   [`ContinuousQueryEngine::leaf_accepts`] before rebasing, and a
+//!   signature none of whose gate-passing subscribers need it is never
+//!   searched at all.
+//!
+//! Sharing is semantics-preserving: the engine consumes prepared matches in
+//! exactly the order its own search would have produced work items, so the
+//! reported match multiset is byte-identical to the per-engine path (the
+//! equivalence tests assert this with sharing on, off, and against
+//! independent processors).
+
+use crate::engine::{ContinuousQueryEngine, LeafFanout, PreparedLeaf};
+use crate::registry::QueryId;
+use sp_graph::{DynamicGraph, EdgeData, EdgeType};
+use sp_iso::{find_matches_containing_edge, SubgraphMatch};
+use sp_query::{canonicalize_subgraph, CanonicalMapping, LeafSignature, QueryGraph, QuerySubgraph};
+use sp_sjtree::NodeId;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+use std::time::{Duration, Instant};
+
+/// One interned canonical leaf shape: the materialized canonical query (what
+/// the anchored matcher runs against) plus subscriber bookkeeping.
+#[derive(Debug, Clone)]
+struct SigEntry {
+    signature: LeafSignature,
+    /// Canonical query graph the shared search runs against.
+    query: QueryGraph,
+    /// Subgraph view covering all of `query`.
+    subgraph: QuerySubgraph,
+    /// Distinct edge types in the leaf — the cheap "can this edge possibly
+    /// match?" pre-filter.
+    edge_types: Vec<EdgeType>,
+    /// Number of (query, leaf) subscriptions currently pointing here.
+    subscribers: usize,
+}
+
+/// One leaf subscription of one query: which signature it points at and how
+/// to translate canonical matches back into the query's own numbering.
+#[derive(Debug, Clone)]
+struct LeafSub {
+    /// Selectivity rank of the leaf in its engine (also its index in the
+    /// prepared fan-out).
+    rank: usize,
+    /// The SJ-Tree node of the leaf (introspection only; the engine resolves
+    /// ranks itself).
+    node: NodeId,
+    /// Index into the entry table.
+    sig: usize,
+    /// Canonical → subscriber numbering.
+    mapping: CanonicalMapping,
+}
+
+/// Snapshot of the index's bookkeeping, used by tests, examples and the
+/// `sharing` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedLeafStats {
+    /// Distinct canonical leaf shapes currently interned.
+    pub distinct_leaves: usize,
+    /// Current (query, leaf) subscriptions across all shared queries.
+    pub total_subscriptions: usize,
+    /// Queries currently evaluated through the shared stage.
+    pub shared_queries: usize,
+    /// Anchored leaf searches actually executed by the shared stage.
+    pub searches_run: u64,
+    /// Leaf searches *eliminated*: consumers served from a search another
+    /// subscriber already triggered for the same edge.
+    pub searches_shared: u64,
+    /// Leaf searches delegated back to their engine because the shape has a
+    /// single subscriber — nothing to share, so the engine searches its own
+    /// numbering directly (no canonical search, no rebase).
+    pub searches_delegated: u64,
+}
+
+impl SharedLeafStats {
+    /// Fraction of would-be leaf searches that sharing eliminated
+    /// (`shared / (run + shared + delegated)`; 0 when nothing ran).
+    pub fn elimination_ratio(&self) -> f64 {
+        let total = self.searches_run + self.searches_shared + self.searches_delegated;
+        if total == 0 {
+            0.0
+        } else {
+            self.searches_shared as f64 / total as f64
+        }
+    }
+}
+
+/// Per-edge memo of shared search executions: signature index → matches (in
+/// canonical numbering) and the search's wall time. Created fresh by the
+/// registry for every dispatched edge and dropped afterwards.
+#[derive(Debug, Default)]
+pub struct EdgeSearchCache {
+    searches: HashMap<usize, CachedSearch>,
+}
+
+#[derive(Debug)]
+struct CachedSearch {
+    matches: Vec<SubgraphMatch>,
+    elapsed: Duration,
+    /// Set once the first consumer has been charged the search time.
+    consumed: bool,
+}
+
+impl EdgeSearchCache {
+    /// An empty cache for one edge.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The registry-wide index of canonical leaf shapes and their subscribers.
+#[derive(Debug, Clone, Default)]
+pub struct SharedLeafIndex {
+    by_sig: HashMap<LeafSignature, usize>,
+    entries: Vec<Option<SigEntry>>,
+    free: Vec<usize>,
+    /// Per-query subscriptions in leaf-rank order. A query absent from this
+    /// map (VF2 baseline, oversized leaf) is evaluated on its private path.
+    subs: BTreeMap<QueryId, Vec<LeafSub>>,
+    searches_run: u64,
+    searches_shared: u64,
+    searches_delegated: u64,
+}
+
+impl SharedLeafIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes a query's engine: canonicalizes every SJ-Tree leaf and
+    /// interns the shapes. Returns `false` — leaving the engine on its
+    /// private search path — for the VF2 baseline or when a (hand-built)
+    /// leaf exceeds the canonicalization size cap.
+    pub fn subscribe(&mut self, id: QueryId, engine: &ContinuousQueryEngine) -> bool {
+        let Some(tree) = engine.tree() else {
+            return false;
+        };
+        let query = tree.query();
+        let mut canon = Vec::with_capacity(tree.num_leaves());
+        for (rank, &leaf) in tree.leaves().iter().enumerate() {
+            let Some((sig, mapping)) = canonicalize_subgraph(query, tree.subgraph(leaf)) else {
+                return false;
+            };
+            canon.push((rank, leaf, sig, mapping));
+        }
+        let subs = canon
+            .into_iter()
+            .map(|(rank, node, sig, mapping)| LeafSub {
+                rank,
+                node,
+                sig: self.intern(sig),
+                mapping,
+            })
+            .collect();
+        self.subs.insert(id, subs);
+        true
+    }
+
+    /// Drops a query's subscriptions. The last unsubscriber of a shape drops
+    /// the interned entry entirely (`distinct_leaves` shrinks).
+    pub fn unsubscribe(&mut self, id: QueryId) {
+        let Some(subs) = self.subs.remove(&id) else {
+            return;
+        };
+        for sub in subs {
+            let entry = self.entries[sub.sig]
+                .as_mut()
+                .expect("subscription references a live entry");
+            entry.subscribers -= 1;
+            if entry.subscribers == 0 {
+                let entry = self.entries[sub.sig].take().expect("checked above");
+                self.by_sig.remove(&entry.signature);
+                self.free.push(sub.sig);
+            }
+        }
+    }
+
+    /// Whether a query is evaluated through the shared stage.
+    pub fn is_subscribed(&self, id: QueryId) -> bool {
+        self.subs.contains_key(&id)
+    }
+
+    /// Whether a canonical leaf shape is currently resident in the index
+    /// (the residency predicate behind sharing-aware cost estimates).
+    pub fn contains(&self, sig: &LeafSignature) -> bool {
+        self.by_sig.contains_key(sig)
+    }
+
+    /// The subscribers of a canonical leaf shape, as `(query, leaf node)`
+    /// pairs in registration order.
+    pub fn subscribers(&self, sig: &LeafSignature) -> Vec<(QueryId, NodeId)> {
+        let Some(&idx) = self.by_sig.get(sig) else {
+            return Vec::new();
+        };
+        self.subs
+            .iter()
+            .flat_map(|(&id, subs)| {
+                subs.iter()
+                    .filter(move |s| s.sig == idx)
+                    .map(move |s| (id, s.node))
+            })
+            .collect()
+    }
+
+    /// Current and cumulative bookkeeping.
+    pub fn stats(&self) -> SharedLeafStats {
+        SharedLeafStats {
+            distinct_leaves: self.by_sig.len(),
+            total_subscriptions: self.subs.values().map(Vec::len).sum(),
+            shared_queries: self.subs.len(),
+            searches_run: self.searches_run,
+            searches_shared: self.searches_shared,
+            searches_delegated: self.searches_delegated,
+        }
+    }
+
+    /// Builds the prepared fan-out for one candidate engine on one edge:
+    /// `result[rank]` is `None` for gate-filtered leaves, a rebased
+    /// shared-search result for shapes with multiple subscribers, and
+    /// [`LeafFanout::SearchLocally`] for single-subscriber shapes (nothing
+    /// to share — the engine searches its own numbering, paying neither the
+    /// canonical search nor the rebase). Returns `None` when the query is
+    /// not subscribed (caller falls back to the engine's private path).
+    ///
+    /// The first consumer of a signature this edge triggers the actual
+    /// anchored search (and is charged its wall time); every further
+    /// consumer is served from `cache` and counted as an eliminated search.
+    pub fn prepare(
+        &mut self,
+        id: QueryId,
+        engine: &ContinuousQueryEngine,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        cache: &mut EdgeSearchCache,
+    ) -> Option<Vec<Option<LeafFanout>>> {
+        let SharedLeafIndex {
+            entries,
+            subs,
+            searches_run,
+            searches_shared,
+            searches_delegated,
+            ..
+        } = self;
+        let subs = subs.get(&id)?;
+        let mut out: Vec<Option<LeafFanout>> = Vec::with_capacity(subs.len());
+        for sub in subs {
+            debug_assert_eq!(sub.rank, out.len(), "subscriptions are in rank order");
+            if !engine.leaf_accepts(sub.rank, edge) {
+                out.push(None);
+                continue;
+            }
+            let entry = entries[sub.sig]
+                .as_ref()
+                .expect("subscription references a live entry");
+            if !entry.edge_types.contains(&edge.edge_type) {
+                // The edge's type does not occur in the leaf: the anchored
+                // search would trivially find nothing. Feed the engine an
+                // empty result without touching the cache or the stats.
+                out.push(Some(LeafFanout::Prepared(PreparedLeaf {
+                    matches: Vec::new(),
+                    charged: None,
+                    shared: false,
+                })));
+                continue;
+            }
+            if entry.subscribers == 1 {
+                // No other query (or leaf) can reuse this search: skip the
+                // canonical indirection entirely.
+                *searches_delegated += 1;
+                out.push(Some(LeafFanout::SearchLocally));
+                continue;
+            }
+            let cached = match cache.searches.entry(sub.sig) {
+                Entry::Occupied(o) => o.into_mut(),
+                Entry::Vacant(v) => {
+                    let t0 = Instant::now();
+                    let matches =
+                        find_matches_containing_edge(graph, &entry.query, &entry.subgraph, edge);
+                    let elapsed = t0.elapsed();
+                    *searches_run += 1;
+                    v.insert(CachedSearch {
+                        matches,
+                        elapsed,
+                        consumed: false,
+                    })
+                }
+            };
+            let shared = cached.consumed;
+            if shared {
+                *searches_shared += 1;
+            }
+            let charged = if cached.consumed {
+                None
+            } else {
+                Some(cached.elapsed)
+            };
+            cached.consumed = true;
+            let matches = cached
+                .matches
+                .iter()
+                .map(|m| m.remapped(&sub.mapping.vertices, &sub.mapping.edges))
+                .collect();
+            out.push(Some(LeafFanout::Prepared(PreparedLeaf {
+                matches,
+                charged,
+                shared,
+            })));
+        }
+        Some(out)
+    }
+
+    /// Interns a signature, materializing the canonical query on first use.
+    fn intern(&mut self, sig: LeafSignature) -> usize {
+        if let Some(&idx) = self.by_sig.get(&sig) {
+            let entry = self.entries[idx].as_mut().expect("interned entry is live");
+            entry.subscribers += 1;
+            return idx;
+        }
+        let (query, subgraph) = sig.instantiate("shared-leaf");
+        let entry = SigEntry {
+            edge_types: sig.edge_types(),
+            signature: sig.clone(),
+            query,
+            subgraph,
+            subscribers: 1,
+        };
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = Some(entry);
+                slot
+            }
+            None => {
+                self.entries.push(Some(entry));
+                self.entries.len() - 1
+            }
+        };
+        self.by_sig.insert(sig, idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use sp_graph::EdgeType;
+    use sp_selectivity::SelectivityEstimator;
+
+    fn engine_for(types: &[u32]) -> ContinuousQueryEngine {
+        let mut q = QueryGraph::new("q");
+        let mut prev = q.add_any_vertex();
+        for &t in types {
+            let next = q.add_any_vertex();
+            q.add_edge(prev, next, EdgeType(t));
+            prev = next;
+        }
+        ContinuousQueryEngine::new(q, Strategy::Single, &SelectivityEstimator::new(), None).unwrap()
+    }
+
+    #[test]
+    fn identical_leaves_intern_once_and_drop_with_the_last_subscriber() {
+        let mut index = SharedLeafIndex::new();
+        // Two queries over the same two edge types share both leaf shapes.
+        assert!(index.subscribe(QueryId(0), &engine_for(&[1, 2])));
+        assert!(index.subscribe(QueryId(1), &engine_for(&[1, 2])));
+        // A third query shares one type and brings one new shape.
+        assert!(index.subscribe(QueryId(2), &engine_for(&[2, 9])));
+        let stats = index.stats();
+        assert_eq!(stats.distinct_leaves, 3);
+        assert_eq!(stats.total_subscriptions, 6);
+        assert_eq!(stats.shared_queries, 3);
+
+        index.unsubscribe(QueryId(0));
+        assert_eq!(index.stats().distinct_leaves, 3, "Q1 still holds both");
+        index.unsubscribe(QueryId(1));
+        // The type-1 shape lost its last subscriber; type-2 survives via Q2.
+        assert_eq!(index.stats().distinct_leaves, 2);
+        index.unsubscribe(QueryId(2));
+        assert_eq!(index.stats().distinct_leaves, 0);
+        assert_eq!(index.stats().total_subscriptions, 0);
+    }
+
+    #[test]
+    fn vf2_engines_are_not_subscribed() {
+        let mut q = QueryGraph::new("vf2");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        q.add_edge(a, b, EdgeType(0));
+        let engine = ContinuousQueryEngine::new(
+            q,
+            Strategy::Vf2Baseline,
+            &SelectivityEstimator::new(),
+            None,
+        )
+        .unwrap();
+        let mut index = SharedLeafIndex::new();
+        assert!(!index.subscribe(QueryId(0), &engine));
+        assert!(!index.is_subscribed(QueryId(0)));
+    }
+
+    #[test]
+    fn subscribers_lists_query_and_node() {
+        let mut index = SharedLeafIndex::new();
+        let e0 = engine_for(&[4]);
+        let e1 = engine_for(&[4]);
+        index.subscribe(QueryId(7), &e0);
+        index.subscribe(QueryId(9), &e1);
+        let tree = e0.tree().unwrap();
+        let (sig, _) = canonicalize_subgraph(tree.query(), tree.subgraph(tree.leaf(0))).unwrap();
+        let subs = index.subscribers(&sig);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].0, QueryId(7));
+        assert_eq!(subs[1].0, QueryId(9));
+        assert!(index.contains(&sig));
+    }
+}

@@ -8,7 +8,7 @@
 //! below 0.001, and SingleLazy be employed for queries above 0.001".
 
 use serde::{Deserialize, Serialize};
-use sp_query::QueryGraph;
+use sp_query::{canonicalize_subgraph, LeafSignature, QueryGraph};
 use sp_selectivity::SelectivityEstimator;
 use sp_sjtree::{decompose, expected_selectivity, DecompositionError, PrimitivePolicy};
 use std::fmt;
@@ -96,6 +96,12 @@ pub struct StrategyChoice {
     pub expected_path: f64,
     /// Expected Selectivity of the 1-edge decomposition.
     pub expected_single: f64,
+    /// Expected fraction of the chosen decomposition's leaf searches that
+    /// shared-leaf evaluation will eliminate, given the registry state the
+    /// caller described (see
+    /// [`SelectivityEstimator::estimate_sharing_benefit`]). 0 when chosen
+    /// without registry context ([`choose_strategy`]).
+    pub sharing_benefit: f64,
 }
 
 /// Chooses between `SingleLazy` and `PathLazy` for a query using the
@@ -107,6 +113,25 @@ pub fn choose_strategy(
     estimator: &SelectivityEstimator,
     threshold: f64,
 ) -> Result<StrategyChoice, DecompositionError> {
+    choose_strategy_with_sharing(query, estimator, threshold, |_| false)
+}
+
+/// Like [`choose_strategy`], additionally reporting the expected leaf-search
+/// savings of shared-leaf evaluation: `is_resident(sig)` tells the selector
+/// which canonical leaf shapes some registered query already subscribes to
+/// (e.g. [`SharedLeafIndex::contains`](crate::SharedLeafIndex::contains)).
+/// `Auto` registration on [`StreamProcessor`](crate::StreamProcessor) uses
+/// this to report how much of the new query's work the registry already
+/// pays for.
+pub fn choose_strategy_with_sharing<F>(
+    query: &QueryGraph,
+    estimator: &SelectivityEstimator,
+    threshold: f64,
+    is_resident: F,
+) -> Result<StrategyChoice, DecompositionError>
+where
+    F: Fn(&LeafSignature) -> bool,
+{
     let single = decompose(query, PrimitivePolicy::SingleEdge, estimator)?;
     let path = decompose(query, PrimitivePolicy::TwoEdgePath, estimator)?;
     let s_single = expected_selectivity(&single, estimator);
@@ -117,11 +142,22 @@ pub fn choose_strategy(
     } else {
         Strategy::SingleLazy
     };
+    let chosen_tree = if strategy == Strategy::PathLazy {
+        &path
+    } else {
+        &single
+    };
+    let leaves: Vec<LeafSignature> = chosen_tree
+        .leaf_subgraphs()
+        .filter_map(|sg| canonicalize_subgraph(query, sg).map(|(sig, _)| sig))
+        .collect();
+    let sharing_benefit = estimator.estimate_sharing_benefit(leaves.iter(), is_resident);
     Ok(StrategyChoice {
         strategy,
         relative_selectivity: xi,
         expected_path: s_path.expected,
         expected_single: s_single.expected,
+        sharing_benefit,
     })
 }
 

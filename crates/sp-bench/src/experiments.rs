@@ -7,12 +7,13 @@ use crate::report::{
     render_per_query_profiles,
 };
 use crate::runner::{
-    query_relative_selectivity, run_group, run_multi_query, run_parallel, run_query,
-    sample_by_expected_selectivity, Scale,
+    query_relative_selectivity, run_group, run_multi_query, run_parallel, run_query, run_sharing,
+    sample_by_expected_selectivity, Scale, SharingMeasurement,
 };
 use sp_datasets::{
     Dataset, LsbenchConfig, NetflowConfig, NytimesConfig, QueryGenerator, QueryKind,
 };
+use sp_graph::Schema;
 use sp_query::QueryGraph;
 use sp_selectivity::TwoEdgePathCounter;
 use sp_sjtree::{decompose, CostModel, PrimitivePolicy};
@@ -482,6 +483,117 @@ pub fn multiquery(scale: Scale) -> String {
     )
 }
 
+/// A SOC-style netflow rule pack with heavy leaf overlap: scan, beacon,
+/// exfiltration and tunnel variants that all decompose into a small pool of
+/// shared single-edge / wedge leaves (TCP appears in most rules, ICMP and
+/// ESP in several). Returns the first `n` rules of the pack (≤ 12).
+pub fn netflow_rule_pack(schema: &Schema, n: usize) -> Vec<QueryGraph> {
+    let t = |name: &str| schema.edge_type(name).expect("netflow protocol interned");
+    let chain = |name: &str, protos: &[&str]| {
+        let mut q = QueryGraph::new(name);
+        let mut prev = q.add_any_vertex();
+        for p in protos {
+            let next = q.add_any_vertex();
+            q.add_edge(prev, next, t(p));
+            prev = next;
+        }
+        q
+    };
+    let rules = [
+        chain("scan-tcp", &["ICMP", "TCP"]),
+        chain("exfil-esp", &["TCP", "ESP"]),
+        chain("scan-udp", &["ICMP", "UDP"]),
+        chain("exfil-gre", &["TCP", "GRE"]),
+        chain("tunnel", &["GRE", "ESP"]),
+        chain("beacon", &["UDP", "UDP"]),
+        chain("relay", &["TCP", "TCP"]),
+        chain("probe-chain", &["ICMP", "ICMP"]),
+        chain("exfil-bounce", &["TCP", "ESP", "TCP"]),
+        chain("scan-then-flood", &["ICMP", "TCP", "UDP"]),
+        chain("ah-probe", &["AH", "TCP"]),
+        chain("v6-relay", &["IPv6", "TCP"]),
+    ];
+    rules.into_iter().take(n).collect()
+}
+
+/// Shared-leaf evaluation measurements for the rule-pack sweep: pack sizes
+/// 4/8/12 under the eager and lazy 1-edge strategies. Used by the `sharing`
+/// experiment section and serialized to `BENCH_sharing.json` by the
+/// `reproduce` binary's `--json` flag.
+pub fn sharing_measurements(scale: Scale) -> Vec<SharingMeasurement> {
+    let dataset = &datasets(scale)[0];
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let window = Some((scale.stream_edges() / 10).max(100) as u64);
+    let mut out = Vec::new();
+    for &n in &[4usize, 8, 12] {
+        let pack = netflow_rule_pack(&dataset.schema, n);
+        for strategy in [Strategy::Single, Strategy::SingleLazy] {
+            out.push(run_sharing(
+                dataset,
+                &estimator,
+                &pack,
+                strategy,
+                scale.stream_edges(),
+                window,
+            ));
+        }
+    }
+    out
+}
+
+/// Shared-leaf evaluation — one anchored search per distinct leaf shape per
+/// edge, versus every engine re-searching. Both arms are asserted to report
+/// identical match multisets; `eliminated` is the fraction of would-be leaf
+/// searches the shared stage never ran.
+pub fn sharing(scale: Scale) -> String {
+    render_sharing(&sharing_measurements(scale))
+}
+
+/// Renders the `sharing` experiment table from precomputed measurements.
+pub fn render_sharing(measurements: &[SharingMeasurement]) -> String {
+    let mut rows = Vec::new();
+    for m in measurements {
+        rows.push(vec![
+            m.queries.to_string(),
+            m.strategy.clone(),
+            m.distinct_leaves.to_string(),
+            m.leaf_subscriptions.to_string(),
+            m.leaf_searches_run.to_string(),
+            m.leaf_searches_eliminated.to_string(),
+            format!("{:.1}%", 100.0 * m.elimination_ratio()),
+            fmt_seconds(m.unshared_elapsed.as_secs_f64()),
+            fmt_seconds(m.shared_elapsed.as_secs_f64()),
+            fmt_ratio(m.speedup()),
+            format!("{:.0}", m.throughput_eps()),
+            m.matches.to_string(),
+        ]);
+    }
+    format!(
+        "## Shared-leaf evaluation — one leaf search per shape per edge across the rule pack\n\n\
+         SOC-style netflow rules with overlapping leaves (scan / beacon / exfil / tunnel\n\
+         variants). Match multisets are asserted identical with sharing on and off;\n\
+         `eliminated` counts leaf searches served from another subscriber's search of the\n\
+         same edge (`ProfileCounters::leaf_searches_shared`).\n\n{}",
+        markdown_table(
+            &[
+                "queries",
+                "strategy",
+                "distinct leaves",
+                "subscriptions",
+                "searches run",
+                "eliminated",
+                "eliminated %",
+                "unshared",
+                "shared",
+                "speedup",
+                "edges/s",
+                "matches",
+            ],
+            &rows
+        )
+    )
+}
+
 /// Default worker counts swept by the `parallel` experiment (overridable via
 /// the `reproduce` binary's `--workers` flag).
 pub const DEFAULT_PARALLEL_WORKERS: &[usize] = &[1, 2, 4, 8];
@@ -688,6 +800,7 @@ pub const ALL_EXPERIMENTS: &[&str] = &[
     "strategy",
     "costmodel",
     "multiquery",
+    "sharing",
     "parallel",
 ];
 
@@ -716,6 +829,7 @@ pub fn run_experiment_with(id: &str, scale: Scale, workers: &[usize]) -> Option<
         "strategy" => strategy_selection(scale),
         "costmodel" => costmodel(scale),
         "multiquery" => multiquery(scale),
+        "sharing" => sharing(scale),
         "parallel" => parallel(scale, workers),
         _ => return None,
     };
@@ -735,7 +849,15 @@ mod tests {
             assert!(
                 *id == "table1"
                     || id.starts_with("fig")
-                    || ["profile", "strategy", "costmodel", "multiquery", "parallel"].contains(id)
+                    || [
+                        "profile",
+                        "strategy",
+                        "costmodel",
+                        "multiquery",
+                        "sharing",
+                        "parallel",
+                    ]
+                    .contains(id)
             );
         }
         assert!(run_experiment("unknown", Scale::Small).is_none());
@@ -762,5 +884,45 @@ mod tests {
         let t = fig6(Scale::Small, "b");
         assert!(t.contains("rank stability"));
         assert!(t.contains("TCP"));
+    }
+
+    #[test]
+    fn rule_pack_has_twelve_overlapping_rules() {
+        let d = &datasets(Scale::Small)[0];
+        let pack = netflow_rule_pack(&d.schema, 12);
+        assert_eq!(pack.len(), 12);
+        assert_eq!(netflow_rule_pack(&d.schema, 3).len(), 3);
+        // Heavy overlap: far fewer distinct edge types than edges.
+        let mut types: Vec<_> = pack
+            .iter()
+            .flat_map(|q| q.edges().map(|e| e.edge_type))
+            .collect();
+        let total = types.len();
+        types.sort_unstable();
+        types.dedup();
+        assert!(types.len() * 3 <= total, "pack is not overlapping enough");
+    }
+
+    #[test]
+    fn sharing_eliminates_at_least_30_percent_on_the_8_query_pack() {
+        // The acceptance bar for shared-leaf evaluation: on an overlapping
+        // ≥8-query netflow rule pack, at least 30% of leaf searches are
+        // eliminated, and the match multiset is unchanged (asserted inside
+        // run_sharing).
+        let d = &datasets(Scale::Small)[0];
+        let est = d.estimator_from_prefix(d.len() / 4);
+        let pack = netflow_rule_pack(&d.schema, 8);
+        for strategy in [Strategy::Single, Strategy::SingleLazy] {
+            let m = run_sharing(d, &est, &pack, strategy, 2_000, Some(400));
+            assert!(
+                m.elimination_ratio() >= 0.30,
+                "{strategy:?}: only {:.1}% of leaf searches eliminated ({} run, {} shared)",
+                100.0 * m.elimination_ratio(),
+                m.leaf_searches_run,
+                m.leaf_searches_eliminated,
+            );
+            assert_eq!(m.queries, 8);
+            assert!(m.distinct_leaves < m.leaf_subscriptions);
+        }
     }
 }

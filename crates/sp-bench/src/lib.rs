@@ -15,6 +15,7 @@
 //! | `strategy` | §6.5 — ξ-rule vs measured fastest strategy | [`experiments::strategy_selection`] |
 //! | `costmodel`| Appendix A — analytic cost model vs measurement | [`experiments::costmodel`] |
 //! | `multiquery` | Multi-query scaling: shared graph + edge-type dispatch vs N independent processors | [`experiments::multiquery`] |
+//! | `sharing`  | Shared-leaf evaluation: one leaf search per shape per edge vs per-engine searches | [`experiments::sharing`] |
 //!
 //! The `reproduce` binary drives these functions and renders markdown tables
 //! (the basis of `EXPERIMENTS.md`); the Criterion benches under `benches/`
@@ -27,4 +28,6 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 
-pub use runner::{MultiQueryMeasurement, QueryGroupResult, RunMeasurement, Scale};
+pub use runner::{
+    MultiQueryMeasurement, QueryGroupResult, RunMeasurement, Scale, SharingMeasurement,
+};

@@ -104,6 +104,7 @@ pub fn render_per_query_profiles(rows: &[(String, ProfileCounters)]) -> String {
             "edges seen",
             "iso searches",
             "skipped",
+            "shared",
             "leaf matches",
             "complete",
             "iso share",
@@ -118,6 +119,7 @@ fn profile_row(name: &str, p: &ProfileCounters) -> Vec<String> {
         p.edges_processed.to_string(),
         p.iso_searches.to_string(),
         p.searches_skipped.to_string(),
+        p.leaf_searches_shared.to_string(),
         p.leaf_matches.to_string(),
         p.complete_matches.to_string(),
         format!("{:.1}%", 100.0 * p.iso_time_fraction()),

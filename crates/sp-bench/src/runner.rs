@@ -290,6 +290,137 @@ pub fn run_multi_query(
     }
 }
 
+/// One measured shared-vs-unshared leaf-evaluation run: the same rule pack
+/// executed on one shared-graph [`StreamProcessor`] with shared-leaf
+/// evaluation on, and again with it off (every engine re-running its own
+/// anchored leaf searches).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharingMeasurement {
+    /// Number of registered queries.
+    pub queries: usize,
+    /// Stream edges processed by each arm.
+    pub edges: usize,
+    /// Strategy label the rule pack ran under.
+    pub strategy: String,
+    /// Wall-clock time with shared-leaf evaluation enabled.
+    #[serde(with = "serde_duration")]
+    pub shared_elapsed: Duration,
+    /// Wall-clock time with sharing disabled (per-engine searches).
+    #[serde(with = "serde_duration")]
+    pub unshared_elapsed: Duration,
+    /// Matches found (asserted identical between the two arms).
+    pub matches: u64,
+    /// Distinct canonical leaf shapes the pack decomposed into.
+    pub distinct_leaves: usize,
+    /// Leaf subscriptions across the pack (`>= distinct_leaves`; the gap is
+    /// the sharing opportunity).
+    pub leaf_subscriptions: usize,
+    /// Anchored leaf searches the shared arm actually executed.
+    pub leaf_searches_run: u64,
+    /// Leaf searches the shared arm eliminated (served from a search another
+    /// subscriber triggered on the same edge) — also surfaced per query via
+    /// `ProfileCounters::leaf_searches_shared`.
+    pub leaf_searches_eliminated: u64,
+    /// Leaf searches delegated back to a single-subscriber engine (no
+    /// sharing possible for that shape, so no shared-stage overhead paid).
+    pub leaf_searches_delegated: u64,
+}
+
+impl SharingMeasurement {
+    /// Speedup of the shared arm over the unshared arm.
+    pub fn speedup(&self) -> f64 {
+        self.unshared_elapsed.as_secs_f64() / self.shared_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Fraction of would-be leaf searches that sharing eliminated.
+    pub fn elimination_ratio(&self) -> f64 {
+        let total =
+            self.leaf_searches_run + self.leaf_searches_eliminated + self.leaf_searches_delegated;
+        if total == 0 {
+            0.0
+        } else {
+            self.leaf_searches_eliminated as f64 / total as f64
+        }
+    }
+
+    /// Shared-arm throughput in stream edges per second.
+    pub fn throughput_eps(&self) -> f64 {
+        self.edges as f64 / self.shared_elapsed.as_secs_f64().max(1e-12)
+    }
+
+    /// Unshared-arm throughput in stream edges per second.
+    pub fn unshared_throughput_eps(&self) -> f64 {
+        self.edges as f64 / self.unshared_elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs `queries` over the first `limit` events twice on a shared-graph
+/// [`StreamProcessor`] — once with shared-leaf evaluation, once without —
+/// asserting identical match multisets, and reports both timings plus the
+/// shared-leaf index statistics.
+pub fn run_sharing(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    queries: &[QueryGraph],
+    strategy: Strategy,
+    limit: usize,
+    window: Option<u64>,
+) -> SharingMeasurement {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    let run = |sharing: bool| {
+        let mut proc = StreamProcessor::new(dataset.schema.clone())
+            .with_estimator(estimator.clone())
+            .with_statistics(false)
+            .with_sharing(sharing);
+        for query in queries {
+            proc.register(query.clone(), strategy, window)
+                .expect("query decomposes");
+        }
+        // Collect raw matches in the timed loop; fingerprint and sort the
+        // multiset outside it so the equality check does not skew the
+        // shared-vs-unshared timing.
+        let mut found: Vec<(streampattern::QueryId, streampattern::SubgraphMatch)> = Vec::new();
+        let mut sink = streampattern::FnSink(|q, m: streampattern::SubgraphMatch| {
+            found.push((q, m));
+        });
+        let start = Instant::now();
+        for ev in events {
+            proc.process_into(ev, &mut sink);
+        }
+        let elapsed = start.elapsed();
+        let mut found: Vec<(streampattern::QueryId, String)> = found
+            .into_iter()
+            .map(|(q, m)| (q, format!("{:?}", m.edge_pairs().collect::<Vec<_>>())))
+            .collect();
+        found.sort();
+        (elapsed, found, proc.shared_leaf_stats())
+    };
+    // Interleave two passes per arm and keep the faster one, so allocator /
+    // page-cache warm-up does not systematically favor whichever arm runs
+    // second (the counter-based statistics are identical across passes).
+    let (unshared_first, unshared_matches, _) = run(false);
+    let (shared_first, shared_matches, stats) = run(true);
+    let (unshared_second, _, _) = run(false);
+    let (shared_second, _, _) = run(true);
+    assert_eq!(
+        shared_matches, unshared_matches,
+        "shared-leaf evaluation changed the match multiset"
+    );
+    SharingMeasurement {
+        queries: queries.len(),
+        edges: events.len(),
+        strategy: strategy.label().to_owned(),
+        shared_elapsed: shared_first.min(shared_second),
+        unshared_elapsed: unshared_first.min(unshared_second),
+        matches: shared_matches.len() as u64,
+        distinct_leaves: stats.distinct_leaves,
+        leaf_subscriptions: stats.total_subscriptions,
+        leaf_searches_run: stats.searches_run,
+        leaf_searches_eliminated: stats.searches_shared,
+        leaf_searches_delegated: stats.searches_delegated,
+    }
+}
+
 /// One measured run of the parallel runtime against the sequential
 /// [`StreamProcessor`] on the same multi-query workload.
 #[derive(Debug, Clone, Serialize, Deserialize)]

@@ -11,7 +11,10 @@ use std::collections::BTreeMap;
 /// mapping a query edge to a data edge. The vertex binding is kept alongside
 /// because every consistency check (injectivity, join compatibility, join-key
 /// projection) is expressed on vertices.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// The derived ordering (edge binding, then vertex binding, then time span)
+/// has no semantic meaning; it exists so match stores can keep buckets
+/// sorted and deduplicate in `O(log n)` instead of scanning.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SubgraphMatch {
     edge_map: BTreeMap<QueryEdgeId, EdgeId>,
     vertex_map: BTreeMap<QueryVertexId, VertexId>,
@@ -211,6 +214,32 @@ impl SubgraphMatch {
     pub fn is_live(&self, graph: &DynamicGraph) -> bool {
         self.edge_map.values().all(|&e| graph.contains_edge(e))
     }
+
+    /// Rebases a match found against a *canonical* leaf (query vertices
+    /// `0..n`, query edges `0..m`) onto another query's numbering:
+    /// `vertex_map[c]` / `edge_map[c]` name the target ids for canonical
+    /// vertex/edge `c`. Data bindings and the time interval are preserved
+    /// byte for byte, so the result is exactly the match an anchored search
+    /// against the target query's own leaf would have produced.
+    ///
+    /// # Panics
+    /// Panics when the match binds a canonical id outside the mappings.
+    pub fn remapped(
+        &self,
+        vertex_map: &[QueryVertexId],
+        edge_map: &[QueryEdgeId],
+    ) -> SubgraphMatch {
+        let mut out = SubgraphMatch::new();
+        for (&qv, &dv) in &self.vertex_map {
+            out.vertex_map.insert(vertex_map[qv.0], dv);
+        }
+        for (&qe, &de) in &self.edge_map {
+            out.edge_map.insert(edge_map[qe.0], de);
+        }
+        out.earliest = self.earliest;
+        out.latest = self.latest;
+        out
+    }
 }
 
 #[cfg(test)]
@@ -337,6 +366,24 @@ mod tests {
         assert!(m.is_empty());
         assert_eq!(m.duration(), 0);
         assert!(m.within_window(1));
+    }
+
+    #[test]
+    fn remapped_rebases_ids_and_keeps_data_bindings() {
+        let mut canon = SubgraphMatch::new();
+        canon.bind_vertex(qv(0), dv(10));
+        canon.bind_vertex(qv(1), dv(11));
+        canon.bind_edge(qe(0), de(100), Timestamp(7));
+        // Canonical vertex 0 -> query vertex 4, 1 -> 2; edge 0 -> query edge 3.
+        let m = canon.remapped(&[qv(4), qv(2)], &[qe(3)]);
+        assert_eq!(m.data_vertex(qv(4)), Some(dv(10)));
+        assert_eq!(m.data_vertex(qv(2)), Some(dv(11)));
+        assert_eq!(m.data_vertex(qv(0)), None);
+        assert_eq!(m.data_edge(qe(3)), Some(de(100)));
+        assert_eq!(m.earliest(), Timestamp(7));
+        assert_eq!(m.latest(), Timestamp(7));
+        assert_eq!(m.num_edges(), 1);
+        assert_eq!(m.num_vertices(), 2);
     }
 
     #[test]

@@ -19,10 +19,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod canonical;
 mod query;
 mod signature;
 mod subgraph;
 
+pub use canonical::{
+    canonicalize_subgraph, CanonicalEdge, CanonicalMapping, LeafSignature, MAX_CANONICAL_VERTICES,
+};
 pub use query::{QueryEdge, QueryEdgeId, QueryGraph, QueryVertex, QueryVertexId};
 pub use signature::{DirectedEdgeType, EdgeSignature, Primitive, TwoEdgePathSignature};
 pub use subgraph::QuerySubgraph;

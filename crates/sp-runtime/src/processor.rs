@@ -13,14 +13,22 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use streampattern::{
-    choose_strategy, retention_for_windows, CollectSink, ContinuousQueryEngine, CountSink,
-    EngineError, MatchSink, ProfileCounters, QueryId, StrategySpec, RELATIVE_SELECTIVITY_THRESHOLD,
+    canonicalize_subgraph, choose_strategy, retention_for_windows, CollectSink,
+    ContinuousQueryEngine, CountSink, EngineError, LeafSignature, MatchSink, ProfileCounters,
+    QueryId, StrategySpec, RELATIVE_SELECTIVITY_THRESHOLD,
 };
 
 /// How long a control wait sleeps on the aggregation channel before
 /// re-checking its reply channel. Small enough to stay responsive, large
 /// enough not to spin.
 const CONTROL_POLL: Duration = Duration::from_micros(50);
+
+/// How much of a query's estimated cost is forgiven on a shard that already
+/// hosts (some of) its canonical leaf shapes: each worker's registry runs
+/// shared-leaf evaluation, so a co-located sharer pays only the join stage
+/// for the overlapping leaves. 1.0 would assume leaf search is the entire
+/// cost; 0.5 keeps the assignment balanced when the join stage dominates.
+const SHARING_COST_DISCOUNT: f64 = 0.5;
 
 /// Observable counters of the runtime itself (as opposed to the query
 /// engines' [`ProfileCounters`]).
@@ -60,10 +68,13 @@ struct WorkerHandle {
     join: Option<JoinHandle<()>>,
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 struct ShardAssignment {
     worker: usize,
     cost: f64,
+    /// The query's canonical leaf shapes, kept to release the shard's
+    /// residency refcounts at deregistration.
+    sigs: Vec<LeafSignature>,
 }
 
 /// A parallel, sharded multi-query stream processor.
@@ -101,6 +112,10 @@ pub struct ParallelStreamProcessor {
     assignments: HashMap<QueryId, ShardAssignment>,
     windows: HashMap<QueryId, Option<u64>>,
     shard_costs: Vec<f64>,
+    /// Per-shard refcounts of resident canonical leaf shapes, mirroring what
+    /// each worker's `SharedLeafIndex` holds; drives sharing-aware
+    /// assignment.
+    shard_sigs: Vec<HashMap<LeafSignature, usize>>,
     next_id: u64,
     retention: Option<u64>,
     events_ingested: u64,
@@ -139,6 +154,7 @@ impl ParallelStreamProcessor {
             });
         }
         let shard_costs = vec![0.0; config.workers];
+        let shard_sigs = vec![HashMap::new(); config.workers];
         Self {
             config,
             estimator: SelectivityEstimator::new(),
@@ -147,6 +163,7 @@ impl ParallelStreamProcessor {
             assignments: HashMap::new(),
             windows: HashMap::new(),
             shard_costs,
+            shard_sigs,
             next_id: 0,
             retention: None,
             events_ingested: 0,
@@ -209,6 +226,13 @@ impl ParallelStreamProcessor {
         &self.shard_costs
     }
 
+    /// Number of distinct canonical leaf shapes resident on a shard (the
+    /// facade's mirror of the worker registry's shared-leaf index), used to
+    /// observe sharing-aware placement.
+    pub fn shard_resident_leaves(&self, worker: usize) -> usize {
+        self.shard_sigs.get(worker).map(HashMap::len).unwrap_or(0)
+    }
+
     /// Registers a continuous query, mirroring
     /// [`StreamProcessor::register`](streampattern::StreamProcessor::register):
     /// the strategy is fixed or chosen by the Relative Selectivity rule
@@ -231,24 +255,48 @@ impl ParallelStreamProcessor {
     }
 
     /// Registers a pre-built engine (custom decompositions, replayed trees)
-    /// on the least-loaded shard.
+    /// on the best shard by *sharing-aware* cost: the query's estimated cost
+    /// is discounted on shards that already host its canonical leaf shapes
+    /// (each worker's registry deduplicates leaf searches, so a co-located
+    /// sharer is cheaper there), and the query goes to the shard minimizing
+    /// `load + discounted cost`. With no overlap anywhere this reduces to
+    /// the plain least-loaded assignment.
     pub fn register_engine(&mut self, engine: ContinuousQueryEngine) -> QueryId {
         // Cost floor keeps a shard from absorbing unbounded many "free"
         // queries: even a never-dispatched query costs registry space.
-        let cost = self.estimator.estimate_query_cost(engine.query()).max(1e-6);
+        let base_cost = self.estimator.estimate_query_cost(engine.query()).max(1e-6);
+        let sigs: Vec<LeafSignature> = engine
+            .tree()
+            .map(|tree| {
+                tree.leaf_subgraphs()
+                    .filter_map(|sg| canonicalize_subgraph(tree.query(), sg).map(|(sig, _)| sig))
+                    .collect()
+            })
+            .unwrap_or_default();
         let id = QueryId(self.next_id);
         self.next_id += 1;
-        let worker = self
-            .shard_costs
-            .iter()
-            .enumerate()
-            .min_by(|(_, a), (_, b)| a.partial_cmp(b).expect("costs are finite"))
-            .map(|(i, _)| i)
-            .expect("at least one worker");
+        let mut worker = 0;
+        let mut cost = base_cost;
+        let mut best_total = f64::INFINITY;
+        for (w, &load) in self.shard_costs.iter().enumerate() {
+            let benefit = self
+                .estimator
+                .estimate_sharing_benefit(sigs.iter(), |sig| self.shard_sigs[w].contains_key(sig));
+            let discounted = base_cost * (1.0 - SHARING_COST_DISCOUNT * benefit);
+            let total = load + discounted;
+            if total < best_total {
+                best_total = total;
+                worker = w;
+                cost = discounted;
+            }
+        }
         self.shard_costs[worker] += cost;
+        for sig in &sigs {
+            *self.shard_sigs[worker].entry(sig.clone()).or_insert(0) += 1;
+        }
         self.windows.insert(id, engine.window());
         self.assignments
-            .insert(id, ShardAssignment { worker, cost });
+            .insert(id, ShardAssignment { worker, cost, sigs });
         self.send_to_worker(
             worker,
             WorkerMsg::Register {
@@ -268,6 +316,14 @@ impl ParallelStreamProcessor {
         self.windows.remove(&id);
         self.shard_costs[assignment.worker] =
             (self.shard_costs[assignment.worker] - assignment.cost).max(0.0);
+        for sig in &assignment.sigs {
+            if let Some(count) = self.shard_sigs[assignment.worker].get_mut(sig) {
+                *count -= 1;
+                if *count == 0 {
+                    self.shard_sigs[assignment.worker].remove(sig);
+                }
+            }
+        }
         let (reply_tx, reply_rx) = channel();
         self.send_to_worker(
             assignment.worker,

@@ -358,3 +358,80 @@ fn ingest_filter_keeps_match_counts_and_shrinks_replicas() {
         "filter never skipped anything"
     );
 }
+
+#[test]
+fn shard_assignment_co_locates_leaf_sharers() {
+    // Two edge types with equal selectivity (50/50 stream), so every two-hop
+    // query has the same estimated cost. Plain least-loaded assignment would
+    // alternate shards and split the sharers; the sharing discount must
+    // instead co-locate queries with identical canonical leaves.
+    let schema = cyber_schema();
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let dns = schema.edge_type("dns").unwrap();
+    let mut estimator = streampattern::SelectivityEstimator::new();
+    for i in 0..100u64 {
+        estimator.observe_edge(&sp_graph::EdgeData {
+            id: sp_graph::EdgeId(i),
+            src: sp_graph::VertexId(i),
+            dst: sp_graph::VertexId(i + 1_000),
+            edge_type: if i % 2 == 0 { tcp } else { dns },
+            timestamp: Timestamp(i),
+        });
+    }
+    let two_hop = |name: &str, t| {
+        let mut q = QueryGraph::new(name);
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, t);
+        q.add_edge(b, c, t);
+        q
+    };
+    let mut runtime = ParallelStreamProcessor::new(
+        schema.clone(),
+        RuntimeConfig::with_workers(2).statistics(false),
+    )
+    .with_estimator(estimator);
+    let t1 = runtime
+        .register(two_hop("tcp-1", tcp), Strategy::SingleLazy, None)
+        .unwrap();
+    let d1 = runtime
+        .register(two_hop("dns-1", dns), Strategy::SingleLazy, None)
+        .unwrap();
+    let t2 = runtime
+        .register(two_hop("tcp-2", tcp), Strategy::SingleLazy, None)
+        .unwrap();
+    let d2 = runtime
+        .register(two_hop("dns-2", dns), Strategy::SingleLazy, None)
+        .unwrap();
+    assert_eq!(
+        runtime.shard_of(t1),
+        runtime.shard_of(t2),
+        "tcp sharers must co-locate"
+    );
+    assert_eq!(
+        runtime.shard_of(d1),
+        runtime.shard_of(d2),
+        "dns sharers must co-locate"
+    );
+    assert_ne!(runtime.shard_of(t1), runtime.shard_of(d1));
+    // Each shard hosts exactly one distinct leaf shape (shared twice).
+    assert_eq!(runtime.shard_resident_leaves(0), 1);
+    assert_eq!(runtime.shard_resident_leaves(1), 1);
+
+    // Deregistering the sharers releases the residency refcounts.
+    runtime.deregister(t1).unwrap();
+    runtime.deregister(t2).unwrap();
+    let tcp_shard = runtime.shard_of(d1).map(|w| 1 - w).unwrap();
+    assert_eq!(runtime.shard_resident_leaves(tcp_shard), 0);
+
+    // The co-located setup still answers correctly end to end.
+    let mut events = Vec::new();
+    for i in 0..40u64 {
+        events.push(EdgeEvent::homogeneous(i, i + 1, ip, dns, Timestamp(i)));
+    }
+    let found = runtime.process_all(events.iter());
+    // Each consecutive dns pair matches both registered dns queries.
+    assert_eq!(found, 2 * 39);
+}

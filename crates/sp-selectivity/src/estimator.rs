@@ -5,7 +5,7 @@ use crate::histogram::EdgeTypeHistogram;
 use crate::paths::TwoEdgePathCounter;
 use serde::{Deserialize, Serialize};
 use sp_graph::{DynamicGraph, EdgeData};
-use sp_query::Primitive;
+use sp_query::{LeafSignature, Primitive};
 
 /// Distributional statistics of a graph stream: the 1-edge histogram and the
 /// 2-edge path distribution, plus the Expected / Relative Selectivity metrics
@@ -162,6 +162,44 @@ impl SelectivityEstimator {
             .sum();
         dispatch_probability * query.num_edges() as f64
     }
+
+    /// Expected fraction of a query's leaf searches that shared-leaf
+    /// evaluation would eliminate, given the query's canonical leaf shapes
+    /// and a residency predicate (`is_resident(sig)` = "some already
+    /// registered query subscribes to this shape here").
+    ///
+    /// Each leaf is weighted by its *search rate* — the probability that an
+    /// incoming edge triggers the leaf's anchored search, i.e. the summed
+    /// selectivity of the leaf's distinct edge types (capped at 1) — so a
+    /// resident leaf over hot types counts for more than one over rare
+    /// types. Returns a value in `[0, 1]`; 0 for an empty leaf set. On an
+    /// empty estimator every type reports selectivity 1, degrading to the
+    /// plain fraction of resident leaves — still a usable ordering.
+    pub fn estimate_sharing_benefit<'a, I, F>(&self, leaves: I, is_resident: F) -> f64
+    where
+        I: IntoIterator<Item = &'a LeafSignature>,
+        F: Fn(&LeafSignature) -> bool,
+    {
+        let mut total = 0.0;
+        let mut covered = 0.0;
+        for sig in leaves {
+            let rate: f64 = sig
+                .edge_types()
+                .iter()
+                .map(|&t| self.selectivity(&Primitive::SingleEdge(t)))
+                .sum::<f64>()
+                .min(1.0);
+            total += rate;
+            if is_resident(sig) {
+                covered += rate;
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            covered / total
+        }
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +342,37 @@ mod tests {
         // The empty estimator still yields a finite, positive ordering key.
         let empty = SelectivityEstimator::new();
         assert!(empty.estimate_query_cost(&q_hot) > 0.0);
+    }
+
+    #[test]
+    fn sharing_benefit_weights_leaves_by_search_rate() {
+        use sp_query::{canonicalize_subgraph, QuerySubgraph};
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap();
+        let udp = g.schema().edge_type("udp").unwrap();
+        let sig_for = |t| {
+            let mut q = QueryGraph::new("leaf");
+            let a = q.add_any_vertex();
+            let b = q.add_any_vertex();
+            q.add_edge(a, b, t);
+            let sub = QuerySubgraph::from_edges(&q, q.edge_ids());
+            canonicalize_subgraph(&q, &sub).unwrap().0
+        };
+        let hot = sig_for(tcp); // selectivity 0.9
+        let cold = sig_for(udp); // selectivity 0.1
+        let leaves = [hot.clone(), cold.clone()];
+
+        assert_eq!(est.estimate_sharing_benefit(leaves.iter(), |_| false), 0.0);
+        assert!((est.estimate_sharing_benefit(leaves.iter(), |_| true) - 1.0).abs() < 1e-12);
+        // Only the hot leaf resident: benefit is its share of the search
+        // rate, 0.9 / (0.9 + 0.1).
+        let b = est.estimate_sharing_benefit(leaves.iter(), |s| *s == hot);
+        assert!((b - 0.9).abs() < 1e-12, "benefit = {b}");
+        let b = est.estimate_sharing_benefit(leaves.iter(), |s| *s == cold);
+        assert!((b - 0.1).abs() < 1e-12, "benefit = {b}");
+        // Empty leaf sets report no benefit.
+        assert_eq!(est.estimate_sharing_benefit([].iter(), |_| true), 0.0);
     }
 
     #[test]

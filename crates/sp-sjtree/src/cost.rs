@@ -29,6 +29,10 @@ pub struct CostModel {
     /// Estimated number of elementary search + join operations per streaming
     /// edge.
     pub work_per_edge: f64,
+    /// The leaf-search share of [`CostModel::work_per_edge`] — the part
+    /// shared-leaf evaluation can eliminate when other registered queries
+    /// subscribe to the same canonical leaves.
+    pub leaf_search_work: f64,
     /// Estimated frequency (expected number of matches over the sampled
     /// stream) per node, indexed by [`NodeId`].
     pub node_frequency: Vec<f64>,
@@ -77,12 +81,13 @@ impl CostModel {
 
         // Work per edge: leaf search costs plus expected hash-join work,
         // accumulated over every internal node.
-        let mut work_per_edge = 0.0;
+        let mut leaf_search_work = 0.0;
         for &leaf in tree.leaves() {
             let edges = tree.subgraph(leaf).num_edges();
             // O(1) for a single edge, O(d̄^(k-1)) for a k-edge primitive.
-            work_per_edge += avg_degree.max(1.0).powi(edges as i32 - 1);
+            leaf_search_work += avg_degree.max(1.0).powi(edges as i32 - 1);
         }
+        let mut work_per_edge = leaf_search_work;
         for node in tree.nodes() {
             if let (Some(l), Some(r)) = (node.left, node.right) {
                 let n1 = node_frequency[l.0];
@@ -95,6 +100,7 @@ impl CostModel {
         Self {
             space_units,
             work_per_edge,
+            leaf_search_work,
             node_frequency,
         }
     }
@@ -102,6 +108,16 @@ impl CostModel {
     /// Estimated frequency of a node.
     pub fn frequency(&self, node: NodeId) -> f64 {
         self.node_frequency[node.0]
+    }
+
+    /// Per-edge work after shared-leaf evaluation eliminates
+    /// `sharing_benefit` (∈ `[0, 1]`, e.g. from
+    /// `SelectivityEstimator::estimate_sharing_benefit`) of this query's
+    /// leaf searches: only the search share shrinks — the per-query hash
+    /// join always runs.
+    pub fn work_per_edge_with_sharing(&self, sharing_benefit: f64) -> f64 {
+        let benefit = sharing_benefit.clamp(0.0, 1.0);
+        self.work_per_edge - self.leaf_search_work * benefit
     }
 
     /// Observation 3 of Section 5: decomposing a subgraph `g_k` further is
@@ -198,6 +214,15 @@ mod tests {
         // Two 1-edge leaves cost 1 each; join work is small but positive.
         assert!(model.work_per_edge >= 2.0);
         assert!(model.work_per_edge < 5.0);
+        assert!((model.leaf_search_work - 2.0).abs() < 1e-9);
+        // Full sharing strips exactly the search share; the join remains.
+        let shared = model.work_per_edge_with_sharing(1.0);
+        assert!((shared - (model.work_per_edge - 2.0)).abs() < 1e-9);
+        assert!(shared > 0.0);
+        // Half sharing sits in between, and the benefit is clamped.
+        assert!(model.work_per_edge_with_sharing(0.5) < model.work_per_edge);
+        assert_eq!(model.work_per_edge_with_sharing(7.0), shared);
+        assert_eq!(model.work_per_edge_with_sharing(-1.0), model.work_per_edge);
     }
 
     #[test]

@@ -19,7 +19,11 @@ use sp_iso::SubgraphMatch;
 use std::collections::HashMap;
 
 /// Hash table of matches for one SJ-Tree node, keyed by the projection of
-/// each match onto the parent's cut vertices.
+/// each match onto the parent's cut vertices. Every bucket is kept **sorted**
+/// (by `SubgraphMatch`'s derived ordering) so duplicate detection on insert
+/// is a binary search instead of a linear scan — on a high-fan-in cut vertex
+/// a single bucket can hold thousands of partial matches, and the old
+/// `bucket.contains(&m)` scan made every insert `O(n)`.
 type NodeTable = HashMap<Vec<VertexId>, Vec<SubgraphMatch>>;
 
 /// Runtime partial-match storage for one SJ-Tree.
@@ -106,13 +110,16 @@ impl MatchStore {
             return;
         };
 
-        // Deduplicate.
-        if self.tables[node.0]
-            .get(&key)
-            .is_some_and(|bucket| bucket.contains(&m))
-        {
-            return;
-        }
+        // Deduplicate: buckets are sorted, so membership is O(log n). The
+        // failed search also yields the position that keeps the bucket
+        // sorted when the match is stored below.
+        let insert_at = match self.tables[node.0].get(&key) {
+            Some(bucket) => match bucket.binary_search(&m) {
+                Ok(_) => return,
+                Err(pos) => pos,
+            },
+            None => 0,
+        };
 
         // Probe the sibling's table with the same key and join (lines 4-7 of
         // Algorithm 2).
@@ -127,8 +134,12 @@ impl MatchStore {
             })
             .unwrap_or_default();
 
-        // Store the new match at this node (line 12).
-        self.tables[node.0].entry(key).or_default().push(m.clone());
+        // Store the new match at this node (line 12), preserving the sorted
+        // bucket invariant.
+        self.tables[node.0]
+            .entry(key)
+            .or_default()
+            .insert(insert_at, m.clone());
         self.inserted[node.0] += 1;
         trace.push((node, m));
 
@@ -157,6 +168,20 @@ impl MatchStore {
         self.tables[node.0].values().flat_map(|v| v.iter())
     }
 
+    /// Single-pass maintenance: removes every stored partial match that is
+    /// dead (references an edge expired out of the data graph) **or**, when
+    /// `window` is `Some(tw)`, expired (its earliest edge is older than
+    /// `latest - tw`, so any future join already spans the window). Walks
+    /// every bucket exactly once — the engine's periodic purge used to call
+    /// [`MatchStore::purge_dead`] and [`MatchStore::purge_expired`] back to
+    /// back, touching every bucket twice. Returns the number removed.
+    pub fn purge(&mut self, graph: &DynamicGraph, latest: Timestamp, window: Option<u64>) -> usize {
+        let cutoff = window.map(|tw| latest.0.saturating_sub(tw));
+        // The expiry check runs first — it is a field read, while liveness
+        // probes the graph per matched edge.
+        self.retain_matches(|m| cutoff.is_none_or(|c| m.earliest().0 >= c) && m.is_live(graph))
+    }
+
     /// Removes every stored partial match that can no longer participate in a
     /// windowed complete match: a partial match whose earliest edge is older
     /// than `latest - window` already spans at least the window by the time
@@ -164,26 +189,25 @@ impl MatchStore {
     /// Returns the number of matches removed.
     pub fn purge_expired(&mut self, latest: Timestamp, window: u64) -> usize {
         let cutoff = latest.0.saturating_sub(window);
-        let mut removed = 0;
-        for table in &mut self.tables {
-            for bucket in table.values_mut() {
-                let before = bucket.len();
-                bucket.retain(|m| m.earliest().0 >= cutoff);
-                removed += before - bucket.len();
-            }
-            table.retain(|_, bucket| !bucket.is_empty());
-        }
-        removed
+        self.retain_matches(|m| m.earliest().0 >= cutoff)
     }
 
     /// Removes every stored partial match that references an edge that has
     /// been expired out of the data graph. Returns the number removed.
     pub fn purge_dead(&mut self, graph: &DynamicGraph) -> usize {
+        self.retain_matches(|m| m.is_live(graph))
+    }
+
+    /// One walk over every bucket keeping only matches that satisfy `keep`;
+    /// the single implementation behind every purge flavour. `retain`
+    /// preserves relative order, so the sorted-bucket invariant survives.
+    /// Returns the number of matches removed.
+    fn retain_matches(&mut self, keep: impl Fn(&SubgraphMatch) -> bool) -> usize {
         let mut removed = 0;
         for table in &mut self.tables {
             for bucket in table.values_mut() {
                 let before = bucket.len();
-                bucket.retain(|m| m.is_live(graph));
+                bucket.retain(&keep);
                 removed += before - bucket.len();
             }
             table.retain(|_, bucket| !bucket.is_empty());
@@ -521,6 +545,97 @@ mod tests {
         g.expire();
         assert_eq!(store.purge_dead(&g), 1);
         assert_eq!(store.stats().total_live_matches, 0);
+    }
+
+    #[test]
+    fn single_pass_purge_matches_the_two_pass_result() {
+        use sp_graph::Schema;
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("v");
+        let t0 = schema.intern_edge_type("t0");
+        let mut g = DynamicGraph::with_window(schema, 50);
+        let a = g.add_vertex(vt);
+        let b = g.add_vertex(vt);
+        let e_dead = g.add_edge(a, b, t0, Timestamp(1));
+        let e_live = g.add_edge(a, b, t0, Timestamp(90));
+        g.add_edge(a, b, t0, Timestamp(100));
+        g.expire(); // t=1 is outside the 50-tick graph window
+
+        let tree = two_leaf_tree();
+        let build = |edges: &[(u64, u64)]| {
+            let mut store = MatchStore::new(&tree);
+            let mut complete = Vec::new();
+            for &(e, ts) in edges {
+                let mut m = SubgraphMatch::new();
+                m.bind_vertex(QueryVertexId(0), a);
+                m.bind_vertex(QueryVertexId(1), b);
+                m.bind_edge(QueryEdgeId(0), EdgeId(e), Timestamp(ts));
+                store.insert(&tree, tree.leaf(0), m, None, &mut complete);
+            }
+            store
+        };
+        // One dead match, one expired match (earliest 10 < 100-60), one live.
+        let edges = [(e_dead.0, 1u64), (777, 10), (e_live.0, 90)];
+        let mut single = build(&edges);
+        let mut double = build(&edges);
+        let removed_single = single.purge(&g, Timestamp(100), Some(60));
+        let removed_double = double.purge_dead(&g) + double.purge_expired(Timestamp(100), 60);
+        assert_eq!(removed_single, removed_double);
+        assert_eq!(removed_single, 2);
+        assert_eq!(single.stats().total_live_matches, 1);
+        assert_eq!(
+            single.stats().total_live_matches,
+            double.stats().total_live_matches
+        );
+        // Without a window only the two dead matches go (edge 777 never
+        // existed in the graph, so it is dead as well as expired).
+        let mut unwindowed = build(&edges);
+        assert_eq!(unwindowed.purge(&g, Timestamp(100), None), 2);
+    }
+
+    #[test]
+    fn high_fan_in_bucket_dedup_is_exact() {
+        // Thousands of leaf-1 matches share the single cut vertex 11, so they
+        // all land in ONE bucket. Every insert is repeated; the sorted-bucket
+        // dedup must drop each duplicate while keeping every distinct match.
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        const FAN: u64 = 2_000;
+        for round in 0..2 {
+            for i in 0..FAN {
+                store.insert(
+                    &tree,
+                    tree.leaf(1),
+                    leaf1_match(11, 100 + i, 1_000 + i, 2),
+                    None,
+                    &mut complete,
+                );
+            }
+            // Interleave out-of-order re-inserts to exercise mid-bucket
+            // insertion positions.
+            for i in (0..FAN).rev().step_by(7) {
+                store.insert(
+                    &tree,
+                    tree.leaf(1),
+                    leaf1_match(11, 100 + i, 1_000 + i, 2),
+                    None,
+                    &mut complete,
+                );
+            }
+            let _ = round;
+        }
+        assert_eq!(store.live_matches(tree.leaf(1)), FAN as usize);
+        assert_eq!(store.total_inserted(tree.leaf(1)), FAN);
+        // Joining against the fan still produces every combination once.
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 5, 1),
+            None,
+            &mut complete,
+        );
+        assert_eq!(complete.len(), FAN as usize);
     }
 
     #[test]
