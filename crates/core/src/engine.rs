@@ -31,7 +31,7 @@ use std::time::{Duration, Instant};
 
 /// The shared leaf-search stage's verdict for one gate-passing leaf of one
 /// engine on one edge.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum LeafFanout {
     /// The anchored search ran (or was memoized) centrally; here are its
     /// results, already rebased onto this engine's numbering.
@@ -46,7 +46,7 @@ pub enum LeafFanout {
 /// ([`SharedLeafIndex`](crate::SharedLeafIndex)) for one gate-passing leaf of
 /// one engine: the anchored-search results, already rebased onto this
 /// engine's vertex/edge numbering.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PreparedLeaf {
     /// The rebased matches the anchored search found (possibly empty).
     pub matches: Vec<SubgraphMatch>,
@@ -84,6 +84,20 @@ fn enable_with_probe(
     profile.retroactive_searches += 1;
     profile.leaf_matches += found.len() as u64;
     Some(found)
+}
+
+/// Structural equality of two query graphs (same vertices with the same
+/// type constraints, same edges in the same order): the precondition for
+/// swapping one decomposition for another.
+fn same_query(a: &QueryGraph, b: &QueryGraph) -> bool {
+    a.num_vertices() == b.num_vertices()
+        && a.num_edges() == b.num_edges()
+        && a.vertices()
+            .zip(b.vertices())
+            .all(|((_, x), (_, y))| x.vertex_type == y.vertex_type)
+        && a.edges()
+            .zip(b.edges())
+            .all(|(x, y)| x.src == y.src && x.dst == y.dst && x.edge_type == y.edge_type)
 }
 
 /// Execution backend: either the SJ-Tree machinery or the VF2 baseline.
@@ -260,13 +274,18 @@ impl ContinuousQueryEngine {
     /// hash join, windowing — in exactly the order the standalone path
     /// would, so the reported match multiset is identical.
     ///
+    /// `prepared` is a caller-owned buffer (the registry reuses one across
+    /// the whole fan-out instead of allocating per engine per edge); the
+    /// engine consumes its entries in place and leaves the drained buffer
+    /// behind.
+    ///
     /// Falls back to the standalone path for the VF2 baseline (which has no
     /// leaves to share).
     pub fn process_edge_prepared(
         &mut self,
         graph: &DynamicGraph,
         edge: &EdgeData,
-        prepared: Vec<Option<LeafFanout>>,
+        prepared: &mut Vec<Option<LeafFanout>>,
     ) -> Vec<SubgraphMatch> {
         self.process_edge_inner(graph, edge, Some(prepared))
     }
@@ -275,7 +294,7 @@ impl ContinuousQueryEngine {
         &mut self,
         graph: &DynamicGraph,
         edge: &EdgeData,
-        mut supplied: Option<Vec<Option<LeafFanout>>>,
+        mut supplied: Option<&mut Vec<Option<LeafFanout>>>,
     ) -> Vec<SubgraphMatch> {
         self.profile.edges_processed += 1;
         let window = self.window;
@@ -505,6 +524,71 @@ impl ContinuousQueryEngine {
         removed
     }
 
+    /// Swaps this engine's decomposition for `tree` under `strategy` without
+    /// losing detection state: the fresh leaf and partial-match stores (and
+    /// the lazy bitmap) are repopulated by replaying the retained graph in
+    /// deterministic `(timestamp, edge id)` order. Because the shared graph
+    /// retains edges for at least this engine's window `tW`, every partial
+    /// match that can still participate in a future reported match is
+    /// reconstructed, so the engine's continuation reports exactly the
+    /// match multiset a never-rebuilt engine would — the drift-adaptivity
+    /// equivalence tests assert this across strategies and worker counts.
+    ///
+    /// Complete matches that materialize during the replay are discarded:
+    /// each one lies entirely inside the retained (pre-swap) graph, so the
+    /// old decomposition already reported it when its last edge arrived.
+    ///
+    /// Counter accounting: the replay's searches and wall time are charged
+    /// to the dedicated [`ProfileCounters::replay_searches`] /
+    /// [`ProfileCounters::replay_time`] counters — the ordinary per-stream
+    /// counters keep describing the live stream only, so steady-state plan
+    /// cost and one-off switching cost stay individually visible — and
+    /// [`ProfileCounters::redecompositions`] is incremented.
+    ///
+    /// # Errors
+    /// [`EngineError::RebuildMismatch`] when `strategy` has no SJ-Tree (the
+    /// VF2 baseline) or `tree` does not decompose this engine's query;
+    /// [`EngineError::TooManyLeaves`] when the tree exceeds the lazy bitmap
+    /// capacity.
+    pub fn rebuild(
+        &mut self,
+        strategy: Strategy,
+        tree: SjTree,
+        graph: &DynamicGraph,
+    ) -> Result<(), EngineError> {
+        if strategy.policy().is_none() || !same_query(&self.query, tree.query()) {
+            return Err(EngineError::RebuildMismatch);
+        }
+        self.backend = Self::backend_from_tree(tree, strategy.is_lazy())?;
+        self.strategy = strategy;
+        // Replay the retained graph. Only edges whose type occurs in the
+        // query can contribute leaf matches or enablements; the rest would
+        // be filtered by the dispatch index on a live stream too.
+        let mut types: Vec<_> = self.query.edges().map(|e| e.edge_type).collect();
+        types.sort_unstable();
+        types.dedup();
+        let mut edges: Vec<EdgeData> = graph
+            .edges()
+            .filter(|e| types.binary_search(&e.edge_type).is_ok())
+            .copied()
+            .collect();
+        edges.sort_unstable_by_key(|e| (e.timestamp, e.id));
+        // Swap the live profile out so the replay's work lands on a scratch
+        // profile, then fold it into the dedicated replay counters.
+        let live = std::mem::take(&mut self.profile);
+        for e in &edges {
+            let _ = self.process_edge_inner(graph, e, None);
+        }
+        let replay = std::mem::replace(&mut self.profile, live);
+        self.profile.replay_searches +=
+            replay.iso_searches + replay.retroactive_searches + replay.replay_searches;
+        self.profile.replay_time += replay.iso_time + replay.update_time + replay.replay_time;
+        self.profile
+            .note_partial_matches(replay.peak_partial_matches);
+        self.profile.redecompositions += 1;
+        Ok(())
+    }
+
     /// Resets all runtime state (partial matches, lazy bitmap, profile) while
     /// keeping the decomposition, so the same engine can replay another
     /// stream.
@@ -697,6 +781,117 @@ mod tests {
         assert_eq!(engine.store_stats().unwrap().total_live_matches, 0);
         // Replaying the stream after the reset finds the match again.
         assert_eq!(run_stream(&schema, &mut engine, &stream), 1);
+    }
+
+    /// Builds a tree over `q` whose leaves are the query's single edges in
+    /// the given explicit order (bypassing the selectivity-driven order).
+    fn tree_with_leaf_order(q: &QueryGraph, order: &[usize]) -> sp_sjtree::SjTree {
+        let leaves = order
+            .iter()
+            .map(|&i| QuerySubgraph::from_edges(q, [sp_query::QueryEdgeId(i)]))
+            .collect();
+        sp_sjtree::SjTree::from_leaves(q.clone(), leaves)
+    }
+
+    #[test]
+    fn rebuild_mid_window_keeps_live_partials_and_reports_once() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        let vt = schema.vertex_type("ip").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let mut engine =
+            ContinuousQueryEngine::new(q.clone(), Strategy::SingleLazy, &est, Some(100)).unwrap();
+        let mut graph = DynamicGraph::new(schema.clone());
+
+        // Half the pattern arrives: a live partial match, no report yet.
+        let a = graph.ensure_vertex(VertexId(1), vt).unwrap();
+        let b = graph.ensure_vertex(VertexId(2), vt).unwrap();
+        let e = graph.add_edge(a, b, esp, Timestamp(10));
+        let data = *graph.edge(e).unwrap();
+        assert!(engine.process_edge(&graph, &data).is_empty());
+        assert!(engine.store_stats().unwrap().total_live_matches > 0);
+
+        // The stream drifted: swap in the tree with the flipped leaf order
+        // while the partial match is live inside the window.
+        let flipped = tree_with_leaf_order(&q, &[1, 0]);
+        engine
+            .rebuild(Strategy::SingleLazy, flipped, &graph)
+            .unwrap();
+        assert_eq!(engine.profile().redecompositions, 1);
+        // Under the flipped lazy plan the esp leaf is rank 1 and gated off
+        // until a tcp match enables it — the replayed store may legitimately
+        // be empty; what matters is the continuation below.
+
+        // The completing edge arrives after the swap: exactly one match
+        // (rank-0 finds the tcp leaf, the retroactive probe recovers the
+        // pre-swap esp edge from the retained graph).
+        let c = graph.ensure_vertex(VertexId(3), vt).unwrap();
+        let e = graph.add_edge(b, c, tcp, Timestamp(20));
+        let data = *graph.edge(e).unwrap();
+        assert_eq!(engine.process_edge(&graph, &data).len(), 1);
+    }
+
+    #[test]
+    fn rebuild_discards_already_reported_matches() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        let vt = schema.vertex_type("ip").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let mut engine =
+            ContinuousQueryEngine::new(q.clone(), Strategy::Single, &est, None).unwrap();
+        let mut graph = DynamicGraph::new(schema.clone());
+        let mut total = 0usize;
+        for (s, d, t, ts) in [(1u64, 2u64, esp, 1u64), (2, 3, tcp, 2)] {
+            let sv = graph.ensure_vertex(VertexId(s), vt).unwrap();
+            let dv = graph.ensure_vertex(VertexId(d), vt).unwrap();
+            let e = graph.add_edge(sv, dv, t, Timestamp(ts));
+            let data = *graph.edge(e).unwrap();
+            total += engine.process_edge(&graph, &data).len();
+        }
+        assert_eq!(total, 1);
+        let reported_before = engine.profile().complete_matches;
+
+        engine
+            .rebuild(Strategy::Single, tree_with_leaf_order(&q, &[1, 0]), &graph)
+            .unwrap();
+        // The replay rediscovered the completed match internally but must
+        // not re-report it (the old decomposition already did).
+        assert_eq!(engine.profile().complete_matches, reported_before);
+        // An unrelated edge afterwards reports nothing new.
+        let x = graph.ensure_vertex(VertexId(50), vt).unwrap();
+        let y = graph.ensure_vertex(VertexId(51), vt).unwrap();
+        let e = graph.add_edge(x, y, tcp, Timestamp(3));
+        let data = *graph.edge(e).unwrap();
+        assert!(engine.process_edge(&graph, &data).is_empty());
+    }
+
+    #[test]
+    fn rebuild_rejects_foreign_trees_and_vf2() {
+        let (schema, est) = fixture();
+        let q = two_hop_query(&schema);
+        let graph = DynamicGraph::new(schema.clone());
+        let mut engine =
+            ContinuousQueryEngine::new(q.clone(), Strategy::SingleLazy, &est, None).unwrap();
+        // A tree over a *different* query is refused.
+        let tcp = schema.edge_type("tcp").unwrap();
+        let mut other = QueryGraph::new("other");
+        let a = other.add_any_vertex();
+        let b = other.add_any_vertex();
+        other.add_edge(a, b, tcp);
+        let foreign = tree_with_leaf_order(&other, &[0]);
+        assert!(matches!(
+            engine.rebuild(Strategy::SingleLazy, foreign, &graph),
+            Err(EngineError::RebuildMismatch)
+        ));
+        // The VF2 baseline has no SJ-Tree to swap to.
+        let own = tree_with_leaf_order(&q, &[0, 1]);
+        assert!(matches!(
+            engine.rebuild(Strategy::Vf2Baseline, own, &graph),
+            Err(EngineError::RebuildMismatch)
+        ));
+        assert_eq!(engine.profile().redecompositions, 0);
     }
 
     #[test]

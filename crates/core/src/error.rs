@@ -17,6 +17,12 @@ pub enum EngineError {
     },
     /// The query graph must be connected for the VF2 baseline.
     DisconnectedQuery,
+    /// A re-decomposition was requested with a strategy that has no SJ-Tree
+    /// (the VF2 baseline) or with a tree that does not decompose the
+    /// engine's own query.
+    RebuildMismatch,
+    /// The query id is not (or no longer) registered.
+    UnknownQuery,
 }
 
 impl fmt::Display for EngineError {
@@ -30,6 +36,11 @@ impl fmt::Display for EngineError {
                 )
             }
             EngineError::DisconnectedQuery => write!(f, "query graph must be connected"),
+            EngineError::RebuildMismatch => write!(
+                f,
+                "rebuild requires an SJ-Tree strategy and a tree over the same query"
+            ),
+            EngineError::UnknownQuery => write!(f, "query is not registered"),
         }
     }
 }

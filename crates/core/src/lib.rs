@@ -88,6 +88,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adaptive;
 mod engine;
 mod error;
 mod lazy;
@@ -98,9 +99,12 @@ mod sharing;
 mod sink;
 mod strategy;
 
+pub use adaptive::{
+    leaf_structure, plan_cost, plan_query, AdaptiveStats, QueryDriftState, REDECOMPOSITION_GAIN,
+};
 pub use engine::{ContinuousQueryEngine, LeafFanout, PreparedLeaf};
 pub use error::EngineError;
-pub use lazy::LazyBitmap;
+pub use lazy::{LazyBitmap, MAX_LEAVES};
 pub use processor::StreamProcessor;
 pub use profile::ProfileCounters;
 pub use registry::{retention_for_windows, QueryId, QueryRegistry, StrategySpec};
@@ -118,5 +122,5 @@ pub use sp_graph::{
 };
 pub use sp_iso::SubgraphMatch;
 pub use sp_query::{canonicalize_subgraph, LeafSignature, QueryEdgeId, QueryGraph, QueryVertexId};
-pub use sp_selectivity::SelectivityEstimator;
+pub use sp_selectivity::{DriftConfig, DriftDetector, DriftStats, SelectivityEstimator, StatsMode};
 pub use sp_sjtree::{PrimitivePolicy, SjTree};

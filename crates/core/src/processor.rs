@@ -13,19 +13,43 @@
 //! Matches are pushed into a [`MatchSink`]; [`StreamProcessor::process`] is
 //! the convenience wrapper that collects them into a vector.
 
+use crate::adaptive::{leaf_structure, AdaptiveStats, QueryDriftState};
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;
 use crate::profile::ProfileCounters;
 use crate::registry::{QueryId, QueryRegistry, StrategySpec};
 use crate::sink::{CollectSink, CountSink, MatchSink};
-use crate::strategy::{choose_strategy_with_sharing, RELATIVE_SELECTIVITY_THRESHOLD};
+use crate::strategy::{choose_strategy_with_sharing, Strategy, RELATIVE_SELECTIVITY_THRESHOLD};
 use sp_graph::{DynamicGraph, EdgeEvent, Schema, VertexId};
 use sp_iso::SubgraphMatch;
 use sp_query::QueryGraph;
-use sp_selectivity::SelectivityEstimator;
+use sp_selectivity::{DriftConfig, SelectivityEstimator};
+use sp_sjtree::SjTree;
+use std::collections::HashMap;
 
 /// Default number of edges between partial-match purges.
 const DEFAULT_PURGE_INTERVAL: u64 = 4096;
+
+/// The processor's drift-adaptivity state: per-query detectors plus the
+/// shared check cadence.
+#[derive(Debug, Clone)]
+struct AdaptiveRuntime {
+    config: DriftConfig,
+    since_check: u64,
+    per_query: HashMap<QueryId, QueryDriftState>,
+    stats: AdaptiveStats,
+}
+
+impl AdaptiveRuntime {
+    fn new(config: DriftConfig) -> Self {
+        Self {
+            config,
+            since_check: 0,
+            per_query: HashMap::new(),
+            stats: AdaptiveStats::default(),
+        }
+    }
+}
 
 /// Owns the shared [`DynamicGraph`] and the [`QueryRegistry`] and feeds the
 /// stream through both.
@@ -38,6 +62,12 @@ pub struct StreamProcessor {
     purge_interval: u64,
     since_purge: u64,
     total_matches: u64,
+    adaptive: Option<AdaptiveRuntime>,
+    /// The strategy spec each live query was registered with, kept so that
+    /// adaptivity enabled *after* registration still re-runs the strategy
+    /// selection for `Auto` queries (the registry only stores the resolved
+    /// engine).
+    specs: HashMap<QueryId, StrategySpec>,
     /// Processor-level counters: events ingested and vertex-type conflicts.
     stream: ProfileCounters,
 }
@@ -56,6 +86,8 @@ impl StreamProcessor {
             purge_interval: DEFAULT_PURGE_INTERVAL,
             since_purge: 0,
             total_matches: 0,
+            adaptive: None,
+            specs: HashMap::new(),
             stream: ProfileCounters::new(),
         }
     }
@@ -112,6 +144,55 @@ impl StreamProcessor {
         self.registry.shared_leaf_stats()
     }
 
+    /// Enables drift-adaptive re-decomposition (off by default): every
+    /// [`DriftConfig::check_interval`] processed edges, each registered
+    /// query's [`DriftDetector`](sp_selectivity::DriftDetector) compares the
+    /// live statistics against the ranking its plan was built on; when the
+    /// detector fires and the authoritative re-plan differs, the engine is
+    /// swapped via [`ContinuousQueryEngine::rebuild`] (replaying the
+    /// retained graph, so no partial state is lost) and its leaf shapes are
+    /// re-subscribed in the shared-leaf index. `Auto`-registered queries
+    /// re-run the strategy selection; `Fixed` queries keep their strategy
+    /// but may re-order leaves.
+    ///
+    /// Adaptivity is semantics-preserving: the reported match multiset is
+    /// identical with it on or off. It only pays off when the statistics
+    /// actually move — pair it with a decayed estimator
+    /// ([`sp_selectivity::StatsMode::Decayed`] via
+    /// [`StreamProcessor::with_estimator`]) and leave statistics collection
+    /// enabled.
+    pub fn with_adaptive(mut self, config: DriftConfig) -> Self {
+        let mut adaptive = AdaptiveRuntime::new(config);
+        // Backfill detectors for queries registered before the call, with
+        // their original specs: a query registered `Auto` stays auto no
+        // matter which order registration and `with_adaptive` happened in.
+        for (id, engine) in self.registry.iter() {
+            if engine.tree().is_some() {
+                let spec = self
+                    .specs
+                    .get(&id)
+                    .copied()
+                    .unwrap_or(StrategySpec::Fixed(engine.strategy()));
+                adaptive.per_query.insert(
+                    id,
+                    QueryDriftState::new(config, engine.query(), spec, &self.estimator),
+                );
+            }
+        }
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Whether drift-adaptive re-decomposition is enabled.
+    pub fn adaptive_enabled(&self) -> bool {
+        self.adaptive.is_some()
+    }
+
+    /// Cumulative adaptivity counters (zeroes when adaptivity is off).
+    pub fn adaptive_stats(&self) -> AdaptiveStats {
+        self.adaptive.as_ref().map(|a| a.stats).unwrap_or_default()
+    }
+
     /// Registers a continuous query: decomposes it under the given strategy
     /// (or picks one via the Relative Selectivity rule for
     /// [`StrategySpec::Auto`]) against the processor's current stream
@@ -124,7 +205,8 @@ impl StreamProcessor {
         spec: impl Into<StrategySpec>,
         window: Option<u64>,
     ) -> Result<QueryId, EngineError> {
-        let strategy = match spec.into() {
+        let spec = spec.into();
+        let strategy = match spec {
             StrategySpec::Fixed(s) => s,
             StrategySpec::Auto => {
                 // Sharing-aware selection: the choice also reports how much
@@ -142,14 +224,46 @@ impl StreamProcessor {
             }
         };
         let engine = ContinuousQueryEngine::new(query, strategy, &self.estimator, window)?;
-        Ok(self.register_engine(engine))
+        let id = self.register_engine(engine);
+        // `register_engine` records a `Fixed` spec; keep `Auto` queries auto
+        // so drift checks re-run the strategy selection for them.
+        if spec == StrategySpec::Auto {
+            self.record_registration(id, StrategySpec::Auto);
+        }
+        Ok(id)
     }
 
     /// Registers a pre-built engine (custom decompositions, replayed trees).
+    /// Under adaptivity the engine's current strategy is treated as a
+    /// `Fixed` registration: drift may re-order its leaves but never change
+    /// the strategy.
     pub fn register_engine(&mut self, engine: ContinuousQueryEngine) -> QueryId {
+        let strategy = engine.strategy();
         let id = self.registry.register(engine);
         self.graph.set_window(self.registry.graph_retention());
+        self.record_registration(id, StrategySpec::Fixed(strategy));
         id
+    }
+
+    /// Records a (re)registration's spec and, when adaptivity is on, seeds
+    /// the query's drift detector against the current statistics.
+    fn record_registration(&mut self, id: QueryId, spec: StrategySpec) {
+        self.specs.insert(id, spec);
+        if let Some(adaptive) = self.adaptive.as_mut() {
+            if let Some(engine) = self.registry.engine(id) {
+                if engine.tree().is_some() {
+                    adaptive.per_query.insert(
+                        id,
+                        QueryDriftState::new(
+                            adaptive.config,
+                            engine.query(),
+                            spec,
+                            &self.estimator,
+                        ),
+                    );
+                }
+            }
+        }
     }
 
     /// Deregisters a query mid-stream, returning its engine (and runtime
@@ -164,6 +278,10 @@ impl StreamProcessor {
         let engine = self.registry.deregister(id)?;
         if !self.registry.is_empty() {
             self.graph.set_window(self.registry.graph_retention());
+        }
+        self.specs.remove(&id);
+        if let Some(adaptive) = self.adaptive.as_mut() {
+            adaptive.per_query.remove(&id);
         }
         Some(engine)
     }
@@ -231,7 +349,100 @@ impl StreamProcessor {
             self.registry.purge(&self.graph);
             self.since_purge = 0;
         }
+
+        // Drift cadence: re-decomposition is semantics-preserving, so the
+        // check point only affects *when* work is saved, never what matches
+        // are reported.
+        if let Some(adaptive) = self.adaptive.as_mut() {
+            adaptive.since_check += 1;
+            if adaptive.since_check >= adaptive.config.check_interval {
+                adaptive.since_check = 0;
+                self.run_drift_checks();
+            }
+        }
         found
+    }
+
+    /// Runs one drift check over every registered query *now* (bypassing
+    /// the [`DriftConfig::check_interval`] cadence): queries whose detector
+    /// fires and whose authoritative re-plan differs from the active plan
+    /// are rebuilt in place. Returns the number of engines rebuilt. A no-op
+    /// when adaptivity is off.
+    pub fn run_drift_checks(&mut self) -> usize {
+        // Take the adaptive state out so the per-query loop can borrow the
+        // registry, graph and estimator freely.
+        let Some(mut adaptive) = self.adaptive.take() else {
+            return 0;
+        };
+        let ids: Vec<QueryId> = self.registry.query_ids().collect();
+        let mut rebuilt = 0;
+        for id in ids {
+            let Some(state) = adaptive.per_query.get_mut(&id) else {
+                continue;
+            };
+            let Some(engine) = self.registry.engine(id) else {
+                continue;
+            };
+            let Some(tree) = engine.tree() else {
+                continue;
+            };
+            adaptive.stats.checks += 1;
+            let current_strategy = engine.strategy();
+            let current_leaves = leaf_structure(tree);
+            let query = engine.query().clone();
+            let mut drifted = false;
+            let plan = state.check_plan(
+                &query,
+                current_strategy,
+                &current_leaves,
+                &self.estimator,
+                &mut drifted,
+            );
+            if drifted {
+                adaptive.stats.drifts_detected += 1;
+            }
+            let Some((strategy, tree)) = plan else {
+                continue;
+            };
+            let engine = self.registry.engine_mut(id).expect("engine exists");
+            if engine.rebuild(strategy, tree, &self.graph).is_ok() {
+                self.registry.resubscribe(id);
+                adaptive.stats.redecompositions += 1;
+                rebuilt += 1;
+            }
+        }
+        self.adaptive = Some(adaptive);
+        rebuilt
+    }
+
+    /// Swaps one query's decomposition for an externally supplied plan:
+    /// rebuilds the engine via [`ContinuousQueryEngine::rebuild`] (replaying
+    /// the retained graph, preserving the reported match multiset) and
+    /// re-subscribes its leaf shapes in the shared-leaf index. This is the
+    /// entry point the parallel runtime's `Redecompose` control message
+    /// lands on, and a deterministic lever for tests and tooling; the
+    /// drift-driven path ([`StreamProcessor::run_drift_checks`]) computes
+    /// the plan itself.
+    pub fn redecompose(
+        &mut self,
+        id: QueryId,
+        strategy: Strategy,
+        tree: SjTree,
+    ) -> Result<(), EngineError> {
+        let engine = self
+            .registry
+            .engine_mut(id)
+            .ok_or(EngineError::UnknownQuery)?;
+        engine.rebuild(strategy, tree, &self.graph)?;
+        self.registry.resubscribe(id);
+        if let Some(adaptive) = self.adaptive.as_mut() {
+            if let Some(state) = adaptive.per_query.get_mut(&id) {
+                let engine = self.registry.engine(id).expect("engine exists");
+                state.rebase(engine.query(), &self.estimator);
+            }
+            adaptive.stats.redecompositions += 1;
+        }
+        Ok(())
     }
 
     /// Ingests one stream event and returns the complete matches it created,
@@ -363,7 +574,16 @@ impl StreamProcessor {
             engine.reset();
         }
         if self.collect_statistics {
-            self.estimator = SelectivityEstimator::new();
+            let mode = self.estimator.mode();
+            self.estimator = SelectivityEstimator::new().with_mode(mode);
+        }
+        if let Some(adaptive) = self.adaptive.as_mut() {
+            adaptive.since_check = 0;
+            for (id, state) in adaptive.per_query.iter_mut() {
+                if let Some(engine) = self.registry.engine(*id) {
+                    state.rebase(engine.query(), &self.estimator);
+                }
+            }
         }
         self.since_purge = 0;
         self.total_matches = 0;
@@ -664,6 +884,98 @@ mod tests {
         let qid = proc.register(q, StrategySpec::Auto, None).unwrap();
         let chosen = proc.engine_for(qid).unwrap().strategy();
         assert!(chosen.is_lazy(), "auto picks a lazy strategy, got {chosen}");
+    }
+
+    #[test]
+    fn drift_check_rebuilds_the_engine_when_the_ranking_flips() {
+        use sp_selectivity::StatsMode;
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let esp = schema.intern_edge_type("esp");
+        let mut proc = StreamProcessor::new(schema)
+            .with_estimator(SelectivityEstimator::new().with_mode(StatsMode::Decayed(64)))
+            .with_adaptive(sp_selectivity::DriftConfig {
+                check_interval: 32,
+                min_observations: 32,
+                confirm_checks: 1,
+            });
+        assert!(proc.adaptive_enabled());
+        // Phase 1: esp is rare.
+        for i in 0..180u64 {
+            let t = if i % 10 == 0 { esp } else { tcp };
+            proc.process(&EdgeEvent::homogeneous(i, i + 1000, ip, t, Timestamp(i)));
+        }
+        let mut q = QueryGraph::new("esp-tcp");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, esp);
+        q.add_edge(b, c, tcp);
+        let qid = proc.register(q, Strategy::SingleLazy, Some(50)).unwrap();
+        let leaf0_before = {
+            let tree = proc.engine_for(qid).unwrap().tree().unwrap();
+            tree.subgraph(tree.leaf(0)).primitive(tree.query()).unwrap()
+        };
+        assert_eq!(leaf0_before, sp_query::Primitive::SingleEdge(esp));
+
+        // Phase 2: the mix inverts — esp floods, tcp dries up.
+        for i in 0..600u64 {
+            let t = if i % 10 == 0 { tcp } else { esp };
+            proc.process(&EdgeEvent::homogeneous(
+                10_000 + i,
+                20_000 + i,
+                ip,
+                t,
+                Timestamp(200 + i),
+            ));
+        }
+        let stats = proc.adaptive_stats();
+        assert!(stats.checks > 0);
+        assert!(
+            stats.redecompositions >= 1,
+            "ranking flip must trigger a rebuild: {stats:?}"
+        );
+        assert_eq!(
+            proc.profile_for(qid).unwrap().redecompositions,
+            stats.redecompositions
+        );
+        let leaf0_after = {
+            let tree = proc.engine_for(qid).unwrap().tree().unwrap();
+            tree.subgraph(tree.leaf(0)).primitive(tree.query()).unwrap()
+        };
+        assert_eq!(
+            leaf0_after,
+            sp_query::Primitive::SingleEdge(tcp),
+            "the now-rare tcp leaf must lead the decomposition"
+        );
+    }
+
+    #[test]
+    fn redecompose_swaps_plans_and_rejects_unknown_ids() {
+        let (schema, mut proc) = simple_setup(Strategy::SingleLazy, Some(100));
+        let ip = schema.vertex_type("ip").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let qid = proc.query_ids()[0];
+        // Live partial mid-window, then an externally supplied flipped plan.
+        proc.process(&EdgeEvent::homogeneous(1, 2, ip, esp, Timestamp(1)));
+        let q = proc.engine_for(qid).unwrap().query().clone();
+        let leaves = vec![
+            sp_query::QuerySubgraph::from_edges(&q, [sp_query::QueryEdgeId(1)]),
+            sp_query::QuerySubgraph::from_edges(&q, [sp_query::QueryEdgeId(0)]),
+        ];
+        let flipped = SjTree::from_leaves(q.clone(), leaves);
+        proc.redecompose(qid, Strategy::SingleLazy, flipped.clone())
+            .unwrap();
+        assert_eq!(proc.profile_for(qid).unwrap().redecompositions, 1);
+        // The partial still completes exactly once after the swap.
+        let matches = proc.process(&EdgeEvent::homogeneous(2, 3, ip, tcp, Timestamp(2)));
+        assert_eq!(matches.len(), 1);
+        assert!(matches!(
+            proc.redecompose(QueryId(999), Strategy::SingleLazy, flipped),
+            Err(EngineError::UnknownQuery)
+        ));
     }
 
     #[test]

@@ -42,6 +42,22 @@ pub struct ProfileCounters {
     pub leaf_searches_shared: u64,
     /// Number of complete query matches reported.
     pub complete_matches: u64,
+    /// Number of times the engine's decomposition was swapped for a new
+    /// SJ-Tree by drift-triggered re-decomposition
+    /// (`ContinuousQueryEngine::rebuild`).
+    pub redecompositions: u64,
+    /// Anchored + retroactive searches performed while replaying the
+    /// retained graph during re-decompositions. Kept separate from
+    /// [`ProfileCounters::iso_searches`] /
+    /// [`ProfileCounters::retroactive_searches`] so the steady-state stream
+    /// cost of a plan and the one-off cost of switching plans stay
+    /// individually visible (the `drift` benchmark reports both).
+    pub replay_searches: u64,
+    /// Wall time spent inside re-decomposition replays (isomorphism and
+    /// store updates), likewise kept out of
+    /// [`ProfileCounters::iso_time`] / [`ProfileCounters::update_time`].
+    #[serde(with = "duration_micros")]
+    pub replay_time: Duration,
     /// Number of partial matches purged (window expiry).
     pub partial_matches_purged: u64,
     /// Wall time spent inside subgraph isomorphism.
@@ -90,6 +106,9 @@ impl ProfileCounters {
         self.searches_skipped += other.searches_skipped;
         self.leaf_searches_shared += other.leaf_searches_shared;
         self.complete_matches += other.complete_matches;
+        self.redecompositions += other.redecompositions;
+        self.replay_searches += other.replay_searches;
+        self.replay_time += other.replay_time;
         self.partial_matches_purged += other.partial_matches_purged;
         self.iso_time += other.iso_time;
         self.update_time += other.update_time;

@@ -12,7 +12,7 @@
 //! search, and the VF2 baseline only reports embeddings that use the new
 //! edge.
 
-use crate::engine::ContinuousQueryEngine;
+use crate::engine::{ContinuousQueryEngine, LeafFanout};
 use crate::sharing::{EdgeSearchCache, SharedLeafIndex, SharedLeafStats};
 use crate::strategy::Strategy;
 use sp_graph::{DynamicGraph, EdgeData, EdgeType};
@@ -63,6 +63,10 @@ pub struct QueryRegistry {
     /// Whether dispatched edges go through the shared leaf-search stage
     /// (default) or every engine re-runs its own searches.
     sharing: bool,
+    /// Reusable fan-out buffer for the shared leaf-search stage: one
+    /// allocation serves every candidate engine of every edge instead of a
+    /// fresh vector per engine per edge.
+    fanout: Vec<Option<LeafFanout>>,
     next_id: u64,
 }
 
@@ -73,6 +77,7 @@ impl Default for QueryRegistry {
             dispatch: HashMap::new(),
             shared: SharedLeafIndex::new(),
             sharing: true,
+            fanout: Vec::new(),
             next_id: 0,
         }
     }
@@ -214,6 +219,7 @@ impl QueryRegistry {
             dispatch,
             shared,
             sharing,
+            fanout,
             ..
         } = self;
         let Some(ids) = dispatch.get(&edge.edge_type) else {
@@ -225,21 +231,36 @@ impl QueryRegistry {
             let engine = engines
                 .get_mut(&id)
                 .expect("dispatch index only references live queries");
-            let prepared = if *sharing {
-                shared.prepare(id, engine, graph, edge, &mut cache)
+            let prepared =
+                *sharing && shared.prepare_into(id, engine, graph, edge, &mut cache, fanout);
+            let matches = if prepared {
+                engine.process_edge_prepared(graph, edge, fanout)
             } else {
-                None
-            };
-            let matches = match prepared {
-                Some(fanout) => engine.process_edge_prepared(graph, edge, fanout),
-                None => engine.process_edge(graph, edge),
+                engine.process_edge(graph, edge)
             };
             for m in matches {
                 reported += 1;
                 emit(id, m);
             }
         }
+        fanout.clear();
         reported
+    }
+
+    /// Re-registers a query's leaf shapes with the shared-leaf index after
+    /// its engine was re-decomposed: the old subscriptions are dropped
+    /// (shapes whose last subscriber left are evicted) and the engine's
+    /// *current* leaves subscribed in their place, preserving the
+    /// single-subscriber delegation rule for everyone else. Returns whether
+    /// the query is on the shared path afterwards (`false` for unknown ids
+    /// and engines that cannot share). The dispatch index needs no update —
+    /// re-decomposition never changes the query's edge types.
+    pub fn resubscribe(&mut self, id: QueryId) -> bool {
+        let Some(engine) = self.engines.get(&id) else {
+            return false;
+        };
+        self.shared.unsubscribe(id);
+        self.shared.subscribe(id, engine)
     }
 
     /// Runs every engine's purge pass against the current graph. Returns the

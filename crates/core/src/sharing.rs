@@ -14,11 +14,12 @@
 //!   [`LeafSignature`] (vertex numbering normalized; vertex types, edge
 //!   types and direction preserved) and the query subscribes to that shape,
 //!   keeping the [`CanonicalMapping`] back to its own numbering;
-//! * per edge, the registry asks the index to [`prepare`](SharedLeafIndex::prepare)
-//!   each candidate engine: the anchored search for each distinct signature
-//!   runs **once** (memoized in an [`EdgeSearchCache`] for the duration of
-//!   the edge) and its matches are rebased onto every subscriber via
-//!   [`SubgraphMatch::remapped`];
+//! * per edge, the registry asks the index to
+//!   [`prepare_into`](SharedLeafIndex::prepare_into) each candidate engine
+//!   (one reused fan-out buffer for the whole dispatch list): the anchored
+//!   search for each distinct signature runs **once** (memoized in an
+//!   [`EdgeSearchCache`] for the duration of the edge) and its matches are
+//!   rebased onto every subscriber via [`SubgraphMatch::remapped`];
 //! * lazy engines keep their enable/disable gating by *filtering the
 //!   fan-out* — the index consults
 //!   [`ContinuousQueryEngine::leaf_accepts`] before rebasing, and a
@@ -237,25 +238,33 @@ impl SharedLeafIndex {
         }
     }
 
-    /// Builds the prepared fan-out for one candidate engine on one edge:
-    /// `result[rank]` is `None` for gate-filtered leaves, a rebased
-    /// shared-search result for shapes with multiple subscribers, and
-    /// [`LeafFanout::SearchLocally`] for single-subscriber shapes (nothing
-    /// to share — the engine searches its own numbering, paying neither the
-    /// canonical search nor the rebase). Returns `None` when the query is
-    /// not subscribed (caller falls back to the engine's private path).
+    /// Builds the prepared fan-out for one candidate engine on one edge
+    /// into `out` (cleared first): `out[rank]` is `None` for gate-filtered
+    /// leaves, a rebased shared-search result for shapes with multiple
+    /// subscribers, and [`LeafFanout::SearchLocally`] for single-subscriber
+    /// shapes (nothing to share — the engine searches its own numbering,
+    /// paying neither the canonical search nor the rebase). Returns whether
+    /// the query is subscribed; `false` leaves `out` empty and the caller
+    /// falls back to the engine's private path.
     ///
     /// The first consumer of a signature this edge triggers the actual
     /// anchored search (and is charged its wall time); every further
     /// consumer is served from `cache` and counted as an eliminated search.
-    pub fn prepare(
+    /// `out` is caller-owned so the registry can drive the whole per-edge
+    /// fan-out through **one** reused buffer instead of allocating a fresh
+    /// vector per candidate engine — the batching half of the cheap-leaf
+    /// wall-clock work, alongside the interned
+    /// [`JoinKey`](sp_iso::JoinKey)s in the match store.
+    pub fn prepare_into(
         &mut self,
         id: QueryId,
         engine: &ContinuousQueryEngine,
         graph: &DynamicGraph,
         edge: &EdgeData,
         cache: &mut EdgeSearchCache,
-    ) -> Option<Vec<Option<LeafFanout>>> {
+        out: &mut Vec<Option<LeafFanout>>,
+    ) -> bool {
+        out.clear();
         let SharedLeafIndex {
             entries,
             subs,
@@ -264,8 +273,10 @@ impl SharedLeafIndex {
             searches_delegated,
             ..
         } = self;
-        let subs = subs.get(&id)?;
-        let mut out: Vec<Option<LeafFanout>> = Vec::with_capacity(subs.len());
+        let Some(subs) = subs.get(&id) else {
+            return false;
+        };
+        out.reserve(subs.len());
         for sub in subs {
             debug_assert_eq!(sub.rank, out.len(), "subscriptions are in rank order");
             if !engine.leaf_accepts(sub.rank, edge) {
@@ -329,7 +340,7 @@ impl SharedLeafIndex {
                 shared,
             })));
         }
-        Some(out)
+        true
     }
 
     /// Interns a signature, materializing the canonical query on first use.

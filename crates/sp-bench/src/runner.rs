@@ -6,10 +6,12 @@
 use serde::{Deserialize, Serialize};
 use sp_datasets::Dataset;
 use sp_query::QueryGraph;
-use sp_selectivity::SelectivityEstimator;
+use sp_selectivity::{DriftConfig, SelectivityEstimator, StatsMode};
 use sp_sjtree::{decompose, expected_selectivity, PrimitivePolicy};
 use std::time::{Duration, Instant};
-use streampattern::{ContinuousQueryEngine, ProfileCounters, Strategy, StreamProcessor};
+use streampattern::{
+    ContinuousQueryEngine, ProfileCounters, Strategy, StrategySpec, StreamProcessor,
+};
 
 /// Experiment scale: how many stream edges each measurement processes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -418,6 +420,196 @@ pub fn run_sharing(
         leaf_searches_run: stats.searches_run,
         leaf_searches_eliminated: stats.searches_shared,
         leaf_searches_delegated: stats.searches_delegated,
+    }
+}
+
+/// One measured drift run: the same rule pack over the same shifting stream
+/// executed three ways — drift-adaptive, fixed-plan (adaptivity off), and
+/// an oracle whose plans were built from the *post-shift* statistics. All
+/// per-arm counters below are **post-shift deltas**, so they measure how
+/// each plan copes with the distribution the stream actually has after the
+/// flip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftMeasurement {
+    /// Number of registered queries.
+    pub queries: usize,
+    /// Stream edges processed by each arm.
+    pub edges: usize,
+    /// Stream position of the distribution flip.
+    pub shift_at: usize,
+    /// Edges processed after the flip (the delta window).
+    pub post_edges: usize,
+    /// Strategy-spec label the pack ran under ("SingleLazy", "Auto", ...).
+    pub strategy: String,
+    /// Matches found (asserted identical across all three arms).
+    pub matches: u64,
+    /// Engine rebuilds the adaptive arm performed.
+    pub redecompositions: u64,
+    /// Post-shift searches spent inside re-decomposition replays (adaptive
+    /// arm only) — the one-off switching cost, kept separate from the
+    /// steady-state leaf-search counters below.
+    pub adaptive_replay_searches: u64,
+    /// Post-shift wall time of those replays.
+    #[serde(with = "serde_duration")]
+    pub adaptive_replay_time: Duration,
+    /// Post-shift wall time of the adaptive arm (includes drift checks and
+    /// replays).
+    #[serde(with = "serde_duration")]
+    pub adaptive_post_elapsed: Duration,
+    /// Post-shift wall time of the fixed-plan arm.
+    #[serde(with = "serde_duration")]
+    pub fixed_post_elapsed: Duration,
+    /// Post-shift wall time of the oracle arm.
+    #[serde(with = "serde_duration")]
+    pub oracle_post_elapsed: Duration,
+    /// Post-shift anchored + retroactive leaf searches, adaptive arm.
+    pub adaptive_post_leaf_searches: u64,
+    /// Post-shift anchored + retroactive leaf searches, fixed arm.
+    pub fixed_post_leaf_searches: u64,
+    /// Post-shift anchored + retroactive leaf searches, oracle arm.
+    pub oracle_post_leaf_searches: u64,
+    /// Post-shift leaf matches stored, adaptive arm.
+    pub adaptive_post_leaf_matches: u64,
+    /// Post-shift leaf matches stored, fixed arm.
+    pub fixed_post_leaf_matches: u64,
+    /// Post-shift leaf matches stored, oracle arm.
+    pub oracle_post_leaf_matches: u64,
+}
+
+impl DriftMeasurement {
+    /// Fraction of the fixed arm's post-shift leaf searches the adaptive
+    /// arm eliminated.
+    pub fn search_savings(&self) -> f64 {
+        if self.fixed_post_leaf_searches == 0 {
+            0.0
+        } else {
+            1.0 - self.adaptive_post_leaf_searches as f64 / self.fixed_post_leaf_searches as f64
+        }
+    }
+
+    /// Post-shift speedup of the adaptive arm over the fixed arm.
+    pub fn post_speedup(&self) -> f64 {
+        self.fixed_post_elapsed.as_secs_f64() / self.adaptive_post_elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs `queries` over a shifting stream three times — adaptive, fixed, and
+/// post-shift oracle — asserting identical match multisets and reporting
+/// post-shift work deltas. `shift_at` is the stream *position* of the flip
+/// (the generators carry it in the timestamps); `decay_interval` configures
+/// the decayed estimator both the adaptive and fixed arms share, so the only
+/// difference between those two arms is whether anyone acts on the moving
+/// statistics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_drift(
+    dataset: &Dataset,
+    queries: &[QueryGraph],
+    spec: StrategySpec,
+    shift_at: usize,
+    limit: usize,
+    window: Option<u64>,
+    drift_config: DriftConfig,
+    decay_interval: u64,
+) -> DriftMeasurement {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    let split = events.partition_point(|ev| (ev.timestamp.0 as usize) < shift_at);
+    let (pre, post) = events.split_at(split);
+
+    // Phase-1 statistics seed (first half of the pre-shift segment), decayed
+    // so the estimator keeps moving while the arms process the stream.
+    let mode = StatsMode::Decayed(decay_interval);
+    let phase1_est = Dataset::estimator_from_events(&pre[..pre.len() / 2], mode);
+    // The oracle registers against the post-shift distribution and keeps its
+    // statistics frozen (no live collection) so its plan never degrades.
+    let phase2_est = Dataset::estimator_from_events(&post[..(post.len() / 2).max(1)], mode);
+
+    struct ArmResult {
+        matches: Vec<(streampattern::QueryId, String)>,
+        post_elapsed: Duration,
+        post_leaf_searches: u64,
+        post_leaf_matches: u64,
+        redecompositions: u64,
+        replay_searches: u64,
+        replay_time: Duration,
+    }
+    let run_arm = |adaptive: bool, est: SelectivityEstimator, collect: bool| -> ArmResult {
+        let mut proc = StreamProcessor::new(dataset.schema.clone())
+            .with_estimator(est)
+            .with_statistics(collect);
+        if adaptive {
+            proc = proc.with_adaptive(drift_config);
+        }
+        for query in queries {
+            proc.register(query.clone(), spec, window)
+                .expect("query decomposes");
+        }
+        let mut found: Vec<(streampattern::QueryId, streampattern::SubgraphMatch)> = Vec::new();
+        let mut sink = streampattern::FnSink(|q, m: streampattern::SubgraphMatch| {
+            found.push((q, m));
+        });
+        for ev in pre {
+            proc.process_into(ev, &mut sink);
+        }
+        let at_shift = proc.profile();
+        let start = Instant::now();
+        for ev in post {
+            proc.process_into(ev, &mut sink);
+        }
+        let post_elapsed = start.elapsed();
+        let end = proc.profile();
+        let mut matches: Vec<(streampattern::QueryId, String)> = found
+            .into_iter()
+            .map(|(q, m)| (q, format!("{:?}", m.edge_pairs().collect::<Vec<_>>())))
+            .collect();
+        matches.sort();
+        ArmResult {
+            matches,
+            post_elapsed,
+            post_leaf_searches: (end.iso_searches + end.retroactive_searches)
+                - (at_shift.iso_searches + at_shift.retroactive_searches),
+            post_leaf_matches: end.leaf_matches - at_shift.leaf_matches,
+            redecompositions: end.redecompositions,
+            replay_searches: end.replay_searches - at_shift.replay_searches,
+            replay_time: end.replay_time - at_shift.replay_time,
+        }
+    };
+
+    let adaptive = run_arm(true, phase1_est.clone(), true);
+    let fixed = run_arm(false, phase1_est, true);
+    let oracle = run_arm(false, phase2_est, false);
+
+    assert_eq!(
+        adaptive.matches, fixed.matches,
+        "drift-adaptive re-decomposition changed the match multiset"
+    );
+    assert_eq!(
+        adaptive.matches, oracle.matches,
+        "the oracle plan changed the match multiset"
+    );
+
+    let spec_label = match spec {
+        StrategySpec::Fixed(s) => s.label().to_owned(),
+        StrategySpec::Auto => "Auto".to_owned(),
+    };
+    DriftMeasurement {
+        queries: queries.len(),
+        edges: events.len(),
+        shift_at,
+        post_edges: post.len(),
+        strategy: spec_label,
+        matches: adaptive.matches.len() as u64,
+        redecompositions: adaptive.redecompositions,
+        adaptive_replay_searches: adaptive.replay_searches,
+        adaptive_replay_time: adaptive.replay_time,
+        adaptive_post_elapsed: adaptive.post_elapsed,
+        fixed_post_elapsed: fixed.post_elapsed,
+        oracle_post_elapsed: oracle.post_elapsed,
+        adaptive_post_leaf_searches: adaptive.post_leaf_searches,
+        fixed_post_leaf_searches: fixed.post_leaf_searches,
+        oracle_post_leaf_searches: oracle.post_leaf_searches,
+        adaptive_post_leaf_matches: adaptive.post_leaf_matches,
+        fixed_post_leaf_matches: fixed.post_leaf_matches,
+        oracle_post_leaf_matches: oracle.post_leaf_matches,
     }
 }
 

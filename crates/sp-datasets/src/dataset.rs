@@ -2,7 +2,7 @@
 
 use sp_graph::{DynamicGraph, EdgeData, EdgeEvent, EdgeId, Schema, VertexId};
 use sp_query::EdgeSignature;
-use sp_selectivity::{EdgeDistributionTimeline, SelectivityEstimator};
+use sp_selectivity::{EdgeDistributionTimeline, SelectivityEstimator, StatsMode};
 
 /// A generated dataset: a schema, an ordered edge stream and the list of
 /// valid `(vertex type, edge type, vertex type)` triples that describe which
@@ -44,8 +44,21 @@ impl Dataset {
     /// stream" (Section 5.1). The 2-edge path statistics are collected
     /// incrementally, which matches Algorithm 5 run over the prefix graph.
     pub fn estimator_from_prefix(&self, prefix: usize) -> SelectivityEstimator {
-        let mut est = SelectivityEstimator::new();
-        for (i, ev) in self.events.iter().take(prefix).enumerate() {
+        Self::estimator_from_events(
+            &self.events[..prefix.min(self.events.len())],
+            StatsMode::Cumulative,
+        )
+    }
+
+    /// Builds a [`SelectivityEstimator`] with the given [`StatsMode`] over
+    /// an arbitrary event slice (edge ids are assigned by slice position).
+    /// This is the single seeding path shared by the drift benchmark, tests
+    /// and examples: phase-specific statistics come from the matching
+    /// segment of the stream, decayed statistics from
+    /// [`StatsMode::Decayed`].
+    pub fn estimator_from_events(events: &[EdgeEvent], mode: StatsMode) -> SelectivityEstimator {
+        let mut est = SelectivityEstimator::new().with_mode(mode);
+        for (i, ev) in events.iter().enumerate() {
             est.observe_edge(&EdgeData {
                 id: EdgeId(i as u64),
                 src: VertexId(ev.src),

@@ -34,7 +34,7 @@ mod zipf;
 
 pub use dataset::Dataset;
 pub use lsbench::LsbenchConfig;
-pub use netflow::NetflowConfig;
+pub use netflow::{NetflowConfig, NetflowDriftConfig};
 pub use nytimes::NytimesConfig;
 pub use queries::{QueryGenerator, QueryKind};
 pub use zipf::ZipfSampler;

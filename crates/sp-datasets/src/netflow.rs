@@ -119,6 +119,114 @@ impl NetflowConfig {
     }
 }
 
+/// CAIDA-like traffic whose protocol mix **flips mid-stream** — the drift
+/// workload behind the `drift` benchmark and the adaptivity tests.
+///
+/// Protocols are drawn by *rank* from a [`ZipfSampler`] over the seven
+/// protocol classes: before `shift_at` edges, rank 0 maps to TCP (the
+/// [`PROTOCOLS`] order — TCP common, AH rare); from `shift_at` on, the rank
+/// order is reversed, so AH floods while TCP dries up. A query like
+/// `AH → TCP` therefore has its selectivity-optimal leaf order inverted by
+/// the shift: exactly the situation the paper's "selectivity order remains
+/// the same" assumption (Section 5.1) excludes, and the situation adaptive
+/// re-decomposition exists for.
+#[derive(Debug, Clone)]
+pub struct NetflowDriftConfig {
+    /// Number of distinct hosts (vertices).
+    pub num_hosts: usize,
+    /// Number of flow records (edges) to generate.
+    pub num_edges: usize,
+    /// Stream position (in generated edges) at which the protocol rank
+    /// order reverses.
+    pub shift_at: usize,
+    /// Zipf exponent of host popularity (matches [`NetflowConfig`]).
+    pub popularity_exponent: f64,
+    /// Zipf exponent of the protocol *rank* distribution: larger means the
+    /// dominant protocol dominates harder, making the flip sharper.
+    pub protocol_exponent: f64,
+    /// RNG seed (streams are reproducible given the same config).
+    pub seed: u64,
+}
+
+impl Default for NetflowDriftConfig {
+    fn default() -> Self {
+        Self {
+            num_hosts: 10_000,
+            num_edges: 100_000,
+            shift_at: 50_000,
+            popularity_exponent: 0.9,
+            protocol_exponent: 1.8,
+            seed: 42,
+        }
+    }
+}
+
+impl NetflowDriftConfig {
+    /// Small configuration for unit tests and doc examples.
+    pub fn tiny() -> Self {
+        Self {
+            num_hosts: 200,
+            num_edges: 3_000,
+            shift_at: 1_500,
+            ..Self::default()
+        }
+    }
+
+    /// Generates the shifting stream.
+    pub fn generate(&self) -> Dataset {
+        let mut schema = Schema::new();
+        let ip = schema.intern_vertex_type("ip");
+        let protocol_types: Vec<_> = PROTOCOLS
+            .iter()
+            .map(|(name, _)| schema.intern_edge_type(name))
+            .collect();
+        let n_protocols = protocol_types.len();
+
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let popularity = ZipfSampler::new(self.num_hosts.max(2), self.popularity_exponent);
+        let protocol_rank = ZipfSampler::new(n_protocols, self.protocol_exponent);
+        let mut events = Vec::with_capacity(self.num_edges);
+        for i in 0..self.num_edges {
+            let src = popularity.sample(&mut rng) as u64;
+            let dst = if rng.gen_bool(0.7) {
+                popularity.sample(&mut rng) as u64
+            } else {
+                rng.gen_range(0..self.num_hosts as u64)
+            };
+            if src == dst {
+                continue;
+            }
+            let rank = protocol_rank.sample(&mut rng);
+            // The flip: the same Zipf rank indexes the protocol table from
+            // the opposite end after the shift.
+            let idx = if i < self.shift_at {
+                rank
+            } else {
+                n_protocols - 1 - rank
+            };
+            events.push(EdgeEvent::homogeneous(
+                src,
+                dst,
+                ip,
+                protocol_types[idx],
+                Timestamp(i as u64),
+            ));
+        }
+
+        let valid_triples = protocol_types
+            .iter()
+            .map(|&t| EdgeSignature::new(ip, t, ip))
+            .collect();
+
+        Dataset {
+            name: "netflow-drift".into(),
+            schema,
+            events,
+            valid_triples,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +286,50 @@ mod tests {
     fn no_self_loops() {
         let d = NetflowConfig::tiny().generate();
         assert!(d.events.iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn drift_stream_flips_the_protocol_ranking() {
+        let cfg = NetflowDriftConfig::tiny();
+        let d = cfg.generate();
+        let tcp = d.schema.edge_type("TCP").unwrap();
+        let ah = d.schema.edge_type("AH").unwrap();
+        // Count per phase by stream position (self-loop skips shift the
+        // boundary slightly; timestamps carry the generated index).
+        let mut pre = [0u64; 2];
+        let mut post = [0u64; 2];
+        for ev in &d.events {
+            let phase = if (ev.timestamp.0 as usize) < cfg.shift_at {
+                &mut pre
+            } else {
+                &mut post
+            };
+            if ev.edge_type == tcp {
+                phase[0] += 1;
+            } else if ev.edge_type == ah {
+                phase[1] += 1;
+            }
+        }
+        assert!(
+            pre[0] > 10 * pre[1].max(1),
+            "phase 1 must be TCP-dominated: tcp={} ah={}",
+            pre[0],
+            pre[1]
+        );
+        assert!(
+            post[1] > 10 * post[0].max(1),
+            "phase 2 must be AH-dominated: tcp={} ah={}",
+            post[0],
+            post[1]
+        );
+    }
+
+    #[test]
+    fn drift_streams_are_reproducible() {
+        let a = NetflowDriftConfig::tiny().generate();
+        let b = NetflowDriftConfig::tiny().generate();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.name, "netflow-drift");
+        assert!(a.len() > 2_500);
     }
 }

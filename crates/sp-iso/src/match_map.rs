@@ -5,6 +5,30 @@ use sp_graph::{DynamicGraph, EdgeId, Timestamp, VertexId};
 use sp_query::{QueryEdgeId, QueryVertexId};
 use std::collections::BTreeMap;
 
+/// Maximum number of cut vertices a [`JoinKey`] stores without a heap
+/// allocation. Real decompositions join on one or two shared vertices; three
+/// covers every tree the workspace builds.
+pub const JOIN_KEY_INLINE: usize = 3;
+
+/// An interned hash-join key: the projection of a match onto a join node's
+/// cut vertices ([`SubgraphMatch::project_key`]).
+///
+/// The partial-match store computes one key per inserted match (Property 4's
+/// `GET-JOIN-KEY`), which made the `Vec<VertexId>` key the hottest
+/// allocation of the SJ-Tree update path. Keys of up to
+/// [`JOIN_KEY_INLINE`] vertices — all real cuts — are stored inline;
+/// longer keys spill to a `Vec`. Construction is canonical by length
+/// (inline iff it fits), so the derived `Eq`/`Hash` are consistent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinKey {
+    /// At most [`JOIN_KEY_INLINE`] cut vertices, stored inline: the first
+    /// field is the number of valid entries, unused slots are zeroed.
+    Inline(u8, [VertexId; JOIN_KEY_INLINE]),
+    /// More than [`JOIN_KEY_INLINE`] cut vertices (not produced by the
+    /// built-in decompositions, but hand-built trees may).
+    Spilled(Vec<VertexId>),
+}
+
 /// A match (possibly partial) between a query subgraph and a data subgraph.
 ///
 /// Following Definition 3.1.2 a match is "a set of edge pairs", each pair
@@ -209,6 +233,22 @@ impl SubgraphMatch {
             .collect()
     }
 
+    /// Projects the match onto a set of query vertices as an interned
+    /// [`JoinKey`] — the allocation-free variant of
+    /// [`SubgraphMatch::project_vertices`] used by the partial-match store's
+    /// hash tables. Returns `None` when any vertex is unbound.
+    pub fn project_key(&self, vertices: &[QueryVertexId]) -> Option<JoinKey> {
+        if vertices.len() <= JOIN_KEY_INLINE {
+            let mut ids = [VertexId(0); JOIN_KEY_INLINE];
+            for (slot, q) in ids.iter_mut().zip(vertices) {
+                *slot = *self.vertex_map.get(q)?;
+            }
+            Some(JoinKey::Inline(vertices.len() as u8, ids))
+        } else {
+            self.project_vertices(vertices).map(JoinKey::Spilled)
+        }
+    }
+
     /// Checks that every matched data edge still exists in the graph
     /// (edges may have been expired by the sliding window).
     pub fn is_live(&self, graph: &DynamicGraph) -> bool {
@@ -358,6 +398,32 @@ mod tests {
         );
         assert_eq!(m.project_vertices(&[qv(1)]), None);
         assert_eq!(m.project_vertices(&[]), Some(vec![]));
+    }
+
+    #[test]
+    fn project_key_interns_small_cuts_inline_and_spills_large_ones() {
+        let mut m = SubgraphMatch::new();
+        for i in 0..5usize {
+            assert!(m.bind_vertex(qv(i), dv(10 + i as u64)));
+        }
+        // ≤ JOIN_KEY_INLINE cut vertices: inline, no heap key.
+        let small = m.project_key(&[qv(2), qv(0)]).unwrap();
+        assert_eq!(small, JoinKey::Inline(2, [dv(12), dv(10), VertexId(0)]));
+        // Same projection, same key — and a different projection differs.
+        assert_eq!(small, m.project_key(&[qv(2), qv(0)]).unwrap());
+        assert_ne!(small, m.project_key(&[qv(0), qv(2)]).unwrap());
+        // Oversized cuts spill to the Vec representation.
+        let large = m.project_key(&[qv(0), qv(1), qv(2), qv(3)]).unwrap();
+        assert_eq!(
+            large,
+            JoinKey::Spilled(vec![dv(10), dv(11), dv(12), dv(13)])
+        );
+        // Unbound vertices fail the projection, like project_vertices.
+        assert_eq!(m.project_key(&[qv(9)]), None);
+        assert_eq!(
+            m.project_key(&[]).unwrap(),
+            JoinKey::Inline(0, [VertexId(0); JOIN_KEY_INLINE])
+        );
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Tunables of the parallel runtime.
 
+use streampattern::DriftConfig;
+
 /// Configuration of a [`ParallelStreamProcessor`](crate::ParallelStreamProcessor).
 ///
 /// The defaults are sized for a laptop-class machine: enough batching to
@@ -40,6 +42,16 @@ pub struct RuntimeConfig {
     /// pre-registered queries are unaffected: a match can only use edges
     /// whose types occur in its query.
     pub ingest_filter: bool,
+    /// Drift-adaptive re-decomposition (`None` = off). When set, the facade
+    /// checks every registered query's drift detector against the
+    /// ingest-path statistics every `check_interval` edges and, on a
+    /// confirmed plan change, broadcasts a `Redecompose` control message
+    /// down the owning worker's FIFO channel — the swap lands at a
+    /// deterministic point between batches and replays the worker's
+    /// retained graph, so the reported match multiset is unchanged.
+    /// Requires `collect_statistics`; with statistics off the detectors
+    /// never see movement.
+    pub adaptive: Option<DriftConfig>,
 }
 
 impl Default for RuntimeConfig {
@@ -52,6 +64,7 @@ impl Default for RuntimeConfig {
             purge_interval: 4096,
             collect_statistics: true,
             ingest_filter: false,
+            adaptive: None,
         }
     }
 }
@@ -102,6 +115,13 @@ impl RuntimeConfig {
     /// [`RuntimeConfig::ingest_filter`] for the trade-off).
     pub fn ingest_filtering(mut self, enabled: bool) -> Self {
         self.ingest_filter = enabled;
+        self
+    }
+
+    /// Enables drift-adaptive re-decomposition with the given detector
+    /// configuration (see [`RuntimeConfig::adaptive`]).
+    pub fn adaptive(mut self, config: DriftConfig) -> Self {
+        self.adaptive = Some(config);
         self
     }
 }

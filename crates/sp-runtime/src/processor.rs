@@ -5,6 +5,7 @@ use crate::config::RuntimeConfig;
 use crate::worker::{worker_loop, DrainAck, MatchBatch, WorkerMsg, WorkerReport};
 use sp_graph::{EdgeData, EdgeEvent, EdgeId, Schema, VertexId};
 use sp_iso::SubgraphMatch;
+use sp_query::QueryEdgeId;
 use sp_query::QueryGraph;
 use sp_selectivity::SelectivityEstimator;
 use std::collections::{HashMap, VecDeque};
@@ -13,9 +14,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use streampattern::{
-    canonicalize_subgraph, choose_strategy, retention_for_windows, CollectSink,
-    ContinuousQueryEngine, CountSink, EngineError, LeafSignature, MatchSink, ProfileCounters,
-    QueryId, StrategySpec, RELATIVE_SELECTIVITY_THRESHOLD,
+    canonicalize_subgraph, choose_strategy, leaf_structure, retention_for_windows, AdaptiveStats,
+    CollectSink, ContinuousQueryEngine, CountSink, EngineError, LeafSignature, MatchSink,
+    ProfileCounters, QueryDriftState, QueryId, Strategy, StrategySpec,
+    RELATIVE_SELECTIVITY_THRESHOLD,
 };
 
 /// How long a control wait sleeps on the aggregation channel before
@@ -68,6 +70,26 @@ struct WorkerHandle {
     join: Option<JoinHandle<()>>,
 }
 
+/// One query's drift bookkeeping on the facade: the detector plus the
+/// facade's mirror of the plan currently live on the owning worker (the
+/// engine itself is on the worker thread, so the facade tracks strategy and
+/// leaf structure to compare re-plans against).
+struct FacadeQueryDrift {
+    state: QueryDriftState,
+    query: QueryGraph,
+    strategy: Strategy,
+    leaves: Vec<Vec<QueryEdgeId>>,
+}
+
+/// Facade-level adaptivity: per-query drift states plus the shared check
+/// cadence over ingested edges.
+struct FacadeAdaptive {
+    config: streampattern::DriftConfig,
+    last_check_at: u64,
+    per_query: HashMap<QueryId, FacadeQueryDrift>,
+    stats: AdaptiveStats,
+}
+
 #[derive(Debug, Clone)]
 struct ShardAssignment {
     worker: usize,
@@ -116,6 +138,7 @@ pub struct ParallelStreamProcessor {
     /// each worker's `SharedLeafIndex` holds; drives sharing-aware
     /// assignment.
     shard_sigs: Vec<HashMap<LeafSignature, usize>>,
+    adaptive: Option<FacadeAdaptive>,
     next_id: u64,
     retention: Option<u64>,
     events_ingested: u64,
@@ -155,6 +178,12 @@ impl ParallelStreamProcessor {
         }
         let shard_costs = vec![0.0; config.workers];
         let shard_sigs = vec![HashMap::new(); config.workers];
+        let adaptive = config.adaptive.map(|cfg| FacadeAdaptive {
+            config: cfg,
+            last_check_at: 0,
+            per_query: HashMap::new(),
+            stats: AdaptiveStats::default(),
+        });
         Self {
             config,
             estimator: SelectivityEstimator::new(),
@@ -164,6 +193,7 @@ impl ParallelStreamProcessor {
             windows: HashMap::new(),
             shard_costs,
             shard_sigs,
+            adaptive,
             next_id: 0,
             retention: None,
             events_ingested: 0,
@@ -244,14 +274,15 @@ impl ParallelStreamProcessor {
         spec: impl Into<StrategySpec>,
         window: Option<u64>,
     ) -> Result<QueryId, EngineError> {
-        let strategy = match spec.into() {
+        let spec = spec.into();
+        let strategy = match spec {
             StrategySpec::Fixed(s) => s,
             StrategySpec::Auto => {
                 choose_strategy(&query, &self.estimator, RELATIVE_SELECTIVITY_THRESHOLD)?.strategy
             }
         };
         let engine = ContinuousQueryEngine::new(query, strategy, &self.estimator, window)?;
-        Ok(self.register_engine(engine))
+        Ok(self.register_engine_with_spec(engine, spec))
     }
 
     /// Registers a pre-built engine (custom decompositions, replayed trees)
@@ -261,7 +292,21 @@ impl ParallelStreamProcessor {
     /// sharer is cheaper there), and the query goes to the shard minimizing
     /// `load + discounted cost`. With no overlap anywhere this reduces to
     /// the plain least-loaded assignment.
+    ///
+    /// Under adaptivity ([`crate::RuntimeConfig::adaptive`]) the engine's
+    /// current strategy is treated as a `Fixed` registration, mirroring the
+    /// sequential processor: drift may re-order its leaves but never change
+    /// the strategy.
     pub fn register_engine(&mut self, engine: ContinuousQueryEngine) -> QueryId {
+        let spec = StrategySpec::Fixed(engine.strategy());
+        self.register_engine_with_spec(engine, spec)
+    }
+
+    fn register_engine_with_spec(
+        &mut self,
+        engine: ContinuousQueryEngine,
+        spec: StrategySpec,
+    ) -> QueryId {
         // Cost floor keeps a shard from absorbing unbounded many "free"
         // queries: even a never-dispatched query costs registry space.
         let base_cost = self.estimator.estimate_query_cost(engine.query()).max(1e-6);
@@ -297,6 +342,24 @@ impl ParallelStreamProcessor {
         self.windows.insert(id, engine.window());
         self.assignments
             .insert(id, ShardAssignment { worker, cost, sigs });
+        if let Some(adaptive) = self.adaptive.as_mut() {
+            if let Some(tree) = engine.tree() {
+                adaptive.per_query.insert(
+                    id,
+                    FacadeQueryDrift {
+                        state: QueryDriftState::new(
+                            adaptive.config,
+                            engine.query(),
+                            spec,
+                            &self.estimator,
+                        ),
+                        query: engine.query().clone(),
+                        strategy: engine.strategy(),
+                        leaves: leaf_structure(tree),
+                    },
+                );
+            }
+        }
         self.send_to_worker(
             worker,
             WorkerMsg::Register {
@@ -314,6 +377,9 @@ impl ParallelStreamProcessor {
     pub fn deregister(&mut self, id: QueryId) -> Option<ContinuousQueryEngine> {
         let assignment = self.assignments.remove(&id)?;
         self.windows.remove(&id);
+        if let Some(adaptive) = self.adaptive.as_mut() {
+            adaptive.per_query.remove(&id);
+        }
         self.shard_costs[assignment.worker] =
             (self.shard_costs[assignment.worker] - assignment.cost).max(0.0);
         for sig in &assignment.sigs {
@@ -366,10 +432,12 @@ impl ParallelStreamProcessor {
                 self.broadcast(std::mem::take(&mut batch));
                 batch = Vec::with_capacity(self.config.batch_size);
                 delivered += self.flush_buffered(sink);
+                self.maybe_check_drift();
             }
         }
         if !batch.is_empty() {
             self.broadcast(batch);
+            self.maybe_check_drift();
         }
         delivered + self.drain_into(sink)
     }
@@ -459,6 +527,111 @@ impl ParallelStreamProcessor {
     /// everything).
     pub fn graph_retention(&self) -> Option<u64> {
         self.retention
+    }
+
+    /// Cumulative drift-adaptivity counters (zeroes when
+    /// [`crate::RuntimeConfig::adaptive`] is off).
+    pub fn adaptive_stats(&self) -> AdaptiveStats {
+        self.adaptive.as_ref().map(|a| a.stats).unwrap_or_default()
+    }
+
+    /// Runs the drift checks at batch-boundary cadence: once
+    /// `check_interval` edges have been ingested since the last check, every
+    /// registered query's detector is evaluated against the ingest-path
+    /// statistics.
+    fn maybe_check_drift(&mut self) {
+        let due = match self.adaptive.as_mut() {
+            Some(adaptive)
+                if self.events_ingested - adaptive.last_check_at
+                    >= adaptive.config.check_interval =>
+            {
+                adaptive.last_check_at = self.events_ingested;
+                true
+            }
+            _ => false,
+        };
+        if due {
+            self.run_drift_checks();
+        }
+    }
+
+    /// One drift check over every registered query: confirmed plan changes
+    /// are shipped to the owning worker as a `Redecompose` control message
+    /// (FIFO with the edge batches, so the swap point is deterministic) and
+    /// the facade's plan mirror plus sharing-aware shard statistics are
+    /// updated. Returns the number of re-decompositions issued. A no-op
+    /// when adaptivity is off.
+    pub fn run_drift_checks(&mut self) -> usize {
+        let Some(mut adaptive) = self.adaptive.take() else {
+            return 0;
+        };
+        let mut issued = 0;
+        let ids: Vec<QueryId> = {
+            let mut ids: Vec<QueryId> = adaptive.per_query.keys().copied().collect();
+            ids.sort_unstable();
+            ids
+        };
+        for id in ids {
+            let fqd = adaptive.per_query.get_mut(&id).expect("id from keys");
+            adaptive.stats.checks += 1;
+            let mut drifted = false;
+            let plan = fqd.state.check_plan(
+                &fqd.query,
+                fqd.strategy,
+                &fqd.leaves,
+                &self.estimator,
+                &mut drifted,
+            );
+            if drifted {
+                adaptive.stats.drifts_detected += 1;
+            }
+            let Some((strategy, tree)) = plan else {
+                continue;
+            };
+            // Plans the worker's engine could not be rebuilt onto (the
+            // lazy-bitmap leaf cap) are dropped here, mirroring the
+            // sequential processor's skip; the worker tolerates a failing
+            // rebuild too, but there is no point shipping one.
+            if tree.num_leaves() > streampattern::MAX_LEAVES {
+                continue;
+            }
+            let Some(assignment) = self.assignments.get_mut(&id) else {
+                continue;
+            };
+            // Refresh the shard's resident-shape refcounts: the old leaves
+            // unsubscribe on the worker, the new ones subscribe.
+            let worker = assignment.worker;
+            let new_sigs: Vec<LeafSignature> = tree
+                .leaf_subgraphs()
+                .filter_map(|sg| canonicalize_subgraph(tree.query(), sg).map(|(sig, _)| sig))
+                .collect();
+            for sig in &assignment.sigs {
+                if let Some(count) = self.shard_sigs[worker].get_mut(sig) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.shard_sigs[worker].remove(sig);
+                    }
+                }
+            }
+            for sig in &new_sigs {
+                *self.shard_sigs[worker].entry(sig.clone()).or_insert(0) += 1;
+            }
+            assignment.sigs = new_sigs;
+            fqd.strategy = strategy;
+            fqd.leaves = leaf_structure(&tree);
+            adaptive.stats.redecompositions += 1;
+            issued += 1;
+            self.send_to_worker(
+                worker,
+                WorkerMsg::Redecompose {
+                    global: id,
+                    strategy,
+                    tree: Box::new(tree),
+                },
+            );
+        }
+        self.adaptive = Some(adaptive);
+        issued
     }
 
     /// Merges worker snapshots into one aggregate, the same way

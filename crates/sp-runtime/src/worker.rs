@@ -15,7 +15,9 @@ use sp_iso::SubgraphMatch;
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
-use streampattern::{ContinuousQueryEngine, FnSink, ProfileCounters, QueryId, StreamProcessor};
+use streampattern::{
+    ContinuousQueryEngine, FnSink, ProfileCounters, QueryId, SjTree, Strategy, StreamProcessor,
+};
 
 /// One aggregation-channel message: the originating worker index and the
 /// `(query, match)` pairs produced by one input batch, in report order.
@@ -39,6 +41,21 @@ pub(crate) enum WorkerMsg {
     },
     /// Apply the facade's global graph-retention window to the replica.
     SetRetention(Option<u64>),
+    /// Swap a query's decomposition for the facade-planned replacement
+    /// (drift-adaptive re-decomposition). Riding the FIFO channel, the swap
+    /// is serialized against the edge batches sent before it, so every
+    /// run interleaves identically to a sequential processor performing the
+    /// same swap at the same stream position; the worker rebuilds the
+    /// engine by replaying its retained graph replica, preserving the
+    /// match multiset.
+    Redecompose {
+        /// The facade's global query id.
+        global: QueryId,
+        /// The (possibly re-chosen) strategy of the new plan.
+        strategy: Strategy,
+        /// The SJ-Tree decomposition computed from the facade's statistics.
+        tree: Box<SjTree>,
+    },
     /// Reply with a snapshot of this worker's counters.
     Report { reply: Sender<WorkerReport> },
     /// Barrier: every batch sent before this message has been fully
@@ -144,6 +161,22 @@ pub(crate) fn worker_loop(
             WorkerMsg::SetRetention(window) => {
                 retention_override = Some(window);
                 proc.set_graph_retention(window);
+            }
+            WorkerMsg::Redecompose {
+                global,
+                strategy,
+                tree,
+            } => {
+                // A deregistration racing ahead of the facade's drift check
+                // cannot happen (control messages are FIFO per worker), but
+                // an unknown id is still tolerated as a no-op. A failing
+                // rebuild (e.g. a hand-built tree beyond the lazy-bitmap
+                // cap that slipped past the facade's guard) keeps the old
+                // plan rather than poisoning the worker thread — mirroring
+                // the sequential processor, which skips such plans too.
+                if let Some(&local) = to_local.get(&global) {
+                    let _ = proc.redecompose(local, strategy, *tree);
+                }
             }
             WorkerMsg::Report { reply } => {
                 let mut per_query: Vec<(QueryId, ProfileCounters)> = to_local

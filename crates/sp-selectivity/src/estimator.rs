@@ -7,6 +7,27 @@ use serde::{Deserialize, Serialize};
 use sp_graph::{DynamicGraph, EdgeData};
 use sp_query::{LeafSignature, Primitive};
 
+/// How the estimator weighs history when accumulating statistics.
+///
+/// The paper assumes the selectivity order is stable over the stream
+/// (Section 5.1) and accumulates counts forever; that assumption breaks on
+/// drifting streams, where a query registered early keeps a leaf ordering
+/// the stream has since invalidated. [`StatsMode::Decayed`] turns the
+/// estimator into a *moving* signal: every `interval` observed edges, every
+/// count is halved, so the statistics form an exponentially weighted window
+/// (weight `2^-k` for edges `k` intervals old) and the drift detector can
+/// see ranking changes instead of being drowned out by history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StatsMode {
+    /// Counts accumulate forever (the paper's methodology; the default).
+    #[default]
+    Cumulative,
+    /// Every `N` observed edges (the variant's payload), all counts are
+    /// halved — exponential decay with half-life `N` edges. The interval
+    /// must be positive.
+    Decayed(u64),
+}
+
 /// Distributional statistics of a graph stream: the 1-edge histogram and the
 /// 2-edge path distribution, plus the Expected / Relative Selectivity metrics
 /// derived from them (Section 5.2).
@@ -15,11 +36,18 @@ use sp_query::{LeafSignature, Primitive};
 /// ([`SelectivityEstimator::observe_edge`]) or from a whole graph snapshot
 /// ([`SelectivityEstimator::from_graph`]); the paper assumes "the selectivity
 /// order remains the same for the dynamic graph when we perform the query
-/// processing" (Section 5.1), and Section 6.3 validates that assumption.
+/// processing" (Section 5.1), and Section 6.3 validates that assumption. For
+/// drifting streams, [`StatsMode::Decayed`] keeps the statistics tracking
+/// the recent stream instead.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct SelectivityEstimator {
     edges: EdgeTypeHistogram,
     paths: TwoEdgePathCounter,
+    mode: StatsMode,
+    since_decay: u64,
+    /// Monotonic count of edges ever observed (snapshot + incremental);
+    /// unlike the histogram total it never decays.
+    lifetime_observed: u64,
 }
 
 /// A summary of the selectivity of one SJ-Tree decomposition: the per-leaf
@@ -50,23 +78,99 @@ impl SelectivityEstimator {
 
     /// Builds the estimator from a complete graph snapshot: the edge
     /// histogram from the live edges and the 2-edge path distribution via
-    /// Algorithm 5.
+    /// Algorithm 5. The mode is [`StatsMode::Cumulative`]; use
+    /// [`SelectivityEstimator::with_mode`] to change it.
     pub fn from_graph(graph: &DynamicGraph) -> Self {
         let mut edges = EdgeTypeHistogram::new();
         for e in graph.edges() {
             edges.observe(e.edge_type);
         }
+        let lifetime_observed = edges.total();
         Self {
             edges,
             paths: TwoEdgePathCounter::from_graph(graph),
+            mode: StatsMode::Cumulative,
+            since_decay: 0,
+            lifetime_observed,
         }
     }
 
+    /// Sets how history is weighted (see [`StatsMode`]). Switching modes
+    /// keeps the counts accumulated so far; decay starts applying from the
+    /// next observed edge.
+    ///
+    /// # Panics
+    /// Panics when given [`StatsMode::Decayed`] with a zero interval.
+    pub fn with_mode(mut self, mode: StatsMode) -> Self {
+        if let StatsMode::Decayed(interval) = mode {
+            assert!(interval > 0, "decay interval must be positive");
+        }
+        self.mode = mode;
+        self
+    }
+
+    /// The statistics mode in force.
+    pub fn mode(&self) -> StatsMode {
+        self.mode
+    }
+
     /// Incrementally records one streaming edge (both the 1-edge histogram
-    /// and the 2-edge path counts are updated).
+    /// and the 2-edge path counts are updated). Under
+    /// [`StatsMode::Decayed`] every count is halved once per decay interval
+    /// of observed edges.
+    ///
+    /// # Count provenance
+    ///
+    /// The estimator does **not** distinguish counts that came from a
+    /// snapshot ([`SelectivityEstimator::from_graph`]) from counts observed
+    /// incrementally: calling `observe_edge` for edges that were already in
+    /// the snapshot double-counts them, and the 2-edge path counters then
+    /// also disagree with the true wedge census (the snapshot does not seed
+    /// the per-vertex incidence state the incremental update pairs new edges
+    /// against). Callers that need exact statistics for the current graph
+    /// should use [`SelectivityEstimator::rebuild_from_graph`] (or a fresh
+    /// [`SelectivityEstimator::from_graph`]) instead of mixing the two
+    /// sources; the decayed mode tolerates the mixture by design, since old
+    /// weight — wherever it came from — halves away.
     pub fn observe_edge(&mut self, edge: &EdgeData) {
         self.edges.observe(edge.edge_type);
         self.paths.observe_edge(edge);
+        self.lifetime_observed += 1;
+        if let StatsMode::Decayed(interval) = self.mode {
+            self.since_decay += 1;
+            if self.since_decay >= interval {
+                self.since_decay = 0;
+                self.edges.halve();
+                self.paths.halve();
+            }
+        }
+    }
+
+    /// Clears every count (and the decay phase) while keeping the configured
+    /// [`StatsMode`]. This is the escape hatch from the mixed-provenance
+    /// trap documented on [`SelectivityEstimator::observe_edge`]: reset, then
+    /// re-observe from a single source.
+    pub fn reset(&mut self) {
+        self.edges = EdgeTypeHistogram::new();
+        self.paths = TwoEdgePathCounter::new();
+        self.since_decay = 0;
+        self.lifetime_observed = 0;
+    }
+
+    /// Replaces the accumulated counts with exact statistics of the given
+    /// graph snapshot (its live — e.g. retained-window — edges), keeping the
+    /// configured [`StatsMode`]. The decayed mode uses this to re-anchor the
+    /// statistics on the retained graph instead of blending snapshot and
+    /// incremental counts of unknown provenance.
+    pub fn rebuild_from_graph(&mut self, graph: &DynamicGraph) {
+        self.reset();
+        let mut edges = EdgeTypeHistogram::new();
+        for e in graph.edges() {
+            edges.observe(e.edge_type);
+        }
+        self.lifetime_observed = edges.total();
+        self.edges = edges;
+        self.paths = TwoEdgePathCounter::from_graph(graph);
     }
 
     /// Read access to the single-edge histogram.
@@ -79,9 +183,22 @@ impl SelectivityEstimator {
         &self.paths
     }
 
-    /// Number of edges observed.
+    /// Number of edges currently *weighted* by the statistics: the
+    /// histogram total, which under [`StatsMode::Decayed`] shrinks as old
+    /// weight halves away (it never exceeds twice the decay interval). Use
+    /// [`SelectivityEstimator::lifetime_edges_observed`] for a monotonic
+    /// "how much stream has this estimator seen" count.
     pub fn num_edges_observed(&self) -> u64 {
         self.edges.total()
+    }
+
+    /// Monotonic count of edges ever fed to this estimator (snapshot +
+    /// incremental), independent of decay. This is the count warm-up gates
+    /// like `DriftConfig::min_observations` are checked against — gating on
+    /// the decayed total would silently disable such gates whenever the
+    /// threshold exceeds twice the decay interval.
+    pub fn lifetime_edges_observed(&self) -> u64 {
+        self.lifetime_observed
     }
 
     /// Frequency (raw count) of a primitive.
@@ -373,6 +490,111 @@ mod tests {
         assert!((b - 0.1).abs() < 1e-12, "benefit = {b}");
         // Empty leaf sets report no benefit.
         assert_eq!(est.estimate_sharing_benefit([].iter(), |_| true), 0.0);
+    }
+
+    #[test]
+    fn decayed_mode_forgets_old_traffic() {
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let udp = schema.intern_edge_type("udp");
+        let mut est = SelectivityEstimator::new().with_mode(StatsMode::Decayed(100));
+        assert_eq!(est.mode(), StatsMode::Decayed(100));
+        let mut g = DynamicGraph::new(schema);
+        let feed = |est: &mut SelectivityEstimator, g: &mut DynamicGraph, t, n: u64| {
+            for i in 0..n {
+                let a = g.add_vertex(vt);
+                let b = g.add_vertex(vt);
+                let e = g.add_edge(a, b, t, Timestamp(i));
+                est.observe_edge(g.edge(e).unwrap());
+            }
+        };
+        // Phase 1: tcp dominates.
+        feed(&mut est, &mut g, tcp, 450);
+        feed(&mut est, &mut g, udp, 50);
+        assert!(
+            est.frequency(&Primitive::SingleEdge(tcp)) > est.frequency(&Primitive::SingleEdge(udp))
+        );
+        // Phase 2: only udp. After a few half-lives the ranking flips — the
+        // cumulative estimator would need 450+ udp edges to ever catch up.
+        feed(&mut est, &mut g, udp, 400);
+        assert!(
+            est.frequency(&Primitive::SingleEdge(udp)) > est.frequency(&Primitive::SingleEdge(tcp)),
+            "decay must let the new mix overtake the old: tcp={} udp={}",
+            est.frequency(&Primitive::SingleEdge(tcp)),
+            est.frequency(&Primitive::SingleEdge(udp)),
+        );
+    }
+
+    #[test]
+    fn cumulative_mode_never_decays() {
+        let g = sample_graph();
+        let mut est = SelectivityEstimator::new();
+        for e in g.edges() {
+            est.observe_edge(e);
+        }
+        assert_eq!(est.num_edges_observed(), 100);
+        assert_eq!(est.mode(), StatsMode::Cumulative);
+    }
+
+    #[test]
+    fn reset_clears_counts_but_keeps_mode() {
+        let g = sample_graph();
+        let mut est = SelectivityEstimator::new().with_mode(StatsMode::Decayed(7));
+        for e in g.edges() {
+            est.observe_edge(e);
+        }
+        assert!(est.num_edges_observed() > 0);
+        est.reset();
+        assert_eq!(est.num_edges_observed(), 0);
+        assert_eq!(est.path_counter().total(), 0);
+        assert_eq!(est.mode(), StatsMode::Decayed(7));
+    }
+
+    #[test]
+    fn rebuild_from_graph_matches_a_fresh_snapshot() {
+        let g = sample_graph();
+        let mut est = SelectivityEstimator::new();
+        // Pollute with arbitrary incremental counts first.
+        for e in g.edges().take(20) {
+            est.observe_edge(e);
+        }
+        est.rebuild_from_graph(&g);
+        let fresh = SelectivityEstimator::from_graph(&g);
+        assert_eq!(est.num_edges_observed(), fresh.num_edges_observed());
+        assert_eq!(est.path_counter().total(), fresh.path_counter().total());
+    }
+
+    #[test]
+    fn snapshot_then_incremental_continuation_is_exact() {
+        // The documented contract: from_graph seeds the per-vertex wedge
+        // state, so observing only *new* edges afterwards continues the
+        // exact census (no mixed-provenance undercount).
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("ip");
+        let tcp = schema.intern_edge_type("tcp");
+        let mut g = DynamicGraph::new(schema);
+        let hub = g.add_vertex(vt);
+        for i in 0..5u64 {
+            let leaf = g.add_vertex(vt);
+            g.add_edge(hub, leaf, tcp, Timestamp(i));
+        }
+        let mut est = SelectivityEstimator::from_graph(&g);
+        // Add three more spokes incrementally.
+        for i in 5..8u64 {
+            let leaf = g.add_vertex(vt);
+            let e = g.add_edge(hub, leaf, tcp, Timestamp(i));
+            est.observe_edge(g.edge(e).unwrap());
+        }
+        let batch = SelectivityEstimator::from_graph(&g);
+        assert_eq!(est.path_counter().total(), batch.path_counter().total());
+        assert_eq!(est.num_edges_observed(), batch.num_edges_observed());
+    }
+
+    #[test]
+    #[should_panic(expected = "decay interval must be positive")]
+    fn zero_decay_interval_is_rejected() {
+        let _ = SelectivityEstimator::new().with_mode(StatsMode::Decayed(0));
     }
 
     #[test]

@@ -87,6 +87,20 @@ impl EdgeTypeHistogram {
         }
     }
 
+    /// Halves every count (integer division), dropping types whose count
+    /// reaches zero, and recomputes the total. This is the decay step behind
+    /// [`StatsMode::Decayed`](crate::StatsMode): applied once per decay
+    /// interval it turns the histogram into an exponentially weighted view of
+    /// the stream, so a type that stopped arriving loses half its weight
+    /// every interval instead of dominating the selectivity order forever.
+    pub fn halve(&mut self) {
+        self.counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+        self.total = self.counts.values().sum();
+    }
+
     /// The rank order of edge types (rarest first). Used to assess the
     /// stability of the selectivity order across stream snapshots
     /// (Section 6.3: "it is the relative order ... that matters").

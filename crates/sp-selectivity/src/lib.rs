@@ -17,17 +17,23 @@
 //!
 //! The crate also provides [`EdgeDistributionTimeline`], the per-interval edge
 //! type counts plotted in Figure 6, and helpers for reasoning about the
-//! stability of the selectivity order over time (Section 6.3).
+//! stability of the selectivity order over time (Section 6.3). When that
+//! stability assumption does *not* hold, [`StatsMode::Decayed`] makes the
+//! estimator an exponentially weighted window over the recent stream and
+//! [`DriftDetector`] reports when the ranking (or the strategy-selection
+//! threshold side) a query's plan was built on has moved.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod drift;
 mod estimator;
 mod histogram;
 mod paths;
 mod timeline;
 
-pub use estimator::{DecompositionSelectivity, SelectivityEstimator};
+pub use drift::{DriftConfig, DriftDetector, DriftStats};
+pub use estimator::{DecompositionSelectivity, SelectivityEstimator, StatsMode};
 pub use histogram::EdgeTypeHistogram;
 pub use paths::TwoEdgePathCounter;
 pub use timeline::EdgeDistributionTimeline;

@@ -34,7 +34,10 @@ impl TwoEdgePathCounter {
     /// every vertex, counts its incident directed edge types and accumulates
     /// `n1*(n1-1)/2` same-type and `n1*n2` cross-type wedges.
     ///
-    /// The result replaces any previously accumulated counts.
+    /// The result replaces any previously accumulated counts. The per-vertex
+    /// incidence state of the incremental path is seeded from the snapshot,
+    /// so following a `from_graph` with [`TwoEdgePathCounter::observe_edge`]
+    /// for *new* edges continues the exact census.
     pub fn from_graph(graph: &DynamicGraph) -> Self {
         let mut counter = Self::new();
         for (v, _) in graph.vertices() {
@@ -55,6 +58,9 @@ impl TwoEdgePathCounter {
                 for &(t2, n2) in &types[i + 1..] {
                     counter.add(TwoEdgePathSignature::new(t1, t2), n1 * n2);
                 }
+            }
+            if !cv.is_empty() {
+                counter.per_vertex.insert(v, cv);
             }
         }
         counter
@@ -97,6 +103,29 @@ impl TwoEdgePathCounter {
         }
         *self.counts.entry(sig).or_insert(0) += n;
         self.total += n;
+    }
+
+    /// Halves every wedge count (integer division), dropping signatures that
+    /// reach zero, and recomputes the total — the decay step behind
+    /// [`StatsMode::Decayed`](crate::StatsMode). The per-vertex incidence
+    /// counters the incremental path uses are halved as well, so wedges
+    /// formed by future edges are weighted toward recent structure; under
+    /// decay the incremental counts are therefore a recency-weighted
+    /// approximation rather than the exact census of
+    /// [`TwoEdgePathCounter::from_graph`].
+    pub fn halve(&mut self) {
+        self.counts.retain(|_, c| {
+            *c /= 2;
+            *c > 0
+        });
+        self.total = self.counts.values().sum();
+        for per in self.per_vertex.values_mut() {
+            per.retain(|_, c| {
+                *c /= 2;
+                *c > 0
+            });
+        }
+        self.per_vertex.retain(|_, per| !per.is_empty());
     }
 
     /// Count of wedges with the given signature.

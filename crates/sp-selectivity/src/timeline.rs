@@ -197,4 +197,65 @@ mod tests {
     fn zero_interval_is_rejected() {
         let _ = EdgeDistributionTimeline::new(0);
     }
+
+    #[test]
+    fn tied_counts_are_rank_stable_across_intervals() {
+        // Two types arrive in exactly equal volume in every interval. The
+        // rank order tie-breaks by type id, so consecutive snapshots agree
+        // perfectly — ties must not read as drift.
+        let mut t = EdgeDistributionTimeline::new(20);
+        for _ in 0..5 {
+            for i in 0..20u32 {
+                t.observe(EdgeType(i % 2));
+            }
+        }
+        assert_eq!(t.num_intervals(), 5);
+        assert!((t.rank_stability() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tie_broken_then_restored_reduces_stability_once() {
+        // Interval 1: tie (order by id: 0,1). Interval 2: type 1 rarer
+        // (order: 1,0). Interval 3: tie again (order: 0,1). Two of the two
+        // consecutive pairs disagree completely.
+        let mut t = EdgeDistributionTimeline::new(10);
+        for i in 0..10u32 {
+            t.observe(EdgeType(i % 2)); // 5 / 5
+        }
+        for i in 0..10u32 {
+            t.observe(EdgeType(u32::from(i % 10 == 0))); // 9 / 1
+        }
+        for i in 0..10u32 {
+            t.observe(EdgeType(i % 2)); // 5 / 5
+        }
+        let s = t.rank_stability();
+        assert!((s - 0.0).abs() < 1e-12, "both transitions flip, s={s}");
+    }
+
+    #[test]
+    fn arrival_order_not_timestamps_drives_stability() {
+        // The timeline cuts intervals by *arrival position* — observe() does
+        // not even take a timestamp, so an out-of-order stream (late event
+        // timestamps arriving early) is measured by when the edges arrive,
+        // which is the signal drift detection needs. Same multiset, two
+        // arrival orders:
+        let mut interleaved = EdgeDistributionTimeline::new(100);
+        for i in 0..400u32 {
+            let ty = u32::from(i % 10 == 0);
+            interleaved.observe(EdgeType(ty));
+        }
+        assert!((interleaved.rank_stability() - 1.0).abs() < 1e-12);
+
+        // ... but the same 360/40 mix arriving clustered (the rare type's
+        // edges all at the end, e.g. replayed with wildly out-of-order
+        // timestamps) flips the final interval's ranking.
+        let mut clustered = EdgeDistributionTimeline::new(100);
+        for _ in 0..360u32 {
+            clustered.observe(EdgeType(0));
+        }
+        for _ in 0..40u32 {
+            clustered.observe(EdgeType(1));
+        }
+        assert!(clustered.rank_stability() < 1.0);
+    }
 }

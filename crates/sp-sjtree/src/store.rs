@@ -14,17 +14,20 @@
 
 use crate::node::NodeId;
 use crate::tree::SjTree;
-use sp_graph::{DynamicGraph, Timestamp, VertexId};
-use sp_iso::SubgraphMatch;
+use sp_graph::{DynamicGraph, Timestamp};
+use sp_iso::{JoinKey, SubgraphMatch};
 use std::collections::HashMap;
 
 /// Hash table of matches for one SJ-Tree node, keyed by the projection of
-/// each match onto the parent's cut vertices. Every bucket is kept **sorted**
-/// (by `SubgraphMatch`'s derived ordering) so duplicate detection on insert
-/// is a binary search instead of a linear scan — on a high-fan-in cut vertex
-/// a single bucket can hold thousands of partial matches, and the old
+/// each match onto the parent's cut vertices. Keys are interned
+/// [`JoinKey`]s — cut sets of up to three vertices (every tree the built-in
+/// decompositions produce) are stored inline, so computing the key per
+/// insert no longer heap-allocates. Every bucket is kept **sorted** (by
+/// `SubgraphMatch`'s derived ordering) so duplicate detection on insert is a
+/// binary search instead of a linear scan — on a high-fan-in cut vertex a
+/// single bucket can hold thousands of partial matches, and the old
 /// `bucket.contains(&m)` scan made every insert `O(n)`.
-type NodeTable = HashMap<Vec<VertexId>, Vec<SubgraphMatch>>;
+type NodeTable = HashMap<JoinKey, Vec<SubgraphMatch>>;
 
 /// Runtime partial-match storage for one SJ-Tree.
 #[derive(Debug, Clone)]
@@ -103,7 +106,7 @@ impl MatchStore {
         let parent = tree.parent(node).expect("non-root node has a parent");
         let sibling = tree.sibling(node).expect("non-root node has a sibling");
         let cut = &tree.node(parent).cut_vertices;
-        let Some(key) = m.project_vertices(cut) else {
+        let Some(key) = m.project_key(cut) else {
             // The match does not bind all cut vertices; this cannot happen
             // for leaf matches produced by the anchored matcher (leaves bind
             // every vertex of their subgraph), so treat it as a no-op.
@@ -240,7 +243,7 @@ impl MatchStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sp_graph::{EdgeId, EdgeType};
+    use sp_graph::{EdgeId, EdgeType, VertexId};
     use sp_query::{QueryEdgeId, QueryGraph, QuerySubgraph, QueryVertexId};
 
     /// Query: v0 -t0-> v1 -t1-> v2, decomposed into two single-edge leaves
