@@ -60,6 +60,27 @@ pub struct PreparedLeaf {
     pub shared: bool,
 }
 
+/// Prefix-root matches prepared by the shared join stage
+/// ([`SharedJoinIndex`](crate::SharedJoinIndex)) for one engine on one edge:
+/// the canonical prefix table's new root joins, already rebased onto this
+/// engine's numbering, window-filtered against its `tW`, and
+/// boundary-filtered against its subscription point.
+#[derive(Debug, Clone)]
+pub struct PrefixFeed {
+    /// Number of leading leaves (selectivity ranks `0..depth`) the shared
+    /// prefix covers. The engine skips those leaves entirely — their
+    /// searches, inserts and joins ran once registry-wide — and consumes
+    /// `matches` as inserts at its internal node covering them (or directly
+    /// as complete matches when the prefix spans the whole tree).
+    pub depth: usize,
+    /// The rebased prefix-root matches this edge created (possibly empty —
+    /// the engine must still skip the prefix leaves).
+    pub matches: Vec<SubgraphMatch>,
+    /// `true` when the prefix table has other live subscribers, i.e. this
+    /// engine's prefix work was genuinely deduplicated this edge.
+    pub shared: bool,
+}
+
 /// Enables search for a leaf around `v`. On a fresh 0→1 transition, performs
 /// the retroactive neighborhood probe the paper mandates ("whenever we enable
 /// the search on a node in the data graph, we also perform a subgraph search
@@ -262,7 +283,7 @@ impl ContinuousQueryEngine {
     /// Returns the complete query matches created by this edge, i.e.
     /// `M(G^{k+1}) − M(G^k)` of the problem statement.
     pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &EdgeData) -> Vec<SubgraphMatch> {
-        self.process_edge_inner(graph, edge, None)
+        self.process_edge_inner(graph, edge, None, None)
     }
 
     /// Like [`ContinuousQueryEngine::process_edge`], but the per-leaf
@@ -287,7 +308,27 @@ impl ContinuousQueryEngine {
         edge: &EdgeData,
         prepared: &mut Vec<Option<LeafFanout>>,
     ) -> Vec<SubgraphMatch> {
-        self.process_edge_inner(graph, edge, Some(prepared))
+        self.process_edge_inner(graph, edge, Some(prepared), None)
+    }
+
+    /// The full shared pipeline: like
+    /// [`ContinuousQueryEngine::process_edge_prepared`], with the leading
+    /// `prefix.depth` leaves **and their internal hash joins** additionally
+    /// delegated to the shared join stage. The engine skips those leaves,
+    /// seeds its own join continuation with the rebased prefix-root matches
+    /// in `prefix` (inserted at the internal node covering the prefix, so
+    /// lazy enablement of the next leaf fires exactly as a private insert
+    /// would — enablement "moves to emit time"), and runs the suffix leaves
+    /// as usual. When the prefix spans every leaf, the feed's matches *are*
+    /// the complete matches.
+    pub fn process_edge_shared(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        prepared: Option<&mut Vec<Option<LeafFanout>>>,
+        prefix: Option<PrefixFeed>,
+    ) -> Vec<SubgraphMatch> {
+        self.process_edge_inner(graph, edge, prepared, prefix)
     }
 
     fn process_edge_inner(
@@ -295,6 +336,7 @@ impl ContinuousQueryEngine {
         graph: &DynamicGraph,
         edge: &EdgeData,
         mut supplied: Option<&mut Vec<Option<LeafFanout>>>,
+        prefix: Option<PrefixFeed>,
     ) -> Vec<SubgraphMatch> {
         self.profile.edges_processed += 1;
         let window = self.window;
@@ -321,10 +363,49 @@ impl ContinuousQueryEngine {
                 bitmap,
             } => {
                 let lazy = *lazy;
-                // Work items: (leaf node, match of that leaf's subgraph).
+                // Work items: (tree node, match of that node's subgraph) —
+                // leaf matches from the per-edge searches, plus prefix-root
+                // matches the shared join stage delivered.
                 let mut worklist: VecDeque<(NodeId, SubgraphMatch)> = VecDeque::new();
 
-                for (rank, &leaf) in tree.leaves().iter().enumerate() {
+                let start_rank = match prefix {
+                    Some(feed) => {
+                        debug_assert!(
+                            feed.depth >= 2 && feed.depth <= tree.num_leaves(),
+                            "a shared prefix covers 2..=k leaves"
+                        );
+                        self.profile.shared_join_emissions += feed.matches.len() as u64;
+                        if feed.shared {
+                            self.profile.join_stages_shared += 1;
+                        }
+                        if feed.depth == tree.num_leaves() {
+                            // The prefix is the whole tree: the feed's
+                            // matches are the complete matches (the shared
+                            // stage pre-filtered them against this engine's
+                            // window and subscription boundary).
+                            for m in feed.matches {
+                                debug_assert!(window.is_none_or(|tw| m.within_window(tw)));
+                                complete.push(m);
+                            }
+                            self.profile.complete_matches += complete.len() as u64;
+                            return complete;
+                        }
+                        // Seed the join continuation: each emission is an
+                        // insert at the internal node covering the prefix
+                        // leaves, exactly where the private path would have
+                        // created it.
+                        let prefix_node = tree
+                            .parent(tree.leaf(feed.depth - 1))
+                            .expect("a strict prefix has a parent join node");
+                        for m in feed.matches {
+                            worklist.push_back((prefix_node, m));
+                        }
+                        feed.depth
+                    }
+                    None => 0,
+                };
+
+                for (rank, &leaf) in tree.leaves().iter().enumerate().skip(start_rank) {
                     // The Lazy Search gate; `leaf_accepts` is this same
                     // condition, exposed to the shared leaf-search stage.
                     if lazy
@@ -489,6 +570,30 @@ impl ContinuousQueryEngine {
         complete
     }
 
+    /// Drops this engine's own partial-match tables for the nodes a shared
+    /// join prefix of `depth` leaves now covers: the prefix leaves and every
+    /// internal node *strictly below* the prefix root. The prefix root's own
+    /// table is kept — it accumulates the rebased emissions and is what the
+    /// suffix leaves join against. Called when a live query migrates onto a
+    /// newly created shared prefix table (whose contents are reconstructed
+    /// by replaying the retained graph), so the redundant private state does
+    /// not linger until window expiry. No-op for the VF2 baseline.
+    pub fn clear_prefix_state(&mut self, depth: usize) {
+        let Backend::SjTree { tree, store, .. } = &mut self.backend else {
+            return;
+        };
+        let depth = depth.min(tree.num_leaves());
+        for rank in 0..depth {
+            store.clear_node(tree.leaf(rank));
+        }
+        // Internal node covering leaves 0..=j is parent(leaf(j)); keep the
+        // prefix root (j = depth-1).
+        for j in 1..depth.saturating_sub(1) {
+            let node = tree.parent(tree.leaf(j)).expect("non-root leaf");
+            store.clear_node(node);
+        }
+    }
+
     /// Drops partial matches that can no longer contribute to a windowed
     /// match and lazy-bitmap rows for vertices that have left the graph.
     /// Returns the number of partial matches removed.
@@ -577,7 +682,7 @@ impl ContinuousQueryEngine {
         // profile, then fold it into the dedicated replay counters.
         let live = std::mem::take(&mut self.profile);
         for e in &edges {
-            let _ = self.process_edge_inner(graph, e, None);
+            let _ = self.process_edge_inner(graph, e, None, None);
         }
         let replay = std::mem::replace(&mut self.profile, live);
         self.profile.replay_searches +=

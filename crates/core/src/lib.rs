@@ -95,6 +95,7 @@ mod lazy;
 mod processor;
 mod profile;
 mod registry;
+mod sharedjoin;
 mod sharing;
 mod sink;
 mod strategy;
@@ -102,12 +103,15 @@ mod strategy;
 pub use adaptive::{
     leaf_structure, plan_cost, plan_query, AdaptiveStats, QueryDriftState, REDECOMPOSITION_GAIN,
 };
-pub use engine::{ContinuousQueryEngine, LeafFanout, PreparedLeaf};
+pub use engine::{ContinuousQueryEngine, LeafFanout, PrefixFeed, PreparedLeaf};
 pub use error::EngineError;
 pub use lazy::{LazyBitmap, MAX_LEAVES};
 pub use processor::StreamProcessor;
 pub use profile::ProfileCounters;
 pub use registry::{retention_for_windows, QueryId, QueryRegistry, StrategySpec};
+pub use sharedjoin::{
+    tree_chain, JoinSubscription, SharedJoinIndex, SharedJoinStats, MIN_PREFIX_DEPTH,
+};
 pub use sharing::{EdgeSearchCache, SharedLeafIndex, SharedLeafStats};
 pub use sink::{CollectSink, CountSink, FnSink, MatchSink};
 pub use strategy::{
@@ -121,6 +125,9 @@ pub use sp_graph::{
     DynamicGraph, EdgeData, EdgeEvent, EdgeId, EdgeType, Schema, Timestamp, VertexId, VertexType,
 };
 pub use sp_iso::SubgraphMatch;
-pub use sp_query::{canonicalize_subgraph, LeafSignature, QueryEdgeId, QueryGraph, QueryVertexId};
+pub use sp_query::{
+    canonicalize_subgraph, prefix_chain, ChainStep, LeafSignature, PrefixSignature, QueryEdgeId,
+    QueryGraph, QueryVertexId,
+};
 pub use sp_selectivity::{DriftConfig, DriftDetector, DriftStats, SelectivityEstimator, StatsMode};
 pub use sp_sjtree::{PrimitivePolicy, SjTree};

@@ -144,6 +144,29 @@ impl StreamProcessor {
         self.registry.shared_leaf_stats()
     }
 
+    /// Enables or disables shared-**join** evaluation for queries
+    /// registered afterwards (on by default): with it on, queries whose
+    /// decompositions begin with the same canonical leaf sequence share one
+    /// refcounted partial-match table for that prefix — leaf searches,
+    /// inserts and hash joins for the prefix run once registry-wide, and
+    /// the prefix-root matches are fanned out (window- and
+    /// boundary-filtered per subscriber). The reported match multiset is
+    /// identical either way; the toggle exists for measurement (the
+    /// `sharedjoin` benchmark compares leaf-only sharing against
+    /// leaf+join sharing) and equivalence testing. Unlike the leaf stage,
+    /// subscriptions are decided at registration time — flip the toggle
+    /// before registering.
+    pub fn with_join_sharing(mut self, enabled: bool) -> Self {
+        self.registry.set_join_sharing(enabled);
+        self
+    }
+
+    /// Snapshot of the shared join stage: live prefix tables, current
+    /// subscriptions, and how much join-stage work sharing eliminated.
+    pub fn shared_join_stats(&self) -> crate::SharedJoinStats {
+        self.registry.shared_join_stats()
+    }
+
     /// Enables drift-adaptive re-decomposition (off by default): every
     /// [`DriftConfig::check_interval`] processed edges, each registered
     /// query's [`DriftDetector`](sp_selectivity::DriftDetector) compares the
@@ -239,7 +262,7 @@ impl StreamProcessor {
     /// the strategy.
     pub fn register_engine(&mut self, engine: ContinuousQueryEngine) -> QueryId {
         let strategy = engine.strategy();
-        let id = self.registry.register(engine);
+        let id = self.registry.register_shared(engine, &self.graph);
         self.graph.set_window(self.registry.graph_retention());
         self.record_registration(id, StrategySpec::Fixed(strategy));
         id
@@ -406,7 +429,7 @@ impl StreamProcessor {
             };
             let engine = self.registry.engine_mut(id).expect("engine exists");
             if engine.rebuild(strategy, tree, &self.graph).is_ok() {
-                self.registry.resubscribe(id);
+                self.registry.resubscribe(id, &self.graph);
                 adaptive.stats.redecompositions += 1;
                 rebuilt += 1;
             }
@@ -434,7 +457,7 @@ impl StreamProcessor {
             .engine_mut(id)
             .ok_or(EngineError::UnknownQuery)?;
         engine.rebuild(strategy, tree, &self.graph)?;
-        self.registry.resubscribe(id);
+        self.registry.resubscribe(id, &self.graph);
         if let Some(adaptive) = self.adaptive.as_mut() {
             if let Some(state) = adaptive.per_query.get_mut(&id) {
                 let engine = self.registry.engine(id).expect("engine exists");
@@ -573,6 +596,7 @@ impl StreamProcessor {
         for (_, engine) in self.registry.iter_mut() {
             engine.reset();
         }
+        self.registry.reset_shared_state();
         if self.collect_statistics {
             let mode = self.estimator.mode();
             self.estimator = SelectivityEstimator::new().with_mode(mode);

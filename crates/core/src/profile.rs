@@ -40,6 +40,16 @@ pub struct ProfileCounters {
     /// instead. Always 0 when sharing is disabled or the engine runs
     /// standalone.
     pub leaf_searches_shared: u64,
+    /// Prefix-root matches this query consumed from the shared join stage
+    /// (`SharedJoinIndex`) instead of producing them with its own leaf
+    /// searches and hash joins. Always 0 when the query is not subscribed
+    /// to a shared prefix table.
+    pub shared_join_emissions: u64,
+    /// Number of dispatched edges on which this query's prefix work (leaf
+    /// searches + internal joins for the leading leaves) was served by a
+    /// shared prefix table with other live subscribers — i.e. join-stage
+    /// work genuinely deduplicated across the registry.
+    pub join_stages_shared: u64,
     /// Number of complete query matches reported.
     pub complete_matches: u64,
     /// Number of times the engine's decomposition was swapped for a new
@@ -105,6 +115,8 @@ impl ProfileCounters {
         self.retroactive_searches += other.retroactive_searches;
         self.searches_skipped += other.searches_skipped;
         self.leaf_searches_shared += other.leaf_searches_shared;
+        self.shared_join_emissions += other.shared_join_emissions;
+        self.join_stages_shared += other.join_stages_shared;
         self.complete_matches += other.complete_matches;
         self.redecompositions += other.redecompositions;
         self.replay_searches += other.replay_searches;

@@ -13,6 +13,7 @@
 //! edge.
 
 use crate::engine::{ContinuousQueryEngine, LeafFanout};
+use crate::sharedjoin::{JoinSubscription, SharedJoinIndex, SharedJoinStats};
 use crate::sharing::{EdgeSearchCache, SharedLeafIndex, SharedLeafStats};
 use crate::strategy::Strategy;
 use sp_graph::{DynamicGraph, EdgeData, EdgeType};
@@ -60,13 +61,29 @@ pub struct QueryRegistry {
     /// Canonical leaf shape → subscribers; deduplicates the anchored leaf
     /// searches across queries (see [`crate::SharedLeafIndex`]).
     shared: SharedLeafIndex,
+    /// Canonical SJ-Tree prefix → refcounted shared partial-match table;
+    /// deduplicates the join stage across queries with common decomposition
+    /// prefixes (see [`crate::SharedJoinIndex`]).
+    join: SharedJoinIndex,
     /// Whether dispatched edges go through the shared leaf-search stage
     /// (default) or every engine re-runs its own searches.
     sharing: bool,
+    /// Whether *newly registered* queries may additionally share their join
+    /// stage (default). Unlike the stateless leaf stage this is a
+    /// registration-time property: a subscribed query's prefix state lives
+    /// in the shared table, so subscriptions are never toggled mid-stream.
+    join_sharing: bool,
     /// Reusable fan-out buffer for the shared leaf-search stage: one
     /// allocation serves every candidate engine of every edge instead of a
     /// fresh vector per engine per edge.
     fanout: Vec<Option<LeafFanout>>,
+    /// The next subscription boundary: one past the id of the last
+    /// processed edge. A query registered now is entitled to matches
+    /// anchored at edge ids `>= boundary` (see the shared-join module docs).
+    boundary: u64,
+    /// Each live query's original registration boundary, preserved across
+    /// drift-driven re-subscriptions.
+    origins: HashMap<QueryId, u64>,
     next_id: u64,
 }
 
@@ -76,8 +93,12 @@ impl Default for QueryRegistry {
             engines: BTreeMap::new(),
             dispatch: HashMap::new(),
             shared: SharedLeafIndex::new(),
+            join: SharedJoinIndex::new(),
             sharing: true,
+            join_sharing: true,
             fanout: Vec::new(),
+            boundary: 0,
+            origins: HashMap::new(),
             next_id: 0,
         }
     }
@@ -115,9 +136,41 @@ impl QueryRegistry {
         &self.shared
     }
 
+    /// Enables or disables shared-join subscription for *future*
+    /// registrations (enabled by default). Queries already subscribed to a
+    /// prefix table keep running through it — their prefix state lives in
+    /// the shared table and cannot be toggled statelessly the way the leaf
+    /// stage can.
+    pub fn set_join_sharing(&mut self, enabled: bool) {
+        self.join_sharing = enabled;
+    }
+
+    /// Whether new registrations may share their join stage.
+    pub fn join_sharing_enabled(&self) -> bool {
+        self.join_sharing
+    }
+
+    /// Snapshot of the shared join stage bookkeeping (live tables,
+    /// subscriptions, work run vs saved).
+    pub fn shared_join_stats(&self) -> SharedJoinStats {
+        self.join.stats()
+    }
+
+    /// Read access to the shared join index (residency queries for
+    /// sharing-aware cost estimates).
+    pub fn shared_joins(&self) -> &SharedJoinIndex {
+        &self.join
+    }
+
     /// Registers an engine, indexing it under every edge type its query
     /// uses and subscribing its leaves to the shared-leaf index. Returns the
     /// new query's id.
+    ///
+    /// This path never enables shared-**join** evaluation (subscribing a
+    /// prefix table may need to back-fill it from the data graph, which the
+    /// registry does not own); callers with a graph at hand — the
+    /// [`StreamProcessor`](crate::StreamProcessor) — use
+    /// [`QueryRegistry::register_shared`].
     pub fn register(&mut self, engine: ContinuousQueryEngine) -> QueryId {
         let id = QueryId(self.next_id);
         self.next_id += 1;
@@ -128,8 +181,69 @@ impl QueryRegistry {
             }
         }
         self.shared.subscribe(id, &engine);
+        self.origins.insert(id, self.boundary);
         self.engines.insert(id, engine);
         id
+    }
+
+    /// Like [`QueryRegistry::register`], additionally subscribing the query
+    /// to the shared join stage when enabled: its decomposition's canonical
+    /// prefix chain is matched against the live tables and the other
+    /// registered chains, possibly creating a new refcounted table and
+    /// migrating previously private partners onto it (see
+    /// [`crate::SharedJoinIndex`]). `graph` is the shared data graph,
+    /// needed to back-fill tables for subscribers entitled to retained
+    /// history.
+    pub fn register_shared(
+        &mut self,
+        engine: ContinuousQueryEngine,
+        graph: &DynamicGraph,
+    ) -> QueryId {
+        let id = self.register(engine);
+        if self.sharing && self.join_sharing {
+            self.subscribe_join(id, graph);
+        }
+        id
+    }
+
+    /// Runs the shared-join subscription policy for one query (newly
+    /// registered or freshly re-decomposed), narrowing its leaf-stage
+    /// subscription to the suffix leaves on success and migrating any
+    /// partners the policy pulled in.
+    fn subscribe_join(&mut self, id: QueryId, graph: &DynamicGraph) {
+        let Some(engine) = self.engines.get(&id) else {
+            return;
+        };
+        let boundary = self.origins.get(&id).copied().unwrap_or(self.boundary);
+        let outcome = self
+            .join
+            .subscribe(id, engine, boundary, self.boundary, graph);
+        let JoinSubscription::Shared { depth, migrations } = outcome else {
+            return;
+        };
+        self.adopt_join_subscription(id, depth);
+        for partner in migrations {
+            let Some(partner_engine) = self.engines.get(&partner) else {
+                continue;
+            };
+            let partner_boundary = self.origins.get(&partner).copied().unwrap_or(self.boundary);
+            if let Some(partner_depth) =
+                self.join
+                    .attach_partner(partner, partner_engine, partner_boundary, graph)
+            {
+                self.adopt_join_subscription(partner, partner_depth);
+            }
+        }
+    }
+
+    /// Switches one engine onto its shared prefix: drop the (now redundant)
+    /// private prefix tables and narrow the leaf-stage subscription to the
+    /// suffix leaves.
+    fn adopt_join_subscription(&mut self, id: QueryId, depth: usize) {
+        let engine = self.engines.get_mut(&id).expect("subscribed engine exists");
+        engine.clear_prefix_state(depth);
+        self.shared.unsubscribe(id);
+        self.shared.subscribe_from(id, engine, depth);
     }
 
     /// Removes a query, returning its engine (with all its runtime state) or
@@ -143,6 +257,8 @@ impl QueryRegistry {
             !ids.is_empty()
         });
         self.shared.unsubscribe(id);
+        self.join.unsubscribe(id);
+        self.origins.remove(&id);
         Some(engine)
     }
 
@@ -203,21 +319,28 @@ impl QueryRegistry {
     /// candidate engine and forwards the complete matches to `emit`. Returns
     /// the number of matches reported.
     ///
-    /// With sharing enabled this is the two-stage pipeline: the shared
-    /// leaf-search stage runs each distinct canonical leaf search **once**
-    /// for the edge and fans the rebased matches into each subscriber's
-    /// join stage; engines that cannot share (VF2 baseline, oversized
-    /// leaves) and the sharing-off path run their private searches instead.
+    /// With sharing enabled this is the three-stage pipeline: the shared
+    /// **join** stage advances each live canonical prefix table once for
+    /// the edge and fans the rebased prefix-root matches into each
+    /// subscriber; the shared **leaf** stage runs each distinct canonical
+    /// leaf search once and fans the rebased matches into each subscriber's
+    /// private join stage; engines that cannot share (VF2 baseline,
+    /// oversized leaves) and the sharing-off path run their private
+    /// searches instead.
     pub fn process_edge(
         &mut self,
         graph: &DynamicGraph,
         edge: &EdgeData,
         mut emit: impl FnMut(QueryId, SubgraphMatch),
     ) -> u64 {
+        // Edge ids are monotone in arrival order; one past the newest edge
+        // is the boundary recorded for queries registered from now on.
+        self.boundary = self.boundary.max(edge.id.0 + 1);
         let QueryRegistry {
             engines,
             dispatch,
             shared,
+            join,
             sharing,
             fanout,
             ..
@@ -227,16 +350,22 @@ impl QueryRegistry {
         };
         let mut reported = 0;
         let mut cache = EdgeSearchCache::new();
+        // Stage 0: advance every shared prefix table this edge can touch —
+        // one search-and-join pass per table, not per subscriber. Runs
+        // independently of the leaf-stage toggle: a subscribed query's
+        // prefix state lives here.
+        join.advance_edge(graph, edge);
         for &id in ids {
             let engine = engines
                 .get_mut(&id)
                 .expect("dispatch index only references live queries");
+            let feed = join.feed_for(id, edge);
             let prepared =
                 *sharing && shared.prepare_into(id, engine, graph, edge, &mut cache, fanout);
-            let matches = if prepared {
-                engine.process_edge_prepared(graph, edge, fanout)
-            } else {
-                engine.process_edge(graph, edge)
+            let matches = match (prepared, feed) {
+                (true, feed) => engine.process_edge_shared(graph, edge, Some(fanout), feed),
+                (false, Some(feed)) => engine.process_edge_shared(graph, edge, None, Some(feed)),
+                (false, None) => engine.process_edge(graph, edge),
             };
             for m in matches {
                 reported += 1;
@@ -247,26 +376,51 @@ impl QueryRegistry {
         reported
     }
 
-    /// Re-registers a query's leaf shapes with the shared-leaf index after
-    /// its engine was re-decomposed: the old subscriptions are dropped
-    /// (shapes whose last subscriber left are evicted) and the engine's
-    /// *current* leaves subscribed in their place, preserving the
-    /// single-subscriber delegation rule for everyone else. Returns whether
-    /// the query is on the shared path afterwards (`false` for unknown ids
-    /// and engines that cannot share). The dispatch index needs no update —
-    /// re-decomposition never changes the query's edge types.
-    pub fn resubscribe(&mut self, id: QueryId) -> bool {
+    /// Re-registers a query's shapes with both shared stages after its
+    /// engine was re-decomposed: the old leaf subscriptions are dropped
+    /// (shapes whose last subscriber left are evicted), the old prefix
+    /// subscription is dropped (a table whose last subscriber left is
+    /// evicted — drift moves prefix refcounts exactly like leaf refcounts),
+    /// and the engine's *current* decomposition is re-subscribed in their
+    /// place with its **original** registration boundary, so the rebuilt
+    /// engine keeps seeing exactly the matches a never-rebuilt one would.
+    /// Returns whether the query is on a shared leaf path afterwards
+    /// (`false` for unknown ids and engines that cannot share). The
+    /// dispatch index needs no update — re-decomposition never changes the
+    /// query's edge types.
+    pub fn resubscribe(&mut self, id: QueryId, graph: &DynamicGraph) -> bool {
         let Some(engine) = self.engines.get(&id) else {
             return false;
         };
         self.shared.unsubscribe(id);
-        self.shared.subscribe(id, engine)
+        self.join.unsubscribe(id);
+        let ok = self.shared.subscribe(id, engine);
+        if self.sharing && self.join_sharing {
+            self.subscribe_join(id, graph);
+        }
+        ok
     }
 
-    /// Runs every engine's purge pass against the current graph. Returns the
-    /// total number of partial matches dropped.
+    /// Clears all shared-stage runtime state (prefix-table contents,
+    /// subscription boundaries, the stream-position counter) while keeping
+    /// the registered queries and their subscriptions, so the registry can
+    /// replay another stream from scratch. The processor's
+    /// [`reset`](crate::StreamProcessor::reset) calls this alongside
+    /// resetting every engine.
+    pub fn reset_shared_state(&mut self) {
+        self.boundary = 0;
+        for origin in self.origins.values_mut() {
+            *origin = 0;
+        }
+        self.join.reset();
+    }
+
+    /// Runs every engine's and every shared prefix table's purge pass
+    /// against the current graph. Returns the total number of partial
+    /// matches dropped.
     pub fn purge(&mut self, graph: &DynamicGraph) -> usize {
-        self.engines.values_mut().map(|e| e.purge(graph)).sum()
+        let engines: usize = self.engines.values_mut().map(|e| e.purge(graph)).sum();
+        engines + self.join.purge(graph)
     }
 }
 

@@ -1,0 +1,868 @@
+//! Shared join stage: refcounted canonical partial-match tables for common
+//! SJ-Tree prefixes across the query registry.
+//!
+//! Shared-leaf evaluation (PR 3, [`crate::SharedLeafIndex`]) stopped at the
+//! leaves: two queries with the same leaf sequence still maintained
+//! duplicate partial-match tables and ran duplicate hash-join work on every
+//! edge. [`SharedJoinIndex`] extends the sharing through the join stage —
+//! the multi-query design of the StreamWorks line of work (Choudhury et
+//! al., EDBT 2015; arXiv:1407.3745):
+//!
+//! * every registered query's decomposition is canonicalized to a
+//!   [`PrefixSignature`] chain (`sp-query`); queries whose chains begin with
+//!   the same steps can share one **canonical prefix table** — a
+//!   registry-owned [`SjTree`] + [`MatchStore`] over the canonical union
+//!   graph of the common leading leaves;
+//! * per streaming edge, each live prefix table advances **once**: the
+//!   prefix leaves are searched, the discovered matches inserted, and the
+//!   recursive hash join run against the one shared table set. New
+//!   prefix-root matches are *emitted*: rebased onto every subscriber via
+//!   [`SubgraphMatch::remapped`] and consumed by the subscriber's engine as
+//!   inserts at its own prefix-covering node
+//!   ([`ContinuousQueryEngine::process_edge_shared`]) — or directly as
+//!   complete matches when the prefix spans the whole tree;
+//! * tables are **refcounted**: the last unsubscriber (deregistration or a
+//!   drift-driven re-subscription) drops the table; a late subscriber to an
+//!   existing table sees no pre-registration matches (see *Boundaries*).
+//!
+//! # Windows move to emit time
+//!
+//! Subscribers with different `tW` share one table: the table itself prunes
+//! joins only against the *loosest* subscriber window (the same
+//! [`retention_for_windows`](crate::retention_for_windows) rule the shared
+//! graph uses), and each subscriber's own `tW` is applied when emissions
+//! are rebased. A match over-window for one subscriber but inside another's
+//! is thus delivered exactly where the private path would have delivered
+//! it; stored partials an individual engine would have pruned early are
+//! kept (they are still needed by the loosest subscriber) and die at the
+//! table's purge instead — semantics are unaffected because a match's time
+//! span only grows as it joins upward.
+//!
+//! # Lazy Search moves to emit time
+//!
+//! The shared table is evaluated eagerly (no lazy gating inside the
+//! prefix): gating is a per-engine work-saving device, and with multiple
+//! subscribers the one shared evaluation replaces *all* of their prefix
+//! work. Lazy subscribers keep their gating for the suffix leaves — each
+//! emission inserted at the subscriber's prefix node trips the ordinary
+//! `ENABLE-SEARCH-SIBLING` machinery (retroactive probe included), so the
+//! next leaf's search is enabled exactly when a private insert would have
+//! enabled it. Eager and lazy execution of the same tree report identical
+//! match multisets (the PR 1 equivalence tests), so the emitted stream is
+//! the one every subscriber's own prefix would have produced.
+//!
+//! # Boundaries: late subscribers
+//!
+//! A query that joins an existing table at stream position `B` must not see
+//! matches it would not have found had it run privately from `B`. For the
+//! eager semantics this set is exact and *intrinsic to the match*: a
+//! private engine registered at `B` holds a leaf match iff the leaf's
+//! last-arriving edge was dispatched at or after `B` (anchored searches may
+//! bind older retained edges — only the *anchor* must be new). A
+//! prefix-root match is therefore visible to the subscriber iff
+//! `min over leaves (max edge id within the leaf) ≥ B` — computed per
+//! emission against each subscriber's recorded boundary, with no epoch
+//! bookkeeping in the table itself. (Lazy engines registered mid-stream can
+//! additionally resurrect *wholly pre-registration* leaf matches through
+//! retroactive probes; under the shared join stage a late subscriber gets
+//! the strategy-independent eager-late semantics instead.)
+//!
+//! Conversely, when a *live* query migrates onto a newly created table
+//! (a later registration or re-decomposition finally gives it a sharing
+//! partner), the table is back-filled by replaying the retained graph in
+//! `(timestamp, id)` order — the same recipe as
+//! [`ContinuousQueryEngine::rebuild`] — so partials the query's private
+//! prefix already held keep completing. Replay emissions are discarded
+//! (every one of them was already reported) and replayed matches carry
+//! their original edge ids, so boundary filtering keeps working unchanged.
+
+use crate::engine::{ContinuousQueryEngine, PrefixFeed};
+use crate::registry::{retention_for_windows, QueryId};
+use sp_graph::{DynamicGraph, EdgeData, EdgeId, EdgeType};
+use sp_iso::{find_matches_containing_edge, SubgraphMatch};
+use sp_query::{prefix_chain, PrefixSignature, QueryEdgeId, QueryGraph, QueryVertexId};
+use sp_sjtree::{MatchStore, SjTree};
+use std::collections::{BTreeMap, HashMap};
+
+/// A shared prefix must contain at least one internal join node, i.e. cover
+/// at least two leaves — depth-1 "prefixes" are exactly the leaf shapes the
+/// shared **leaf** stage already deduplicates.
+pub const MIN_PREFIX_DEPTH: usize = 2;
+
+/// The canonical chain of one SJ-Tree, as the shared join stage sees it:
+/// `None` for trees with nothing to join (fewer than [`MIN_PREFIX_DEPTH`]
+/// leaves) or whose leaves defeat canonicalization (oversized hand-built
+/// leaves). This is the **single** join-capability rule — the parallel
+/// runtime's prefix-aware shard assignment mirrors worker-registry
+/// residency through it, so both sides must always agree.
+pub fn tree_chain(tree: &SjTree) -> Option<PrefixSignature> {
+    if tree.num_leaves() < MIN_PREFIX_DEPTH {
+        return None;
+    }
+    let leaves: Vec<_> = tree.leaf_subgraphs().cloned().collect();
+    prefix_chain(tree.query(), leaves.iter()).map(|(sig, _)| sig)
+}
+
+/// One query's subscription to a prefix table.
+#[derive(Debug, Clone)]
+struct JoinSub {
+    id: QueryId,
+    /// Canonical union vertex → subscriber query vertex.
+    vmap: Vec<QueryVertexId>,
+    /// Canonical union edge → subscriber query edge.
+    emap: Vec<QueryEdgeId>,
+    /// The subscriber's own `tW`, applied to emissions at rebase time.
+    window: Option<u64>,
+    /// First edge id whose dispatch the subscriber is entitled to see
+    /// (`0` for queries registered before any edge was processed).
+    boundary: u64,
+}
+
+/// One refcounted canonical prefix table.
+#[derive(Debug, Clone)]
+struct PrefixEntry {
+    sig: PrefixSignature,
+    /// Canonical union query the anchored searches run against.
+    query: QueryGraph,
+    /// Left-deep canonical tree over the prefix leaves; its root is the
+    /// prefix-covering node whose matches are emitted.
+    tree: SjTree,
+    store: MatchStore,
+    /// Distinct edge types across the prefix (entry dispatch pre-filter).
+    edge_types: Vec<EdgeType>,
+    /// Distinct edge types per leaf rank (per-leaf search pre-filter).
+    per_leaf_types: Vec<Vec<EdgeType>>,
+    /// Canonical edge ids per leaf rank, for the boundary (`dep`) filter.
+    leaf_edges: Vec<Vec<QueryEdgeId>>,
+    /// Loosest subscriber window (`None` = some subscriber is unwindowed);
+    /// prunes joins inside the table and drives the periodic purge.
+    window: Option<u64>,
+    /// Subscribers in subscription order (the refcount is `subs.len()`).
+    subs: Vec<JoinSub>,
+    /// Stream position the table's contents are complete from; subscribing
+    /// with an earlier boundary triggers a replay.
+    populated_since: u64,
+    /// Prefix-root matches created by the current edge (canonical ids).
+    pending: Vec<SubgraphMatch>,
+    /// Edge the `pending` buffer belongs to.
+    advanced_for: Option<EdgeId>,
+}
+
+impl PrefixEntry {
+    fn new(sig: PrefixSignature, window: Option<u64>, populated_since: u64) -> Self {
+        let (query, leaves) = sig.instantiate("shared-prefix");
+        let per_leaf_types: Vec<Vec<EdgeType>> = leaves
+            .iter()
+            .map(|leaf| {
+                let mut t: Vec<EdgeType> = leaf.edges().map(|e| query.edge(e).edge_type).collect();
+                t.sort_unstable();
+                t.dedup();
+                t
+            })
+            .collect();
+        let leaf_edges: Vec<Vec<QueryEdgeId>> =
+            leaves.iter().map(|leaf| leaf.edges().collect()).collect();
+        let tree = SjTree::from_leaves(query.clone(), leaves);
+        let store = MatchStore::new(&tree);
+        PrefixEntry {
+            edge_types: sig.edge_types(),
+            sig,
+            query,
+            tree,
+            store,
+            per_leaf_types,
+            leaf_edges,
+            window,
+            subs: Vec::new(),
+            populated_since,
+            pending: Vec::new(),
+            advanced_for: None,
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.sig.depth()
+    }
+
+    /// Recomputes the table window as the loosest subscriber window.
+    fn recompute_window(&mut self) {
+        self.window = retention_for_windows(self.subs.iter().map(|s| s.window));
+    }
+
+    /// Runs the prefix's leaf searches and hash joins for one edge against
+    /// the shared table, leaving the new prefix-root matches in `pending`.
+    /// Returns `(searches run, matches inserted)`.
+    fn advance(&mut self, graph: &DynamicGraph, edge: &EdgeData) -> (u64, u64) {
+        self.pending.clear();
+        self.advanced_for = Some(edge.id);
+        let inserted_before = self.store.lifetime_inserted();
+        let mut searches = 0u64;
+        for (rank, &leaf) in self.tree.leaves().iter().enumerate() {
+            if !self.per_leaf_types[rank].contains(&edge.edge_type) {
+                continue;
+            }
+            let found =
+                find_matches_containing_edge(graph, &self.query, self.tree.subgraph(leaf), edge);
+            searches += 1;
+            for m in found {
+                self.store
+                    .insert(&self.tree, leaf, m, self.window, &mut self.pending);
+            }
+        }
+        (searches, self.store.lifetime_inserted() - inserted_before)
+    }
+
+    /// Rebuilds the table from the retained graph, in the deterministic
+    /// `(timestamp, id)` order `ContinuousQueryEngine::rebuild` uses.
+    /// Emissions are discarded: every prefix-root match reconstructed here
+    /// lies entirely in the retained (pre-subscription) graph, so whoever
+    /// was subscribed when its last edge arrived already consumed it.
+    fn replay(&mut self, graph: &DynamicGraph) {
+        self.store.clear();
+        let mut edges: Vec<EdgeData> = graph
+            .edges()
+            .filter(|e| self.edge_types.binary_search(&e.edge_type).is_ok())
+            .copied()
+            .collect();
+        edges.sort_unstable_by_key(|e| (e.timestamp, e.id));
+        let mut discard = Vec::new();
+        for edge in &edges {
+            for (rank, &leaf) in self.tree.leaves().iter().enumerate() {
+                if !self.per_leaf_types[rank].contains(&edge.edge_type) {
+                    continue;
+                }
+                let found = find_matches_containing_edge(
+                    graph,
+                    &self.query,
+                    self.tree.subgraph(leaf),
+                    edge,
+                );
+                for m in found {
+                    self.store
+                        .insert(&self.tree, leaf, m, self.window, &mut discard);
+                }
+            }
+            discard.clear();
+        }
+    }
+
+    /// The boundary value of a prefix-root match: the smallest, over the
+    /// prefix leaves, of the newest edge id bound within the leaf. A
+    /// subscriber sees the match iff this is at or past its subscription
+    /// boundary (see the module docs).
+    fn dep_of(&self, m: &SubgraphMatch) -> u64 {
+        self.leaf_edges
+            .iter()
+            .map(|edges| {
+                edges
+                    .iter()
+                    .map(|&e| m.data_edge(e).expect("root match binds every edge").0)
+                    .max()
+                    .expect("leaves are non-empty")
+            })
+            .min()
+            .expect("prefixes have at least two leaves")
+    }
+}
+
+/// Snapshot of the shared join stage's bookkeeping, used by tests, examples
+/// and the `sharedjoin` benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharedJoinStats {
+    /// Live canonical prefix tables.
+    pub tables: usize,
+    /// Current subscriptions across all tables (each query subscribes to at
+    /// most one table).
+    pub subscriptions: usize,
+    /// Prefix leaf searches the shared stage actually executed.
+    pub searches_run: u64,
+    /// Partial-match inserts (leaf + internal) performed in shared tables.
+    pub inserts_run: u64,
+    /// Prefix leaf searches subscribers did **not** run because another
+    /// subscriber's table advance covered them: per advance, `searches ×
+    /// (live subscribers − 1)`. This counts against the *eager* private
+    /// path — a lazy subscriber's own engine would have gated some of
+    /// these behind its bitmap, so for lazy packs the counter is an upper
+    /// bound on physically eliminated work (the `sharedjoin` benchmark's
+    /// insert-reduction metric compares actually-performed work instead).
+    pub searches_saved: u64,
+    /// Partial-match inserts subscribers did not perform, accounted the
+    /// same way (and with the same eager-equivalent caveat).
+    pub inserts_saved: u64,
+    /// Prefix-root matches emitted (before per-subscriber filtering).
+    pub emissions: u64,
+    /// Emissions delivered after window/boundary filtering, summed over
+    /// subscribers.
+    pub deliveries: u64,
+    /// Table back-fills (late-partner migrations and re-subscriptions).
+    pub replays: u64,
+}
+
+impl SharedJoinStats {
+    /// Fraction of would-be prefix work (searches + inserts) that sharing
+    /// eliminated; 0 when the stage never ran.
+    pub fn elimination_ratio(&self) -> f64 {
+        let run = self.searches_run + self.inserts_run;
+        let saved = self.searches_saved + self.inserts_saved;
+        if run + saved == 0 {
+            0.0
+        } else {
+            saved as f64 / (run + saved) as f64
+        }
+    }
+}
+
+/// Outcome of [`SharedJoinIndex::subscribe`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinSubscription {
+    /// The query stays on its private join path (no shareable chain, or no
+    /// partner yet); its chain is recorded for future partner matching.
+    Private,
+    /// Subscribed to a (new or existing) table covering `depth` leading
+    /// leaves. `migrations` lists previously private queries the caller
+    /// must now attach to the same table
+    /// ([`SharedJoinIndex::attach_partner`]) — creating a table is only
+    /// worthwhile with at least two users, so the registrant's arrival
+    /// pulls its partners in.
+    Shared {
+        /// Number of leading leaves the table covers.
+        depth: usize,
+        /// Previously private queries with the same chain prefix.
+        migrations: Vec<QueryId>,
+    },
+}
+
+/// The registry-wide index of canonical prefix tables and their
+/// subscribers. See the module docs for the semantics.
+#[derive(Debug, Clone, Default)]
+pub struct SharedJoinIndex {
+    entries: Vec<Option<PrefixEntry>>,
+    by_sig: HashMap<PrefixSignature, usize>,
+    free: Vec<usize>,
+    /// Edge type → entries whose prefix contains it (entry dispatch).
+    by_type: HashMap<EdgeType, Vec<usize>>,
+    /// Query → entry index, for subscribed queries.
+    subs: BTreeMap<QueryId, usize>,
+    /// Full canonical chains of every join-capable registered query
+    /// (subscribed or not), for partner matching.
+    chains: BTreeMap<QueryId, PrefixSignature>,
+    searches_run: u64,
+    inserts_run: u64,
+    searches_saved: u64,
+    inserts_saved: u64,
+    emissions: u64,
+    deliveries: u64,
+    replays: u64,
+}
+
+impl SharedJoinIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Whether a query is evaluated through a shared prefix table.
+    pub fn is_subscribed(&self, id: QueryId) -> bool {
+        self.subs.contains_key(&id)
+    }
+
+    /// The number of leading leaves a query's shared table covers (`None`
+    /// when the query runs its join stage privately).
+    pub fn subscription_depth(&self, id: QueryId) -> Option<usize> {
+        let &idx = self.subs.get(&id)?;
+        self.entries[idx].as_ref().map(PrefixEntry::depth)
+    }
+
+    /// Whether a canonical prefix is currently materialized as a table
+    /// (the residency predicate behind sharing-aware cost estimates).
+    pub fn contains(&self, sig: &PrefixSignature) -> bool {
+        self.by_sig.contains_key(sig)
+    }
+
+    /// The recorded full chain of a registered query, if it is
+    /// join-capable.
+    pub fn chain_of(&self, id: QueryId) -> Option<&PrefixSignature> {
+        self.chains.get(&id)
+    }
+
+    /// Current and cumulative bookkeeping.
+    pub fn stats(&self) -> SharedJoinStats {
+        SharedJoinStats {
+            tables: self.by_sig.len(),
+            subscriptions: self.subs.len(),
+            searches_run: self.searches_run,
+            inserts_run: self.inserts_run,
+            searches_saved: self.searches_saved,
+            inserts_saved: self.inserts_saved,
+            emissions: self.emissions,
+            deliveries: self.deliveries,
+            replays: self.replays,
+        }
+    }
+
+    /// Computes the canonical chain of an engine's decomposition together
+    /// with the full-chain union→owner mapping: `None` for the VF2 baseline
+    /// and trees [`tree_chain`] rejects. The mapping is computed once here
+    /// and *sliced* per attachment depth (prefix-closure: the depth-`d`
+    /// prefix's union ids are exactly the first ids of the full chain), so
+    /// attaching never re-canonicalizes.
+    fn engine_chain(
+        engine: &ContinuousQueryEngine,
+    ) -> Option<(PrefixSignature, sp_query::CanonicalMapping)> {
+        let tree = engine.tree()?;
+        if tree.num_leaves() < MIN_PREFIX_DEPTH {
+            return None;
+        }
+        let leaves: Vec<_> = tree.leaf_subgraphs().cloned().collect();
+        prefix_chain(tree.query(), leaves.iter())
+    }
+
+    /// Registers a query with the shared join stage. `boundary` is the
+    /// query's subscription boundary (its registration stream position for
+    /// fresh queries, the *original* registration position for
+    /// re-subscriptions after a rebuild); `now` is the current stream
+    /// position; `graph` is the retained data graph, needed when an
+    /// existing table must be back-filled for an early boundary.
+    ///
+    /// Policy (greedy, deterministic): attach to the **deepest existing**
+    /// table matching a chain prefix; otherwise create a table at the
+    /// deepest prefix shared with a currently *private* partner (ties
+    /// broken toward the smallest partner id) and report the partners for
+    /// migration; otherwise stay private. A created table with a
+    /// partner-to-migrate is back-filled by replay before any emission.
+    pub fn subscribe(
+        &mut self,
+        id: QueryId,
+        engine: &ContinuousQueryEngine,
+        boundary: u64,
+        now: u64,
+        graph: &DynamicGraph,
+    ) -> JoinSubscription {
+        let Some((chain, mapping)) = Self::engine_chain(engine) else {
+            return JoinSubscription::Private;
+        };
+        self.chains.insert(id, chain.clone());
+        // Deepest existing table first: attaching is free (no replay unless
+        // this subscriber's boundary predates the table's coverage).
+        let existing_depth = (MIN_PREFIX_DEPTH..=chain.depth())
+            .rev()
+            .find(|&d| self.by_sig.contains_key(&chain.truncated(d)));
+        // Deepest private partner: creating a deeper table beats attaching
+        // to a shallower existing one.
+        let mut partner_depth = 0usize;
+        for (&other, other_chain) in &self.chains {
+            if other == id || self.subs.contains_key(&other) {
+                continue;
+            }
+            partner_depth = partner_depth.max(chain.common_depth(other_chain));
+        }
+        if partner_depth >= MIN_PREFIX_DEPTH && partner_depth > existing_depth.unwrap_or(0) {
+            let sig = chain.truncated(partner_depth);
+            let migrations: Vec<QueryId> = self
+                .chains
+                .iter()
+                .filter(|&(&other, oc)| {
+                    other != id
+                        && !self.subs.contains_key(&other)
+                        && oc.common_depth(&sig) == partner_depth
+                })
+                .map(|(&other, _)| other)
+                .collect();
+            let idx = self.create_entry(sig, now);
+            self.attach_at(idx, id, &mapping, engine.window(), boundary, graph);
+            return JoinSubscription::Shared {
+                depth: partner_depth,
+                migrations,
+            };
+        }
+        if let Some(depth) = existing_depth {
+            let idx = self.by_sig[&chain.truncated(depth)];
+            self.attach_at(idx, id, &mapping, engine.window(), boundary, graph);
+            return JoinSubscription::Shared {
+                depth,
+                migrations: Vec::new(),
+            };
+        }
+        JoinSubscription::Private
+    }
+
+    /// Attaches a previously private query to the deepest existing table
+    /// matching its recorded chain — the migration half of a
+    /// [`JoinSubscription::Shared`] outcome. Returns the table depth, or
+    /// `None` when no table matches (e.g. the partner was deregistered in
+    /// between).
+    pub fn attach_partner(
+        &mut self,
+        id: QueryId,
+        engine: &ContinuousQueryEngine,
+        boundary: u64,
+        graph: &DynamicGraph,
+    ) -> Option<usize> {
+        let chain = self.chains.get(&id)?.clone();
+        let depth = (MIN_PREFIX_DEPTH..=chain.depth())
+            .rev()
+            .find(|&d| self.by_sig.contains_key(&chain.truncated(d)))?;
+        let idx = self.by_sig[&chain.truncated(depth)];
+        let (_, mapping) = Self::engine_chain(engine).expect("chain canonicalized before");
+        self.attach_at(idx, id, &mapping, engine.window(), boundary, graph);
+        Some(depth)
+    }
+
+    /// Pushes one subscription onto an entry, slicing the subscriber's
+    /// full-chain `mapping` down to the entry's depth: union vertex and
+    /// edge ids are assigned leaf by leaf, so the depth-`d` prefix owns
+    /// exactly the first `sig.num_vertices()` / `sig.num_edges()` ids of
+    /// the full chain (prefix-closure), no re-canonicalization needed.
+    fn attach_at(
+        &mut self,
+        idx: usize,
+        id: QueryId,
+        mapping: &sp_query::CanonicalMapping,
+        window: Option<u64>,
+        boundary: u64,
+        graph: &DynamicGraph,
+    ) {
+        let entry = self.entries[idx].as_mut().expect("live entry");
+        let vertices = entry.sig.num_vertices();
+        let edges = entry.sig.num_edges();
+        debug_assert!(vertices <= mapping.vertices.len() && edges <= mapping.edges.len());
+        entry.subs.push(JoinSub {
+            id,
+            vmap: mapping.vertices[..vertices].to_vec(),
+            emap: mapping.edges[..edges].to_vec(),
+            window,
+            boundary,
+        });
+        entry.recompute_window();
+        self.subs.insert(id, idx);
+        if boundary < entry.populated_since {
+            // The subscriber is entitled to matches older than the table:
+            // back-fill from the retained graph (replayed matches keep
+            // their original edge ids, so everyone's boundary filter still
+            // applies).
+            entry.replay(graph);
+            entry.populated_since = boundary;
+            self.replays += 1;
+        }
+    }
+
+    /// Drops a query's subscription and chain. The last unsubscriber drops
+    /// the table entirely ([`SharedJoinStats::tables`] shrinks). Returns
+    /// whether the query had been subscribed.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        self.chains.remove(&id);
+        let Some(idx) = self.subs.remove(&id) else {
+            return false;
+        };
+        let entry = self.entries[idx].as_mut().expect("live entry");
+        entry.subs.retain(|s| s.id != id);
+        if entry.subs.is_empty() {
+            let entry = self.entries[idx].take().expect("checked above");
+            self.by_sig.remove(&entry.sig);
+            for ids in self.by_type.values_mut() {
+                ids.retain(|&i| i != idx);
+            }
+            self.by_type.retain(|_, ids| !ids.is_empty());
+            self.free.push(idx);
+        } else {
+            entry.recompute_window();
+        }
+        true
+    }
+
+    /// Advances every table whose prefix contains the edge's type: one
+    /// shared search-and-join pass per table per edge, regardless of how
+    /// many queries subscribe.
+    pub fn advance_edge(&mut self, graph: &DynamicGraph, edge: &EdgeData) {
+        let Some(ids) = self.by_type.get(&edge.edge_type) else {
+            return;
+        };
+        for &idx in ids {
+            let entry = self.entries[idx]
+                .as_mut()
+                .expect("dispatched entry is live");
+            let (searches, inserts) = entry.advance(graph, edge);
+            let saved = entry.subs.len().saturating_sub(1) as u64;
+            self.searches_run += searches;
+            self.inserts_run += inserts;
+            self.searches_saved += searches * saved;
+            self.inserts_saved += inserts * saved;
+            self.emissions += entry.pending.len() as u64;
+        }
+    }
+
+    /// Builds the per-subscriber feed for one engine on the current edge:
+    /// the table's pending emissions filtered by the subscriber's window
+    /// and boundary and rebased onto its numbering. Returns `None` for
+    /// unsubscribed queries (the caller falls back to the leaf-stage or
+    /// private path). Subscribed queries always get a feed — possibly with
+    /// no matches — because their engines must skip the prefix leaves
+    /// either way.
+    pub fn feed_for(&mut self, id: QueryId, edge: &EdgeData) -> Option<PrefixFeed> {
+        let &idx = self.subs.get(&id)?;
+        let entry = self.entries[idx]
+            .as_ref()
+            .expect("subscribed entry is live");
+        let sub = entry
+            .subs
+            .iter()
+            .find(|s| s.id == id)
+            .expect("subscription is listed on its entry");
+        let mut matches = Vec::new();
+        if entry.advanced_for == Some(edge.id) {
+            for m in &entry.pending {
+                if let Some(tw) = sub.window {
+                    if !m.within_window(tw) {
+                        continue;
+                    }
+                }
+                if sub.boundary > 0 && entry.dep_of(m) < sub.boundary {
+                    continue;
+                }
+                matches.push(m.remapped(&sub.vmap, &sub.emap));
+            }
+        }
+        self.deliveries += matches.len() as u64;
+        Some(PrefixFeed {
+            depth: entry.depth(),
+            matches,
+            shared: entry.subs.len() > 1,
+        })
+    }
+
+    /// Purges every table against the current graph (dead edges and the
+    /// table-level window). Returns the number of partial matches removed.
+    pub fn purge(&mut self, graph: &DynamicGraph) -> usize {
+        let latest = graph.latest_timestamp();
+        self.entries
+            .iter_mut()
+            .flatten()
+            .map(|e| e.store.purge(graph, latest, e.window))
+            .sum()
+    }
+
+    /// Clears all runtime state — table contents, pending emissions,
+    /// boundaries and cumulative counters — while keeping the tables and
+    /// subscriptions themselves, so the same registry can replay another
+    /// stream from scratch (every subscriber behaves as registered at
+    /// stream start). Mirrors `ContinuousQueryEngine::reset`.
+    pub fn reset(&mut self) {
+        for entry in self.entries.iter_mut().flatten() {
+            entry.store.clear();
+            entry.pending.clear();
+            entry.advanced_for = None;
+            entry.populated_since = 0;
+            for sub in &mut entry.subs {
+                sub.boundary = 0;
+            }
+        }
+        self.searches_run = 0;
+        self.inserts_run = 0;
+        self.searches_saved = 0;
+        self.inserts_saved = 0;
+        self.emissions = 0;
+        self.deliveries = 0;
+        self.replays = 0;
+    }
+
+    fn create_entry(&mut self, sig: PrefixSignature, now: u64) -> usize {
+        let entry = PrefixEntry::new(sig.clone(), None, now);
+        let idx = match self.free.pop() {
+            Some(slot) => {
+                self.entries[slot] = Some(entry);
+                slot
+            }
+            None => {
+                self.entries.push(Some(entry));
+                self.entries.len() - 1
+            }
+        };
+        for &t in &self.entries[idx].as_ref().expect("just created").edge_types {
+            self.by_type.entry(t).or_default().push(idx);
+        }
+        self.by_sig.insert(sig, idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+    use sp_graph::Schema;
+    use sp_selectivity::SelectivityEstimator;
+
+    fn chain_engine(types: &[u32], window: Option<u64>) -> ContinuousQueryEngine {
+        let mut q = QueryGraph::new("q");
+        let mut prev = q.add_any_vertex();
+        for &t in types {
+            let next = q.add_any_vertex();
+            q.add_edge(prev, next, EdgeType(t));
+            prev = next;
+        }
+        ContinuousQueryEngine::new(q, Strategy::Single, &SelectivityEstimator::new(), window)
+            .unwrap()
+    }
+
+    fn graph() -> DynamicGraph {
+        DynamicGraph::new(Schema::new())
+    }
+
+    #[test]
+    fn first_query_stays_private_until_a_partner_arrives() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        let a = chain_engine(&[1, 2], None);
+        assert_eq!(
+            index.subscribe(QueryId(0), &a, 0, 0, &g),
+            JoinSubscription::Private
+        );
+        assert_eq!(index.stats().tables, 0);
+        // The partner arrives: a table is created and the private query is
+        // reported for migration.
+        let b = chain_engine(&[1, 2], Some(100));
+        match index.subscribe(QueryId(1), &b, 0, 0, &g) {
+            JoinSubscription::Shared { depth, migrations } => {
+                assert_eq!(depth, 2);
+                assert_eq!(migrations, vec![QueryId(0)]);
+            }
+            other => panic!("expected Shared, got {other:?}"),
+        }
+        assert_eq!(index.attach_partner(QueryId(0), &a, 0, &g), Some(2));
+        let stats = index.stats();
+        assert_eq!(stats.tables, 1);
+        assert_eq!(stats.subscriptions, 2);
+        assert!(index.is_subscribed(QueryId(0)) && index.is_subscribed(QueryId(1)));
+        assert_eq!(index.subscription_depth(QueryId(0)), Some(2));
+    }
+
+    #[test]
+    fn later_queries_attach_to_the_deepest_existing_table() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        let a = chain_engine(&[1, 2], None);
+        let b = chain_engine(&[1, 2], None);
+        index.subscribe(QueryId(0), &a, 0, 0, &g);
+        index.subscribe(QueryId(1), &b, 0, 0, &g);
+        index.attach_partner(QueryId(0), &a, 0, &g);
+        // A 3-leaf query whose chain starts with the existing [1, 2] prefix
+        // attaches at depth 2 — no new table.
+        let c = chain_engine(&[1, 2, 3], None);
+        assert_eq!(
+            index.subscribe(QueryId(2), &c, 0, 0, &g),
+            JoinSubscription::Shared {
+                depth: 2,
+                migrations: vec![]
+            }
+        );
+        assert_eq!(index.stats().tables, 1);
+        assert_eq!(index.subscription_depth(QueryId(2)), Some(2));
+    }
+
+    #[test]
+    fn deeper_private_partner_beats_shallower_existing_table() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        // Table at [1, 2] held by queries 0 and 1.
+        let a = chain_engine(&[1, 2], None);
+        let b = chain_engine(&[1, 2], None);
+        index.subscribe(QueryId(0), &a, 0, 0, &g);
+        index.subscribe(QueryId(1), &b, 0, 0, &g);
+        index.attach_partner(QueryId(0), &a, 0, &g);
+        // Query 2 arrives with chain [1, 2, 3] — attaches at the [1, 2]
+        // table (no private partner shares more).
+        let c = chain_engine(&[1, 2, 3], None);
+        index.subscribe(QueryId(2), &c, 0, 0, &g);
+        assert_eq!(index.subscription_depth(QueryId(2)), Some(2));
+        // Hmm — to exercise the deeper-partner rule we need a private
+        // chain. Deregister query 2, re-add it as private by registering a
+        // non-overlapping query first... simpler: a fresh index.
+        let mut index = SharedJoinIndex::new();
+        let c1 = chain_engine(&[1, 2, 3], None);
+        let c2 = chain_engine(&[9, 8], None);
+        let c3 = chain_engine(&[9, 8], None);
+        index.subscribe(QueryId(0), &c1, 0, 0, &g); // private [1,2,3]
+        index.subscribe(QueryId(1), &c2, 0, 0, &g); // private [9,8]
+        index.subscribe(QueryId(2), &c3, 0, 0, &g); // creates [9,8] table
+        index.attach_partner(QueryId(1), &c2, 0, &g);
+        // Query 3's chain [1,2,3] shares depth 3 with private query 0 and
+        // nothing with the [9,8] table: a new depth-3 table wins.
+        let c4 = chain_engine(&[1, 2, 3], None);
+        match index.subscribe(QueryId(3), &c4, 0, 0, &g) {
+            JoinSubscription::Shared { depth, migrations } => {
+                assert_eq!(depth, 3);
+                assert_eq!(migrations, vec![QueryId(0)]);
+            }
+            other => panic!("expected a deep table, got {other:?}"),
+        }
+        assert_eq!(index.stats().tables, 2);
+    }
+
+    #[test]
+    fn last_unsubscriber_drops_the_table() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        let a = chain_engine(&[1, 2], None);
+        let b = chain_engine(&[1, 2], None);
+        index.subscribe(QueryId(0), &a, 0, 0, &g);
+        index.subscribe(QueryId(1), &b, 0, 0, &g);
+        index.attach_partner(QueryId(0), &a, 0, &g);
+        assert_eq!(index.stats().tables, 1);
+        assert!(index.unsubscribe(QueryId(0)));
+        assert_eq!(index.stats().tables, 1, "query 1 still holds the table");
+        assert!(index.unsubscribe(QueryId(1)));
+        let stats = index.stats();
+        assert_eq!(stats.tables, 0);
+        assert_eq!(stats.subscriptions, 0);
+        assert!(!index.unsubscribe(QueryId(1)), "double unsubscribe");
+    }
+
+    #[test]
+    fn single_leaf_and_vf2_queries_are_not_join_capable() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        let one = chain_engine(&[4], None);
+        assert_eq!(
+            index.subscribe(QueryId(0), &one, 0, 0, &g),
+            JoinSubscription::Private
+        );
+        assert!(index.chain_of(QueryId(0)).is_none());
+        let mut q = QueryGraph::new("vf2");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, EdgeType(0));
+        q.add_edge(b, c, EdgeType(1));
+        let vf2 = ContinuousQueryEngine::new(
+            q,
+            Strategy::Vf2Baseline,
+            &SelectivityEstimator::new(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            index.subscribe(QueryId(1), &vf2, 0, 0, &g),
+            JoinSubscription::Private
+        );
+    }
+
+    #[test]
+    fn table_window_is_the_loosest_subscriber_window() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        let a = chain_engine(&[1, 2], Some(100));
+        let b = chain_engine(&[1, 2], Some(500));
+        index.subscribe(QueryId(0), &a, 0, 0, &g);
+        index.subscribe(QueryId(1), &b, 0, 0, &g);
+        index.attach_partner(QueryId(0), &a, 0, &g);
+        let idx = *index.subs.get(&QueryId(0)).unwrap();
+        assert_eq!(index.entries[idx].as_ref().unwrap().window, Some(500));
+        // An unwindowed subscriber makes the table unbounded.
+        let c = chain_engine(&[1, 2], None);
+        index.subscribe(QueryId(2), &c, 0, 0, &g);
+        assert_eq!(index.entries[idx].as_ref().unwrap().window, None);
+        // ... and its departure tightens the window again.
+        index.unsubscribe(QueryId(2));
+        assert_eq!(index.entries[idx].as_ref().unwrap().window, Some(500));
+    }
+}

@@ -54,8 +54,11 @@ struct SigEntry {
     /// Distinct edge types in the leaf — the cheap "can this edge possibly
     /// match?" pre-filter.
     edge_types: Vec<EdgeType>,
-    /// Number of (query, leaf) subscriptions currently pointing here.
-    subscribers: usize,
+    /// The `(query, leaf node)` subscriptions currently pointing here, in
+    /// subscription order. Owned by the entry so
+    /// [`SharedLeafIndex::subscribers`] can hand out a slice instead of
+    /// assembling a fresh `Vec` per call (the old per-edge allocation).
+    subs: Vec<(QueryId, NodeId)>,
 }
 
 /// One leaf subscription of one query: which signature it points at and how
@@ -156,12 +159,28 @@ impl SharedLeafIndex {
     /// private search path — for the VF2 baseline or when a (hand-built)
     /// leaf exceeds the canonicalization size cap.
     pub fn subscribe(&mut self, id: QueryId, engine: &ContinuousQueryEngine) -> bool {
+        self.subscribe_from(id, engine, 0)
+    }
+
+    /// Like [`SharedLeafIndex::subscribe`], but only subscribes the leaves
+    /// of rank `start_rank` and above. The shared **join** stage uses this
+    /// for queries whose leading leaves are already evaluated inside a
+    /// shared prefix table: the prefix leaves must not be interned here, or
+    /// the leaf stage would run (and count) searches the join stage already
+    /// performed. A `start_rank` at or past the leaf count still subscribes
+    /// (with no shapes), keeping the query on the prepared fan-out path.
+    pub fn subscribe_from(
+        &mut self,
+        id: QueryId,
+        engine: &ContinuousQueryEngine,
+        start_rank: usize,
+    ) -> bool {
         let Some(tree) = engine.tree() else {
             return false;
         };
         let query = tree.query();
         let mut canon = Vec::with_capacity(tree.num_leaves());
-        for (rank, &leaf) in tree.leaves().iter().enumerate() {
+        for (rank, &leaf) in tree.leaves().iter().enumerate().skip(start_rank) {
             let Some((sig, mapping)) = canonicalize_subgraph(query, tree.subgraph(leaf)) else {
                 return false;
             };
@@ -172,7 +191,7 @@ impl SharedLeafIndex {
             .map(|(rank, node, sig, mapping)| LeafSub {
                 rank,
                 node,
-                sig: self.intern(sig),
+                sig: self.intern(sig, id, node),
                 mapping,
             })
             .collect();
@@ -190,8 +209,13 @@ impl SharedLeafIndex {
             let entry = self.entries[sub.sig]
                 .as_mut()
                 .expect("subscription references a live entry");
-            entry.subscribers -= 1;
-            if entry.subscribers == 0 {
+            let at = entry
+                .subs
+                .iter()
+                .position(|&(q, n)| q == id && n == sub.node)
+                .expect("subscription is listed on its entry");
+            entry.subs.remove(at);
+            if entry.subs.is_empty() {
                 let entry = self.entries[sub.sig].take().expect("checked above");
                 self.by_sig.remove(&entry.signature);
                 self.free.push(sub.sig);
@@ -211,19 +235,15 @@ impl SharedLeafIndex {
     }
 
     /// The subscribers of a canonical leaf shape, as `(query, leaf node)`
-    /// pairs in registration order.
-    pub fn subscribers(&self, sig: &LeafSignature) -> Vec<(QueryId, NodeId)> {
-        let Some(&idx) = self.by_sig.get(sig) else {
-            return Vec::new();
-        };
-        self.subs
-            .iter()
-            .flat_map(|(&id, subs)| {
-                subs.iter()
-                    .filter(move |s| s.sig == idx)
-                    .map(move |s| (id, s.node))
-            })
-            .collect()
+    /// pairs in subscription order. Borrows the entry-owned list — no
+    /// allocation per call (the old implementation assembled a fresh `Vec`
+    /// by walking every subscription).
+    pub fn subscribers(&self, sig: &LeafSignature) -> &[(QueryId, NodeId)] {
+        self.by_sig
+            .get(sig)
+            .and_then(|&idx| self.entries[idx].as_ref())
+            .map(|entry| entry.subs.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Current and cumulative bookkeeping.
@@ -278,6 +298,12 @@ impl SharedLeafIndex {
         };
         out.reserve(subs.len());
         for sub in subs {
+            // Ranks below a shared-join prefix are absent from the
+            // subscription list (`subscribe_from`); leave their fan-out
+            // slots empty — the engine skips them entirely.
+            while out.len() < sub.rank {
+                out.push(None);
+            }
             debug_assert_eq!(sub.rank, out.len(), "subscriptions are in rank order");
             if !engine.leaf_accepts(sub.rank, edge) {
                 out.push(None);
@@ -297,7 +323,7 @@ impl SharedLeafIndex {
                 })));
                 continue;
             }
-            if entry.subscribers == 1 {
+            if entry.subs.len() == 1 {
                 // No other query (or leaf) can reuse this search: skip the
                 // canonical indirection entirely.
                 *searches_delegated += 1;
@@ -344,10 +370,10 @@ impl SharedLeafIndex {
     }
 
     /// Interns a signature, materializing the canonical query on first use.
-    fn intern(&mut self, sig: LeafSignature) -> usize {
+    fn intern(&mut self, sig: LeafSignature, id: QueryId, node: NodeId) -> usize {
         if let Some(&idx) = self.by_sig.get(&sig) {
             let entry = self.entries[idx].as_mut().expect("interned entry is live");
-            entry.subscribers += 1;
+            entry.subs.push((id, node));
             return idx;
         }
         let (query, subgraph) = sig.instantiate("shared-leaf");
@@ -356,7 +382,7 @@ impl SharedLeafIndex {
             signature: sig.clone(),
             query,
             subgraph,
-            subscribers: 1,
+            subs: vec![(id, node)],
         };
         let idx = match self.free.pop() {
             Some(slot) => {

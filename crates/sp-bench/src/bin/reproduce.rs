@@ -13,13 +13,14 @@
 //! (default `1,2,4,8`). `--json` writes the structured measurements of the
 //! experiments that have them so the perf trajectory accumulates across
 //! runs: the `sharing` measurements go to the given path (e.g.
-//! `BENCH_sharing.json`) and the `drift` measurements to
+//! `BENCH_sharing.json`), the `sharedjoin` measurements to
+//! `BENCH_sharedjoin.json` and the `drift` measurements to
 //! `BENCH_adaptive.json` next to it; with no `--experiment` selected it
-//! implies running both.
+//! implies running all three.
 
 use sp_bench::experiments::{
-    drift_measurements, render_drift, render_sharing, run_experiment_with, sharing_measurements,
-    ALL_EXPERIMENTS, DEFAULT_PARALLEL_WORKERS,
+    drift_measurements, render_drift, render_sharedjoin, render_sharing, run_experiment_with,
+    sharedjoin_measurements, sharing_measurements, ALL_EXPERIMENTS, DEFAULT_PARALLEL_WORKERS,
 };
 use sp_bench::Scale;
 use std::io::Write as _;
@@ -91,15 +92,26 @@ fn parse_args() -> Result<Args, String> {
     }
     if experiments.is_empty() {
         experiments = if json.is_some() {
-            vec!["sharing".to_string(), "drift".to_string()]
+            vec![
+                "sharing".to_string(),
+                "sharedjoin".to_string(),
+                "drift".to_string(),
+            ]
         } else {
             ALL_EXPERIMENTS.iter().map(|s| s.to_string()).collect()
         };
-    } else if json.is_some() && !experiments.iter().any(|e| e == "sharing" || e == "drift") {
+    } else if json.is_some()
+        && !experiments
+            .iter()
+            .any(|e| e == "sharing" || e == "sharedjoin" || e == "drift")
+    {
         // `--json` only has data to write when a structured experiment runs;
         // silently producing no file would be confusing, so run them too.
-        eprintln!("[reproduce] --json given: adding the 'sharing' and 'drift' experiments");
+        eprintln!(
+            "[reproduce] --json given: adding the 'sharing', 'sharedjoin' and 'drift' experiments"
+        );
         experiments.push("sharing".to_string());
+        experiments.push("sharedjoin".to_string());
         experiments.push("drift".to_string());
     }
     Ok(Args {
@@ -142,6 +154,14 @@ fn main() {
             std::fs::write(json_path, data).expect("write sharing json");
             eprintln!("[reproduce] wrote {json_path}");
             Some(render_sharing(&measurements))
+        } else if id == "sharedjoin" && args.json.is_some() {
+            let measurements = sharedjoin_measurements(args.scale);
+            let given = std::path::Path::new(args.json.as_deref().expect("checked above"));
+            let path = given.with_file_name("BENCH_sharedjoin.json");
+            let data = serde_json::to_string_pretty(&measurements).expect("serialize sharedjoin");
+            std::fs::write(&path, data).expect("write sharedjoin json");
+            eprintln!("[reproduce] wrote {}", path.display());
+            Some(render_sharedjoin(&measurements))
         } else if id == "drift" && args.json.is_some() {
             let measurements = drift_measurements(args.scale);
             let given = std::path::Path::new(args.json.as_deref().expect("checked above"));

@@ -29,5 +29,6 @@ pub mod report;
 pub mod runner;
 
 pub use runner::{
-    MultiQueryMeasurement, QueryGroupResult, RunMeasurement, Scale, SharingMeasurement,
+    MultiQueryMeasurement, QueryGroupResult, RunMeasurement, Scale, SharedJoinMeasurement,
+    SharingMeasurement,
 };

@@ -370,10 +370,16 @@ pub fn run_sharing(
 ) -> SharingMeasurement {
     let events = &dataset.events()[..limit.min(dataset.len())];
     let run = |sharing: bool| {
+        // Join sharing stays off in both arms: this experiment measures
+        // shared-*leaf* evaluation against the per-engine path, and the
+        // join stage would move prefix searches out of the leaf counters
+        // compared here (the shared join stage has its own `sharedjoin`
+        // experiment with a leaf-only baseline).
         let mut proc = StreamProcessor::new(dataset.schema.clone())
             .with_estimator(estimator.clone())
             .with_statistics(false)
-            .with_sharing(sharing);
+            .with_sharing(sharing)
+            .with_join_sharing(false);
         for query in queries {
             proc.register(query.clone(), strategy, window)
                 .expect("query decomposes");
@@ -420,6 +426,152 @@ pub fn run_sharing(
         leaf_searches_run: stats.searches_run,
         leaf_searches_eliminated: stats.searches_shared,
         leaf_searches_delegated: stats.searches_delegated,
+    }
+}
+
+/// One measured shared-join run: the same rule pack executed on one
+/// shared-graph [`StreamProcessor`] twice — leaf-only sharing (the PR 3
+/// architecture) versus leaf+join sharing (refcounted canonical prefix
+/// tables) — with identical match multisets asserted.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SharedJoinMeasurement {
+    /// Number of registered queries.
+    pub queries: usize,
+    /// Stream edges processed by each arm.
+    pub edges: usize,
+    /// Strategy label the rule pack ran under.
+    pub strategy: String,
+    /// Wall-clock time with leaf-only sharing.
+    #[serde(with = "serde_duration")]
+    pub leafonly_elapsed: Duration,
+    /// Wall-clock time with the shared join stage on top.
+    #[serde(with = "serde_duration")]
+    pub sharedjoin_elapsed: Duration,
+    /// Matches found (asserted identical between the two arms).
+    pub matches: u64,
+    /// Live shared prefix tables at end of run.
+    pub tables: usize,
+    /// Queries subscribed to a shared prefix table.
+    pub join_subscriptions: usize,
+    /// Join-stage partial-match inserts of the leaf-only arm (every
+    /// engine's own tables).
+    pub leafonly_join_inserts: u64,
+    /// Join-stage inserts of the shared arm (engines' remaining private
+    /// tables plus the canonical shared tables, each insert counted once).
+    pub sharedjoin_join_inserts: u64,
+    /// Prefix leaf searches the shared stage executed.
+    pub prefix_searches_run: u64,
+    /// Prefix leaf searches subscribers no longer run (per advance,
+    /// `searches × (subscribers − 1)`).
+    pub prefix_searches_saved: u64,
+    /// Shared-table inserts subscribers no longer perform, accounted the
+    /// same way.
+    pub prefix_inserts_saved: u64,
+    /// Prefix-root matches emitted by the shared tables.
+    pub emissions: u64,
+}
+
+impl SharedJoinMeasurement {
+    /// Fraction of the leaf-only arm's join-stage inserts the shared join
+    /// stage eliminated.
+    pub fn insert_reduction(&self) -> f64 {
+        if self.leafonly_join_inserts == 0 {
+            0.0
+        } else {
+            1.0 - self.sharedjoin_join_inserts as f64 / self.leafonly_join_inserts as f64
+        }
+    }
+
+    /// Speedup of the shared-join arm over the leaf-only arm.
+    pub fn speedup(&self) -> f64 {
+        self.leafonly_elapsed.as_secs_f64() / self.sharedjoin_elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Runs `rules` (query, window) over the first `limit` events twice on a
+/// shared-graph [`StreamProcessor`] — leaf-only sharing versus leaf+join
+/// sharing — asserting identical match multisets and reporting both
+/// timings plus the join-stage work deltas.
+pub fn run_sharedjoin(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    rules: &[(QueryGraph, Option<u64>)],
+    strategy: Strategy,
+    limit: usize,
+) -> SharedJoinMeasurement {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    struct Arm {
+        elapsed: Duration,
+        matches: Vec<(streampattern::QueryId, String)>,
+        join_inserts: u64,
+        stats: streampattern::SharedJoinStats,
+    }
+    let run = |join_sharing: bool| -> Arm {
+        let mut proc = StreamProcessor::new(dataset.schema.clone())
+            .with_estimator(estimator.clone())
+            .with_statistics(false)
+            .with_join_sharing(join_sharing);
+        for (query, window) in rules {
+            proc.register(query.clone(), strategy, *window)
+                .expect("query decomposes");
+        }
+        let mut found: Vec<(streampattern::QueryId, streampattern::SubgraphMatch)> = Vec::new();
+        let mut sink = streampattern::FnSink(|q, m: streampattern::SubgraphMatch| {
+            found.push((q, m));
+        });
+        let start = Instant::now();
+        for ev in events {
+            proc.process_into(ev, &mut sink);
+        }
+        let elapsed = start.elapsed();
+        let mut matches: Vec<(streampattern::QueryId, String)> = found
+            .into_iter()
+            .map(|(q, m)| (q, format!("{:?}", m.edge_pairs().collect::<Vec<_>>())))
+            .collect();
+        matches.sort();
+        // Join-stage inserts actually performed: every engine's private
+        // tables plus (shared arm) each canonical table once.
+        let engine_inserts: u64 = proc
+            .query_ids()
+            .iter()
+            .filter_map(|&id| proc.engine_for(id))
+            .filter_map(|e| e.store_stats())
+            .map(|s| s.total_inserted_per_node.iter().sum::<u64>())
+            .sum();
+        let stats = proc.shared_join_stats();
+        Arm {
+            elapsed,
+            matches,
+            join_inserts: engine_inserts + stats.inserts_run,
+            stats,
+        }
+    };
+    // Interleave two passes per arm and keep the faster one, so allocator /
+    // page-cache warm-up does not systematically favor whichever arm runs
+    // second (the counter-based statistics are identical across passes).
+    let leafonly_first = run(false);
+    let shared_first = run(true);
+    let leafonly_second = run(false);
+    let shared_second = run(true);
+    assert_eq!(
+        shared_first.matches, leafonly_first.matches,
+        "the shared join stage changed the match multiset"
+    );
+    SharedJoinMeasurement {
+        queries: rules.len(),
+        edges: events.len(),
+        strategy: strategy.label().to_owned(),
+        leafonly_elapsed: leafonly_first.elapsed.min(leafonly_second.elapsed),
+        sharedjoin_elapsed: shared_first.elapsed.min(shared_second.elapsed),
+        matches: shared_first.matches.len() as u64,
+        tables: shared_first.stats.tables,
+        join_subscriptions: shared_first.stats.subscriptions,
+        leafonly_join_inserts: leafonly_first.join_inserts,
+        sharedjoin_join_inserts: shared_first.join_inserts,
+        prefix_searches_run: shared_first.stats.searches_run,
+        prefix_searches_saved: shared_first.stats.searches_saved,
+        prefix_inserts_saved: shared_first.stats.inserts_saved,
+        emissions: shared_first.stats.emissions,
     }
 }
 
@@ -533,9 +685,16 @@ pub fn run_drift(
         replay_time: Duration,
     }
     let run_arm = |adaptive: bool, est: SelectivityEstimator, collect: bool| -> ArmResult {
+        // Join sharing moves prefix searches off the per-engine counters
+        // this experiment compares (and re-decomposition churns table
+        // subscriptions), so it stays off here: the drift experiment
+        // isolates *private-engine* adaptivity. The shared join stage has
+        // its own experiment (`sharedjoin`) and its own drift-interplay
+        // parity tests.
         let mut proc = StreamProcessor::new(dataset.schema.clone())
             .with_estimator(est)
-            .with_statistics(collect);
+            .with_statistics(collect)
+            .with_join_sharing(false);
         if adaptive {
             proc = proc.with_adaptive(drift_config);
         }

@@ -27,5 +27,5 @@ mod match_map;
 pub mod vf2;
 
 pub use anchored::{find_matches_around_vertex, find_matches_containing_edge};
-pub use match_map::{JoinKey, SubgraphMatch, JOIN_KEY_INLINE};
+pub use match_map::{JoinKey, SubgraphMatch, JOIN_KEY_INLINE, MATCH_INLINE_BINDINGS};
 pub use vf2::Vf2Matcher;

@@ -3,12 +3,123 @@
 
 use sp_graph::{DynamicGraph, EdgeId, Timestamp, VertexId};
 use sp_query::{QueryEdgeId, QueryVertexId};
-use std::collections::BTreeMap;
 
 /// Maximum number of cut vertices a [`JoinKey`] stores without a heap
 /// allocation. Real decompositions join on one or two shared vertices; three
 /// covers every tree the workspace builds.
 pub const JOIN_KEY_INLINE: usize = 3;
+
+/// Maximum number of vertex (and edge) bindings a [`SubgraphMatch`] stores
+/// inline, without a heap allocation. Eight covers every query the built-in
+/// workloads register (up to a 7-edge / 8-vertex pattern); larger hand-built
+/// queries spill to a `Vec` transparently.
+pub const MATCH_INLINE_BINDINGS: usize = 8;
+
+/// Generates a sorted small-vec map: entries of up to
+/// [`MATCH_INLINE_BINDINGS`] pairs live inline in the enum (clone is a
+/// memcpy — no allocation), larger maps spill to a `Vec`. The representation
+/// is canonical by length (inline iff it fits), so the derived `Eq`/`Ord`
+/// are consistent; unused inline slots are kept zeroed so the derived
+/// comparisons never read garbage. Iteration order is ascending by key,
+/// matching the `BTreeMap` these maps replaced — the SJ-Tree join stage
+/// clones one `SubgraphMatch` per stored partial match, which made the two
+/// `BTreeMap`s the hottest allocation of the hash-join update path.
+macro_rules! small_sorted_map {
+    ($name:ident, $k:ty, $v:ty, $zero:expr) => {
+        #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+        enum $name {
+            /// `(len, entries)`; slots at `len..` are zeroed.
+            Inline(u8, [($k, $v); MATCH_INLINE_BINDINGS]),
+            /// More than [`MATCH_INLINE_BINDINGS`] bindings.
+            Spilled(Vec<($k, $v)>),
+        }
+
+        impl $name {
+            fn new() -> Self {
+                $name::Inline(0, [$zero; MATCH_INLINE_BINDINGS])
+            }
+
+            fn as_slice(&self) -> &[($k, $v)] {
+                match self {
+                    $name::Inline(n, entries) => &entries[..*n as usize],
+                    $name::Spilled(v) => v.as_slice(),
+                }
+            }
+
+            fn len(&self) -> usize {
+                self.as_slice().len()
+            }
+
+            // Generated for both binding maps; only the edge map's emptiness
+            // is semantically meaningful (`SubgraphMatch::is_empty`).
+            #[allow(dead_code)]
+            fn is_empty(&self) -> bool {
+                self.len() == 0
+            }
+
+            fn get(&self, key: $k) -> Option<$v> {
+                let slice = self.as_slice();
+                slice
+                    .binary_search_by_key(&key, |&(k, _)| k)
+                    .ok()
+                    .map(|i| slice[i].1)
+            }
+
+            fn iter(&self) -> impl Iterator<Item = ($k, $v)> + '_ {
+                self.as_slice().iter().copied()
+            }
+
+            fn values(&self) -> impl Iterator<Item = $v> + '_ {
+                self.as_slice().iter().map(|&(_, v)| v)
+            }
+
+            /// Inserts or overwrites, keeping the entries sorted by key.
+            fn insert(&mut self, key: $k, value: $v) {
+                match self.as_slice().binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(i) => match self {
+                        $name::Inline(_, entries) => entries[i].1 = value,
+                        $name::Spilled(v) => v[i].1 = value,
+                    },
+                    Err(i) => self.insert_at(i, (key, value)),
+                }
+            }
+
+            fn insert_at(&mut self, i: usize, entry: ($k, $v)) {
+                match self {
+                    $name::Inline(n, entries) if (*n as usize) < MATCH_INLINE_BINDINGS => {
+                        let len = *n as usize;
+                        entries.copy_within(i..len, i + 1);
+                        entries[i] = entry;
+                        *n += 1;
+                    }
+                    $name::Inline(n, entries) => {
+                        let mut v: Vec<($k, $v)> = entries[..*n as usize].to_vec();
+                        v.insert(i, entry);
+                        *self = $name::Spilled(v);
+                    }
+                    $name::Spilled(v) => v.insert(i, entry),
+                }
+            }
+
+            fn is_inline(&self) -> bool {
+                matches!(self, $name::Inline(..))
+            }
+        }
+    };
+}
+
+small_sorted_map!(
+    VertexBindings,
+    QueryVertexId,
+    VertexId,
+    (QueryVertexId(0), VertexId(0))
+);
+small_sorted_map!(
+    EdgeBindings,
+    QueryEdgeId,
+    EdgeId,
+    (QueryEdgeId(0), EdgeId(0))
+);
 
 /// An interned hash-join key: the projection of a match onto a join node's
 /// cut vertices ([`SubgraphMatch::project_key`]).
@@ -34,14 +145,17 @@ pub enum JoinKey {
 /// Following Definition 3.1.2 a match is "a set of edge pairs", each pair
 /// mapping a query edge to a data edge. The vertex binding is kept alongside
 /// because every consistency check (injectivity, join compatibility, join-key
-/// projection) is expressed on vertices.
+/// projection) is expressed on vertices. Bindings are stored in inline
+/// small-vec maps ([`MATCH_INLINE_BINDINGS`] entries each), so cloning a
+/// match — which the SJ-Tree join stage does once per stored partial match —
+/// does not allocate for any built-in workload query.
 /// The derived ordering (edge binding, then vertex binding, then time span)
 /// has no semantic meaning; it exists so match stores can keep buckets
 /// sorted and deduplicate in `O(log n)` instead of scanning.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct SubgraphMatch {
-    edge_map: BTreeMap<QueryEdgeId, EdgeId>,
-    vertex_map: BTreeMap<QueryVertexId, VertexId>,
+    edge_map: EdgeBindings,
+    vertex_map: VertexBindings,
     earliest: Timestamp,
     latest: Timestamp,
 }
@@ -56,11 +170,19 @@ impl SubgraphMatch {
     /// Creates an empty match.
     pub fn new() -> Self {
         Self {
-            edge_map: BTreeMap::new(),
-            vertex_map: BTreeMap::new(),
+            edge_map: EdgeBindings::new(),
+            vertex_map: VertexBindings::new(),
             earliest: Timestamp(u64::MAX),
             latest: Timestamp(0),
         }
+    }
+
+    /// `true` while both binding maps still fit their inline storage —
+    /// i.e. no heap allocation backs this match. The high-fan-in regression
+    /// tests assert this stays true for the workload queries, pinning the
+    /// "no per-match allocation in the join stage" property.
+    pub fn bindings_inline(&self) -> bool {
+        self.edge_map.is_inline() && self.vertex_map.is_inline()
     }
 
     /// Number of matched edges.
@@ -80,33 +202,33 @@ impl SubgraphMatch {
 
     /// The data edge bound to a query edge, if any.
     pub fn data_edge(&self, q: QueryEdgeId) -> Option<EdgeId> {
-        self.edge_map.get(&q).copied()
+        self.edge_map.get(q)
     }
 
     /// The data vertex bound to a query vertex, if any.
     pub fn data_vertex(&self, q: QueryVertexId) -> Option<VertexId> {
-        self.vertex_map.get(&q).copied()
+        self.vertex_map.get(q)
     }
 
     /// Iterates over the (query edge, data edge) pairs in query-edge order.
     pub fn edge_pairs(&self) -> impl Iterator<Item = (QueryEdgeId, EdgeId)> + '_ {
-        self.edge_map.iter().map(|(&q, &d)| (q, d))
+        self.edge_map.iter()
     }
 
     /// Iterates over the (query vertex, data vertex) pairs in query-vertex
     /// order.
     pub fn vertex_pairs(&self) -> impl Iterator<Item = (QueryVertexId, VertexId)> + '_ {
-        self.vertex_map.iter().map(|(&q, &d)| (q, d))
+        self.vertex_map.iter()
     }
 
     /// Returns `true` if the given data edge is used by this match.
     pub fn uses_data_edge(&self, e: EdgeId) -> bool {
-        self.edge_map.values().any(|&d| d == e)
+        self.edge_map.values().any(|d| d == e)
     }
 
     /// Returns `true` if the given data vertex is bound by this match.
     pub fn uses_data_vertex(&self, v: VertexId) -> bool {
-        self.vertex_map.values().any(|&d| d == v)
+        self.vertex_map.values().any(|d| d == v)
     }
 
     /// Earliest timestamp among the matched edges (`u64::MAX` if empty).
@@ -137,10 +259,10 @@ impl SubgraphMatch {
     /// (a query vertex may only be bound once, to a single data vertex) and
     /// injectivity (two query vertices may not share a data vertex).
     pub fn bind_vertex(&mut self, q: QueryVertexId, d: VertexId) -> bool {
-        match self.vertex_map.get(&q) {
-            Some(&existing) => existing == d,
+        match self.vertex_map.get(q) {
+            Some(existing) => existing == d,
             None => {
-                if self.vertex_map.values().any(|&v| v == d) {
+                if self.vertex_map.values().any(|v| v == d) {
                     return false;
                 }
                 self.vertex_map.insert(q, d);
@@ -152,7 +274,7 @@ impl SubgraphMatch {
     /// Attempts to bind `query_edge -> data_edge`. Fails if either side is
     /// already bound (to anything else) — data edges may not be reused.
     pub fn bind_edge(&mut self, q: QueryEdgeId, d: EdgeId, timestamp: Timestamp) -> bool {
-        if self.edge_map.contains_key(&q) || self.edge_map.values().any(|&e| e == d) {
+        if self.edge_map.get(q).is_some() || self.edge_map.values().any(|e| e == d) {
             return false;
         }
         self.edge_map.insert(q, d);
@@ -173,9 +295,9 @@ impl SubgraphMatch {
     pub fn compatible_with(&self, other: &SubgraphMatch) -> bool {
         // Shared query vertices must agree; disjoint query vertices must not
         // collide on data vertices (injectivity of the union).
-        for (&qv, &dv) in &self.vertex_map {
-            match other.vertex_map.get(&qv) {
-                Some(&odv) => {
+        for (qv, dv) in self.vertex_map.iter() {
+            match other.vertex_map.get(qv) {
+                Some(odv) => {
                     if odv != dv {
                         return false;
                     }
@@ -184,7 +306,7 @@ impl SubgraphMatch {
                     if other
                         .vertex_map
                         .iter()
-                        .any(|(&oqv, &odv)| oqv != qv && odv == dv)
+                        .any(|(oqv, odv)| oqv != qv && odv == dv)
                     {
                         return false;
                     }
@@ -193,11 +315,11 @@ impl SubgraphMatch {
         }
         // Query edges must be disjoint (the decomposition partitions edges)
         // and data edges must not be reused.
-        for (&qe, &de) in &self.edge_map {
-            if other.edge_map.contains_key(&qe) {
+        for (qe, de) in self.edge_map.iter() {
+            if other.edge_map.get(qe).is_some() {
                 return false;
             }
-            if other.edge_map.values().any(|&ode| ode == de) {
+            if other.edge_map.values().any(|ode| ode == de) {
                 return false;
             }
         }
@@ -211,10 +333,10 @@ impl SubgraphMatch {
             return None;
         }
         let mut out = self.clone();
-        for (&qe, &de) in &other.edge_map {
+        for (qe, de) in other.edge_map.iter() {
             out.edge_map.insert(qe, de);
         }
-        for (&qv, &dv) in &other.vertex_map {
+        for (qv, dv) in other.vertex_map.iter() {
             out.vertex_map.insert(qv, dv);
         }
         out.earliest = out.earliest.min(other.earliest);
@@ -227,10 +349,7 @@ impl SubgraphMatch {
     /// vertices is unbound. This is the `GET-JOIN-KEY` / projection operator
     /// Π of Property 4 — the result is used as the hash-join key.
     pub fn project_vertices(&self, vertices: &[QueryVertexId]) -> Option<Vec<VertexId>> {
-        vertices
-            .iter()
-            .map(|q| self.vertex_map.get(q).copied())
-            .collect()
+        vertices.iter().map(|&q| self.vertex_map.get(q)).collect()
     }
 
     /// Projects the match onto a set of query vertices as an interned
@@ -240,8 +359,8 @@ impl SubgraphMatch {
     pub fn project_key(&self, vertices: &[QueryVertexId]) -> Option<JoinKey> {
         if vertices.len() <= JOIN_KEY_INLINE {
             let mut ids = [VertexId(0); JOIN_KEY_INLINE];
-            for (slot, q) in ids.iter_mut().zip(vertices) {
-                *slot = *self.vertex_map.get(q)?;
+            for (slot, &q) in ids.iter_mut().zip(vertices) {
+                *slot = self.vertex_map.get(q)?;
             }
             Some(JoinKey::Inline(vertices.len() as u8, ids))
         } else {
@@ -252,7 +371,7 @@ impl SubgraphMatch {
     /// Checks that every matched data edge still exists in the graph
     /// (edges may have been expired by the sliding window).
     pub fn is_live(&self, graph: &DynamicGraph) -> bool {
-        self.edge_map.values().all(|&e| graph.contains_edge(e))
+        self.edge_map.values().all(|e| graph.contains_edge(e))
     }
 
     /// Rebases a match found against a *canonical* leaf (query vertices
@@ -270,10 +389,10 @@ impl SubgraphMatch {
         edge_map: &[QueryEdgeId],
     ) -> SubgraphMatch {
         let mut out = SubgraphMatch::new();
-        for (&qv, &dv) in &self.vertex_map {
+        for (qv, dv) in self.vertex_map.iter() {
             out.vertex_map.insert(vertex_map[qv.0], dv);
         }
-        for (&qe, &de) in &self.edge_map {
+        for (qe, de) in self.edge_map.iter() {
             out.edge_map.insert(edge_map[qe.0], de);
         }
         out.earliest = self.earliest;
@@ -450,6 +569,46 @@ mod tests {
         assert_eq!(m.latest(), Timestamp(7));
         assert_eq!(m.num_edges(), 1);
         assert_eq!(m.num_vertices(), 2);
+    }
+
+    #[test]
+    fn inline_bindings_spill_transparently_past_the_cap() {
+        let mut m = SubgraphMatch::new();
+        // Fill exactly to the inline capacity: still allocation-free.
+        for i in 0..super::MATCH_INLINE_BINDINGS {
+            assert!(m.bind_vertex(qv(i), dv(100 + i as u64)));
+            assert!(m.bind_edge(qe(i), de(200 + i as u64), Timestamp(i as u64)));
+        }
+        assert!(m.bindings_inline());
+        assert_eq!(m.num_vertices(), super::MATCH_INLINE_BINDINGS);
+        // One more of each spills to the heap without losing anything.
+        let extra = super::MATCH_INLINE_BINDINGS;
+        assert!(m.bind_vertex(qv(extra), dv(999)));
+        assert!(m.bind_edge(qe(extra), de(998), Timestamp(50)));
+        assert!(!m.bindings_inline());
+        assert_eq!(m.num_vertices(), extra + 1);
+        assert_eq!(m.num_edges(), extra + 1);
+        for i in 0..extra {
+            assert_eq!(m.data_vertex(qv(i)), Some(dv(100 + i as u64)));
+            assert_eq!(m.data_edge(qe(i)), Some(de(200 + i as u64)));
+        }
+        assert_eq!(m.data_vertex(qv(extra)), Some(dv(999)));
+        // Iteration order stays ascending by query id across the spill.
+        let keys: Vec<usize> = m.vertex_pairs().map(|(q, _)| q.0).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
+    #[test]
+    fn out_of_order_binds_keep_sorted_iteration() {
+        let mut m = SubgraphMatch::new();
+        for &i in &[5usize, 1, 3, 0, 4, 2] {
+            assert!(m.bind_vertex(qv(i), dv(10 + i as u64)));
+        }
+        let keys: Vec<usize> = m.vertex_pairs().map(|(q, _)| q.0).collect();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4, 5]);
+        assert!(m.bindings_inline());
     }
 
     #[test]

@@ -63,6 +63,17 @@ impl LeafSignature {
         self.vertex_types.len()
     }
 
+    /// The vertex-type constraint of canonical vertex `c`.
+    pub fn vertex_type(&self, c: usize) -> VertexType {
+        self.vertex_types[c]
+    }
+
+    /// The canonical edges, sorted lexicographically — the order the
+    /// signature (and every [`CanonicalMapping::edges`]) numbers them in.
+    pub fn canonical_edges(&self) -> &[CanonicalEdge] {
+        &self.edges
+    }
+
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
         self.edges.len()

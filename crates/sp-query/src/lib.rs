@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 mod canonical;
+mod prefix;
 mod query;
 mod signature;
 mod subgraph;
@@ -27,6 +28,7 @@ mod subgraph;
 pub use canonical::{
     canonicalize_subgraph, CanonicalEdge, CanonicalMapping, LeafSignature, MAX_CANONICAL_VERTICES,
 };
+pub use prefix::{prefix_chain, ChainStep, PrefixSignature};
 pub use query::{QueryEdge, QueryEdgeId, QueryGraph, QueryVertex, QueryVertexId};
 pub use signature::{DirectedEdgeType, EdgeSignature, Primitive, TwoEdgePathSignature};
 pub use subgraph::QuerySubgraph;

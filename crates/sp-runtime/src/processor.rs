@@ -14,10 +14,10 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use streampattern::{
-    canonicalize_subgraph, choose_strategy, leaf_structure, retention_for_windows, AdaptiveStats,
-    CollectSink, ContinuousQueryEngine, CountSink, EngineError, LeafSignature, MatchSink,
-    ProfileCounters, QueryDriftState, QueryId, Strategy, StrategySpec,
-    RELATIVE_SELECTIVITY_THRESHOLD,
+    canonicalize_subgraph, choose_strategy, leaf_structure, retention_for_windows, tree_chain,
+    AdaptiveStats, CollectSink, ContinuousQueryEngine, CountSink, EngineError, LeafSignature,
+    MatchSink, PrefixSignature, ProfileCounters, QueryDriftState, QueryId, Strategy, StrategySpec,
+    MIN_PREFIX_DEPTH, RELATIVE_SELECTIVITY_THRESHOLD,
 };
 
 /// How long a control wait sleeps on the aggregation channel before
@@ -97,6 +97,9 @@ struct ShardAssignment {
     /// The query's canonical leaf shapes, kept to release the shard's
     /// residency refcounts at deregistration.
     sigs: Vec<LeafSignature>,
+    /// The query's canonical decomposition chain (`None` for VF2 /
+    /// single-leaf trees), kept to release the shard's prefix refcounts.
+    chain: Option<PrefixSignature>,
 }
 
 /// A parallel, sharded multi-query stream processor.
@@ -138,6 +141,11 @@ pub struct ParallelStreamProcessor {
     /// each worker's `SharedLeafIndex` holds; drives sharing-aware
     /// assignment.
     shard_sigs: Vec<HashMap<LeafSignature, usize>>,
+    /// Per-shard refcounts of resident canonical decomposition chains,
+    /// mirroring the chains each worker's `SharedJoinIndex` has recorded;
+    /// a new query is discounted on shards already hosting a chain with a
+    /// common prefix (the worker registry will share the join tables).
+    shard_chains: Vec<HashMap<PrefixSignature, usize>>,
     adaptive: Option<FacadeAdaptive>,
     next_id: u64,
     retention: Option<u64>,
@@ -178,6 +186,7 @@ impl ParallelStreamProcessor {
         }
         let shard_costs = vec![0.0; config.workers];
         let shard_sigs = vec![HashMap::new(); config.workers];
+        let shard_chains = vec![HashMap::new(); config.workers];
         let adaptive = config.adaptive.map(|cfg| FacadeAdaptive {
             config: cfg,
             last_check_at: 0,
@@ -193,6 +202,7 @@ impl ParallelStreamProcessor {
             windows: HashMap::new(),
             shard_costs,
             shard_sigs,
+            shard_chains,
             adaptive,
             next_id: 0,
             retention: None,
@@ -263,6 +273,13 @@ impl ParallelStreamProcessor {
         self.shard_sigs.get(worker).map(HashMap::len).unwrap_or(0)
     }
 
+    /// Number of distinct canonical decomposition chains resident on a
+    /// shard (the facade's mirror of the worker registry's shared-join
+    /// chain records), used to observe prefix-sharing-aware placement.
+    pub fn shard_resident_chains(&self, worker: usize) -> usize {
+        self.shard_chains.get(worker).map(HashMap::len).unwrap_or(0)
+    }
+
     /// Registers a continuous query, mirroring
     /// [`StreamProcessor::register`](streampattern::StreamProcessor::register):
     /// the strategy is fixed or chosen by the Relative Selectivity rule
@@ -318,15 +335,33 @@ impl ParallelStreamProcessor {
                     .collect()
             })
             .unwrap_or_default();
+        let chain = engine.tree().and_then(tree_chain);
         let id = QueryId(self.next_id);
         self.next_id += 1;
         let mut worker = 0;
         let mut cost = base_cost;
         let mut best_total = f64::INFINITY;
         for (w, &load) in self.shard_costs.iter().enumerate() {
-            let benefit = self
-                .estimator
-                .estimate_sharing_benefit(sigs.iter(), |sig| self.shard_sigs[w].contains_key(sig));
+            // A shard already hosting a chain with a common prefix will
+            // share the join tables for that prefix, not just the leaf
+            // searches: the discount counts the prefix's internal join
+            // nodes on top of the resident leaves.
+            let shared_depth = chain
+                .as_ref()
+                .map(|c| {
+                    self.shard_chains[w]
+                        .keys()
+                        .map(|other| c.common_depth(other))
+                        .max()
+                        .unwrap_or(0)
+                })
+                .filter(|&d| d >= MIN_PREFIX_DEPTH)
+                .unwrap_or(0);
+            let benefit = self.estimator.estimate_sharing_benefit_with_prefix(
+                sigs.iter(),
+                |sig| self.shard_sigs[w].contains_key(sig),
+                shared_depth,
+            );
             let discounted = base_cost * (1.0 - SHARING_COST_DISCOUNT * benefit);
             let total = load + discounted;
             if total < best_total {
@@ -339,9 +374,19 @@ impl ParallelStreamProcessor {
         for sig in &sigs {
             *self.shard_sigs[worker].entry(sig.clone()).or_insert(0) += 1;
         }
+        if let Some(chain) = &chain {
+            *self.shard_chains[worker].entry(chain.clone()).or_insert(0) += 1;
+        }
         self.windows.insert(id, engine.window());
-        self.assignments
-            .insert(id, ShardAssignment { worker, cost, sigs });
+        self.assignments.insert(
+            id,
+            ShardAssignment {
+                worker,
+                cost,
+                sigs,
+                chain,
+            },
+        );
         if let Some(adaptive) = self.adaptive.as_mut() {
             if let Some(tree) = engine.tree() {
                 adaptive.per_query.insert(
@@ -387,6 +432,14 @@ impl ParallelStreamProcessor {
                 *count -= 1;
                 if *count == 0 {
                     self.shard_sigs[assignment.worker].remove(sig);
+                }
+            }
+        }
+        if let Some(chain) = &assignment.chain {
+            if let Some(count) = self.shard_chains[assignment.worker].get_mut(chain) {
+                *count -= 1;
+                if *count == 0 {
+                    self.shard_chains[assignment.worker].remove(chain);
                 }
             }
         }
@@ -617,6 +670,23 @@ impl ParallelStreamProcessor {
                 *self.shard_sigs[worker].entry(sig.clone()).or_insert(0) += 1;
             }
             assignment.sigs = new_sigs;
+            // Prefix refcounts move with the re-decomposition exactly like
+            // the leaf-shape refcounts: the worker's shared join index will
+            // drop/recreate tables on its `resubscribe`, and the facade's
+            // mirror must follow for future assignments to stay accurate.
+            let new_chain = tree_chain(&tree);
+            if let Some(chain) = &assignment.chain {
+                if let Some(count) = self.shard_chains[worker].get_mut(chain) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.shard_chains[worker].remove(chain);
+                    }
+                }
+            }
+            if let Some(chain) = &new_chain {
+                *self.shard_chains[worker].entry(chain.clone()).or_insert(0) += 1;
+            }
+            assignment.chain = new_chain;
             fqd.strategy = strategy;
             fqd.leaves = leaf_structure(&tree);
             adaptive.stats.redecompositions += 1;

@@ -435,3 +435,88 @@ fn shard_assignment_co_locates_leaf_sharers() {
     // Each consecutive dns pair matches both registered dns queries.
     assert_eq!(found, 2 * 39);
 }
+
+#[test]
+fn shard_assignment_co_locates_prefix_sharers() {
+    // Four queries over the SAME two leaf shapes (one tcp edge, one dns
+    // edge) but two different join-cut structures: a path (the dns edge
+    // hangs off the tcp edge's destination) and a fan-out (both edges leave
+    // the same source). Leaf-shape residency cannot tell the shards apart
+    // once both host the shapes — only the canonical *chain* (leaf sequence
+    // + glue) does, so co-locating path with path and fan with fan proves
+    // the prefix-aware discount is live.
+    let schema = cyber_schema();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let dns = schema.edge_type("dns").unwrap();
+    let mut estimator = streampattern::SelectivityEstimator::new();
+    for i in 0..100u64 {
+        estimator.observe_edge(&sp_graph::EdgeData {
+            id: sp_graph::EdgeId(i),
+            src: sp_graph::VertexId(i),
+            dst: sp_graph::VertexId(i + 1_000),
+            edge_type: if i % 2 == 0 { tcp } else { dns },
+            timestamp: Timestamp(i),
+        });
+    }
+    let path = |name: &str| {
+        let mut q = QueryGraph::new(name);
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        q.add_edge(b, c, dns);
+        q
+    };
+    let fan = |name: &str| {
+        let mut q = QueryGraph::new(name);
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        q.add_edge(a, c, dns);
+        q
+    };
+    let mut runtime = ParallelStreamProcessor::new(
+        schema.clone(),
+        RuntimeConfig::with_workers(2).statistics(false),
+    )
+    .with_estimator(estimator);
+    let p1 = runtime
+        .register(path("path-1"), Strategy::SingleLazy, None)
+        .unwrap();
+    let f1 = runtime
+        .register(fan("fan-1"), Strategy::SingleLazy, None)
+        .unwrap();
+    let p2 = runtime
+        .register(path("path-2"), Strategy::SingleLazy, None)
+        .unwrap();
+    let f2 = runtime
+        .register(fan("fan-2"), Strategy::SingleLazy, None)
+        .unwrap();
+    assert_eq!(
+        runtime.shard_of(p1),
+        runtime.shard_of(p2),
+        "identical chains must co-locate"
+    );
+    assert_eq!(
+        runtime.shard_of(f1),
+        runtime.shard_of(f2),
+        "identical chains must co-locate"
+    );
+    assert_ne!(
+        runtime.shard_of(p1),
+        runtime.shard_of(f1),
+        "different glue, different shard"
+    );
+    // Each shard hosts exactly one distinct chain (refcounted twice), and
+    // deregistration releases the refcounts.
+    assert_eq!(runtime.shard_resident_chains(0), 1);
+    assert_eq!(runtime.shard_resident_chains(1), 1);
+    let path_shard = runtime.shard_of(p1).unwrap();
+    runtime.deregister(p1).unwrap();
+    assert_eq!(runtime.shard_resident_chains(path_shard), 1);
+    runtime.deregister(p2).unwrap();
+    assert_eq!(runtime.shard_resident_chains(path_shard), 0);
+    drop(runtime.shutdown());
+    let _ = (f1, f2);
+}

@@ -317,6 +317,73 @@ impl SelectivityEstimator {
             covered / total
         }
     }
+
+    /// Like [`SelectivityEstimator::estimate_sharing_benefit`], additionally
+    /// counting the **internal join nodes** of a shared decomposition
+    /// prefix. With a shared join stage, the first `shared_join_depth`
+    /// leaves of a query's decomposition run once registry-wide — their
+    /// anchored searches *and* the hash joins combining them — so they
+    /// count as covered regardless of leaf residency, and each internal
+    /// node of the shared prefix contributes its own weight to the covered
+    /// pool.
+    ///
+    /// Weights: a leaf's weight is its search rate (as in the leaf-only
+    /// estimate); the internal node joining leaves `0..=r` is weighted by
+    /// the *rarest* leaf rate among them — the selectivity bound on how
+    /// often that join produces (and therefore costs) anything, mirroring
+    /// the cost model's "frequency of an internal node is bounded by its
+    /// most selective child". Returns a value in `[0, 1]`; with
+    /// `shared_join_depth < 2` no join node is shared and the estimate is
+    /// the leaf-only fraction over the larger (leaf + join) pool.
+    pub fn estimate_sharing_benefit_with_prefix<'a, I, F>(
+        &self,
+        leaves: I,
+        is_resident: F,
+        shared_join_depth: usize,
+    ) -> f64
+    where
+        I: IntoIterator<Item = &'a LeafSignature>,
+        F: Fn(&LeafSignature) -> bool,
+    {
+        let rates: Vec<(f64, bool)> = leaves
+            .into_iter()
+            .map(|sig| {
+                let rate: f64 = sig
+                    .edge_types()
+                    .iter()
+                    .map(|&t| self.selectivity(&Primitive::SingleEdge(t)))
+                    .sum::<f64>()
+                    .min(1.0);
+                (rate, is_resident(sig))
+            })
+            .collect();
+        if rates.is_empty() {
+            return 0.0;
+        }
+        let d = shared_join_depth.min(rates.len());
+        let mut total = 0.0;
+        let mut covered = 0.0;
+        let mut rarest = f64::INFINITY;
+        for (r, &(rate, resident)) in rates.iter().enumerate() {
+            total += rate;
+            if r < d || resident {
+                covered += rate;
+            }
+            rarest = rarest.min(rate);
+            if r >= 1 {
+                // Internal node joining leaves 0..=r.
+                total += rarest;
+                if r < d {
+                    covered += rarest;
+                }
+            }
+        }
+        if total == 0.0 {
+            0.0
+        } else {
+            covered / total
+        }
+    }
 }
 
 #[cfg(test)]
@@ -490,6 +557,60 @@ mod tests {
         assert!((b - 0.1).abs() < 1e-12, "benefit = {b}");
         // Empty leaf sets report no benefit.
         assert_eq!(est.estimate_sharing_benefit([].iter(), |_| true), 0.0);
+    }
+
+    #[test]
+    fn prefix_benefit_counts_shared_internal_nodes() {
+        use sp_query::{canonicalize_subgraph, QuerySubgraph};
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap(); // rate 0.9
+        let udp = g.schema().edge_type("udp").unwrap(); // rate 0.1
+        let sig_for = |t| {
+            let mut q = QueryGraph::new("leaf");
+            let a = q.add_any_vertex();
+            let b = q.add_any_vertex();
+            q.add_edge(a, b, t);
+            let sub = QuerySubgraph::from_edges(&q, q.edge_ids());
+            canonicalize_subgraph(&q, &sub).unwrap().0
+        };
+        let hot = sig_for(tcp);
+        let cold = sig_for(udp);
+        // Chain [cold, hot]: pool = 0.1 + 0.9 (leaves) + 0.1 (the join,
+        // bounded by the rarest leaf) = 1.1.
+        let leaves = [cold.clone(), hot.clone()];
+        // No shared prefix, nothing resident: zero.
+        assert_eq!(
+            est.estimate_sharing_benefit_with_prefix(leaves.iter(), |_| false, 0),
+            0.0
+        );
+        // A depth-2 shared prefix covers both leaves AND the join: full
+        // benefit.
+        let full = est.estimate_sharing_benefit_with_prefix(leaves.iter(), |_| false, 2);
+        assert!((full - 1.0).abs() < 1e-12, "full = {full}");
+        // Leaf-only residency of the hot leaf covers 0.9 of the 1.1 pool —
+        // strictly less than prefix sharing, which also takes the join.
+        let leaf_only = est.estimate_sharing_benefit_with_prefix(leaves.iter(), |s| *s == hot, 0);
+        assert!(
+            (leaf_only - 0.9 / 1.1).abs() < 1e-12,
+            "leaf_only = {leaf_only}"
+        );
+        assert!(leaf_only < full);
+        // A 3-leaf chain with a depth-2 shared prefix: the second join
+        // (0..=2) stays uncovered.
+        let leaves3 = [cold.clone(), hot.clone(), cold.clone()];
+        // pool = (0.1 + 0.9 + 0.1) + (0.1 + 0.1) = 1.3; covered = 0.1 +
+        // 0.9 + 0.1 (first join) = 1.1.
+        let partial = est.estimate_sharing_benefit_with_prefix(leaves3.iter(), |_| false, 2);
+        assert!((partial - 1.1 / 1.3).abs() < 1e-12, "partial = {partial}");
+        // Residency of the remaining suffix leaf adds its rate on top.
+        let with_suffix =
+            est.estimate_sharing_benefit_with_prefix(leaves3.iter(), |s| *s == cold, 2);
+        assert!((with_suffix - 1.2 / 1.3).abs() < 1e-12);
+        assert_eq!(
+            est.estimate_sharing_benefit_with_prefix([].iter(), |_| true, 2),
+            0.0
+        );
     }
 
     #[test]

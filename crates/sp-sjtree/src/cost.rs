@@ -33,6 +33,15 @@ pub struct CostModel {
     /// shared-leaf evaluation can eliminate when other registered queries
     /// subscribe to the same canonical leaves.
     pub leaf_search_work: f64,
+    /// Per-leaf search work in selectivity-rank order
+    /// (`leaf_search_cost.iter().sum() == leaf_search_work`).
+    pub leaf_search_cost: Vec<f64>,
+    /// Per-internal-node hash-join work, bottom-up: `join_work[j]` is the
+    /// expected per-edge probe+insert work of the node joining leaves
+    /// `0..=j+1`. This is the share the shared **join** stage eliminates
+    /// when the registry already maintains the query's depth-`d` prefix
+    /// table (`join_work[..d-1]`), on top of the prefix's leaf searches.
+    pub join_work: Vec<f64>,
     /// Estimated frequency (expected number of matches over the sampled
     /// stream) per node, indexed by [`NodeId`].
     pub node_frequency: Vec<f64>,
@@ -81,19 +90,26 @@ impl CostModel {
 
         // Work per edge: leaf search costs plus expected hash-join work,
         // accumulated over every internal node.
-        let mut leaf_search_work = 0.0;
+        let mut leaf_search_cost = Vec::with_capacity(tree.num_leaves());
         for &leaf in tree.leaves() {
             let edges = tree.subgraph(leaf).num_edges();
             // O(1) for a single edge, O(d̄^(k-1)) for a k-edge primitive.
-            leaf_search_work += avg_degree.max(1.0).powi(edges as i32 - 1);
+            leaf_search_cost.push(avg_degree.max(1.0).powi(edges as i32 - 1));
         }
+        let leaf_search_work: f64 = leaf_search_cost.iter().sum();
         let mut work_per_edge = leaf_search_work;
+        // Internal nodes appear after the leaves in bottom-up (prefix-depth)
+        // order, so collecting their join work in node order yields
+        // `join_work[j]` = the node covering leaves `0..=j+1`.
+        let mut join_work = Vec::with_capacity(tree.num_nodes() - tree.num_leaves());
         for node in tree.nodes() {
             if let (Some(l), Some(r)) = (node.left, node.right) {
                 let n1 = node_frequency[l.0];
                 let n2 = node_frequency[r.0];
                 // (O(n1) + O(n2) + min(n1,n2)) / N probes+inserts per edge.
-                work_per_edge += (n1 + n2 + n1.min(n2)) / n;
+                let w = (n1 + n2 + n1.min(n2)) / n;
+                join_work.push(w);
+                work_per_edge += w;
             }
         }
 
@@ -101,6 +117,8 @@ impl CostModel {
             space_units,
             work_per_edge,
             leaf_search_work,
+            leaf_search_cost,
+            join_work,
             node_frequency,
         }
     }
@@ -118,6 +136,32 @@ impl CostModel {
     pub fn work_per_edge_with_sharing(&self, sharing_benefit: f64) -> f64 {
         let benefit = sharing_benefit.clamp(0.0, 1.0);
         self.work_per_edge - self.leaf_search_work * benefit
+    }
+
+    /// This query's *marginal* per-edge work when the registry already
+    /// maintains its depth-`shared_depth` prefix in a shared join table:
+    /// the prefix's leaf searches **and** the prefix's internal hash joins
+    /// (`join_work[..shared_depth-1]`) run once registry-wide, so they drop
+    /// out entirely; the remaining (suffix) leaf searches are additionally
+    /// discounted by `suffix_leaf_benefit` — the shared-*leaf* elimination
+    /// estimate restricted to the suffix leaves. `shared_depth` of 0 or 1
+    /// means no shared prefix (a prefix needs at least one internal node)
+    /// and reduces to [`CostModel::work_per_edge_with_sharing`] over the
+    /// full leaf set.
+    pub fn work_per_edge_with_shared_prefix(
+        &self,
+        suffix_leaf_benefit: f64,
+        shared_depth: usize,
+    ) -> f64 {
+        let benefit = suffix_leaf_benefit.clamp(0.0, 1.0);
+        if shared_depth < 2 {
+            return self.work_per_edge_with_sharing(benefit);
+        }
+        let d = shared_depth.min(self.leaf_search_cost.len());
+        let prefix_search: f64 = self.leaf_search_cost[..d].iter().sum();
+        let prefix_join: f64 = self.join_work[..d - 1].iter().sum();
+        let suffix_search: f64 = self.leaf_search_cost[d..].iter().sum();
+        (self.work_per_edge - prefix_search - prefix_join - suffix_search * benefit).max(0.0)
     }
 
     /// Observation 3 of Section 5: decomposing a subgraph `g_k` further is
@@ -223,6 +267,45 @@ mod tests {
         assert!(model.work_per_edge_with_sharing(0.5) < model.work_per_edge);
         assert_eq!(model.work_per_edge_with_sharing(7.0), shared);
         assert_eq!(model.work_per_edge_with_sharing(-1.0), model.work_per_edge);
+    }
+
+    #[test]
+    fn shared_prefix_strips_prefix_search_and_join_work() {
+        let (schema, est, d, n) = skewed_fixture();
+        // 3-edge chain: 3 leaves, 2 internal joins — a depth-2 shared
+        // prefix covers leaves 0..1 and the first join.
+        let tcp = schema.edge_type("tcp").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+        let mut q = QueryGraph::new("p3");
+        let v: Vec<_> = (0..4).map(|_| q.add_any_vertex()).collect();
+        q.add_edge(v[0], v[1], esp);
+        q.add_edge(v[1], v[2], tcp);
+        q.add_edge(v[2], v[3], tcp);
+        let tree = decompose(&q, PrimitivePolicy::SingleEdge, &est).unwrap();
+        let model = CostModel::build(&tree, &est, d, n);
+        assert_eq!(model.leaf_search_cost.len(), 3);
+        assert_eq!(model.join_work.len(), 2);
+        assert!((model.leaf_search_cost.iter().sum::<f64>() - model.leaf_search_work).abs() < 1e-9);
+        // depth < 2 degrades to the leaf-only formula.
+        assert_eq!(
+            model.work_per_edge_with_shared_prefix(0.0, 0),
+            model.work_per_edge_with_sharing(0.0)
+        );
+        // A depth-2 prefix removes its two leaf searches and one join.
+        let expected = model.work_per_edge
+            - model.leaf_search_cost[..2].iter().sum::<f64>()
+            - model.join_work[0];
+        assert!((model.work_per_edge_with_shared_prefix(0.0, 2) - expected).abs() < 1e-9);
+        // Deeper sharing is monotonically cheaper, and a fully shared tree
+        // leaves only the residual (zero leaf, zero join) work.
+        assert!(
+            model.work_per_edge_with_shared_prefix(0.0, 3)
+                <= model.work_per_edge_with_shared_prefix(0.0, 2)
+        );
+        assert!(model.work_per_edge_with_shared_prefix(1.0, 3) >= 0.0);
+        // Suffix leaf benefit only discounts the leaves outside the prefix.
+        let with_suffix = model.work_per_edge_with_shared_prefix(1.0, 2);
+        assert!((with_suffix - (expected - model.leaf_search_cost[2])).abs() < 1e-9);
     }
 
     #[test]

@@ -166,6 +166,13 @@ impl MatchStore {
         self.inserted[node.0]
     }
 
+    /// Total matches ever inserted across all nodes (the per-edge delta of
+    /// this is what the shared join stage reports as deduplicated insert
+    /// work).
+    pub fn lifetime_inserted(&self) -> u64 {
+        self.inserted.iter().sum()
+    }
+
     /// Iterates over the matches stored at a node.
     pub fn matches_at(&self, node: NodeId) -> impl Iterator<Item = &SubgraphMatch> + '_ {
         self.tables[node.0].values().flat_map(|v| v.iter())
@@ -223,6 +230,16 @@ impl MatchStore {
         for table in &mut self.tables {
             table.clear();
         }
+    }
+
+    /// Clears the table of one node, leaving its lifetime-inserted counter
+    /// intact. The shared join stage uses this when a query's prefix state
+    /// migrates into a registry-owned canonical table: the engine's own
+    /// tables for the prefix-covered nodes become redundant (the canonical
+    /// table is repopulated by replaying the retained graph) and would
+    /// otherwise linger until window expiry.
+    pub fn clear_node(&mut self, node: NodeId) {
+        self.tables[node.0].clear();
     }
 
     /// Aggregate statistics.
@@ -630,6 +647,10 @@ mod tests {
         }
         assert_eq!(store.live_matches(tree.leaf(1)), FAN as usize);
         assert_eq!(store.total_inserted(tree.leaf(1)), FAN);
+        // Micro-assert for the join-stage allocation satellite: every stored
+        // partial match of this workload-sized query fits the inline binding
+        // maps, so the per-insert `m.clone()` above never heap-allocated.
+        assert!(store.matches_at(tree.leaf(1)).all(|m| m.bindings_inline()));
         // Joining against the fan still produces every combination once.
         store.insert(
             &tree,
@@ -639,6 +660,7 @@ mod tests {
             &mut complete,
         );
         assert_eq!(complete.len(), FAN as usize);
+        assert!(complete.iter().all(|m| m.bindings_inline()));
     }
 
     #[test]

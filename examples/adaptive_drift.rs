@@ -40,9 +40,15 @@ fn main() {
         Dataset::estimator_from_events(&dataset.events()[..shift_at / 2], StatsMode::Decayed(512));
 
     let build = |adaptive: bool| -> (StreamProcessor, Vec<QueryId>) {
+        // Join sharing off: this example compares *per-engine* leaf-search
+        // counters between a frozen and an adaptive processor, and the
+        // shared join stage would move prefix searches off those counters
+        // (and churn table subscriptions on every rebuild). The shared join
+        // stage has its own example surface in `soc_rulepack`.
         let mut proc = StreamProcessor::new(dataset.schema.clone())
             .with_estimator(estimator.clone())
-            .with_statistics(true);
+            .with_statistics(true)
+            .with_join_sharing(false);
         if adaptive {
             proc = proc.with_adaptive(DriftConfig {
                 check_interval: 256,

@@ -130,6 +130,25 @@ fn main() {
         stats.searches_shared
     );
     assert_eq!(total_shared, stats.searches_shared);
+
+    // The shared JOIN stage on top: rules whose decompositions begin with
+    // the same canonical leaf chain share one refcounted prefix table —
+    // leaf searches AND hash joins for the prefix run once pack-wide.
+    let join = shared.shared_join_stats();
+    println!(
+        "\nshared join stage: {} prefix tables over {} subscribed rules",
+        join.tables, join.subscriptions
+    );
+    println!(
+        "  prefix searches run {} / saved {}, inserts run {} / saved {}, \
+         {} prefix-root emissions ({:.1}% of prefix work eliminated)",
+        join.searches_run,
+        join.searches_saved,
+        join.inserts_run,
+        join.inserts_saved,
+        join.emissions,
+        100.0 * join.elimination_ratio()
+    );
     println!(
         "alerts: {} (identical with sharing on and off)",
         shared.total_matches()

@@ -1,0 +1,439 @@
+//! Shared join stage: equivalence and lifecycle.
+//!
+//! The tentpole contract is that sharing the join stage is
+//! *semantics-preserving*: for any strategy, window mix and worker count,
+//! the reported `(query, match)` multiset is identical with leaf+join
+//! sharing, with leaf-only sharing, with no sharing at all, and against
+//! independent single-query processors. The lifecycle tests cover the
+//! refcounted tables: the last unsubscriber (deregistration or a
+//! drift-driven re-subscription) drops the shared prefix table, a late
+//! subscriber to an existing prefix sees no pre-registration matches, and a
+//! re-decomposition landing mid-window keeps live partials completing.
+
+use sp_datasets::NetflowConfig;
+use sp_graph::{EdgeEvent, Timestamp};
+use sp_query::QueryGraph;
+use sp_runtime::{ParallelStreamProcessor, RuntimeConfig};
+use streampattern::{
+    FnSink, QueryId, Schema, SjTree, Strategy, StrategySpec, StreamProcessor, SubgraphMatch,
+};
+
+/// Worker counts under test: `RUNTIME_WORKERS` (e.g. `2` or `1,2,4`) or the
+/// default sweep, mirroring `integration_parallel.rs`.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("RUNTIME_WORKERS") {
+        Ok(v) => v
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad RUNTIME_WORKERS entry '{p}'"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// An overlapping netflow rule pack with identical chains (exfil vs
+/// exfil-wide — different windows, one table), a proper-prefix overlap
+/// (bounce extends the exfil chain) and non-overlapping rules, so the
+/// shared join stage exercises full-depth sharing, prefix-consumer
+/// continuation and the private fallback at once.
+fn pack(schema: &Schema) -> Vec<(QueryGraph, Option<u64>)> {
+    let chain = |name: &str, protos: &[&str]| {
+        let mut q = QueryGraph::new(name);
+        let mut prev = q.add_any_vertex();
+        for p in protos {
+            let next = q.add_any_vertex();
+            q.add_edge(prev, next, schema.edge_type(p).unwrap());
+            prev = next;
+        }
+        q
+    };
+    vec![
+        (chain("exfil", &["TCP", "ESP"]), Some(5_000)),
+        (chain("exfil-wide", &["TCP", "ESP"]), None),
+        (chain("bounce", &["TCP", "ESP", "TCP"]), Some(5_000)),
+        (chain("scan", &["ICMP", "TCP"]), Some(2_000)),
+        (chain("scan-flood", &["ICMP", "TCP", "UDP"]), Some(4_000)),
+        (chain("relay", &["TCP", "TCP"]), Some(1_000)),
+    ]
+}
+
+/// Sorted `(query slot, match fingerprint)` multiset of a full run.
+fn multiset_of<F>(mut process_all: F) -> Vec<(usize, String)>
+where
+    F: FnMut(&mut dyn FnMut(usize, SubgraphMatch)),
+{
+    let mut out = Vec::new();
+    process_all(&mut |slot, m| {
+        out.push((slot, format!("{:?}", m.edge_pairs().collect::<Vec<_>>())));
+    });
+    out.sort();
+    out
+}
+
+#[test]
+fn shared_join_is_semantics_preserving_across_strategies_and_windows() {
+    let dataset = NetflowConfig {
+        num_hosts: 300,
+        num_edges: 2_500,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let rules = pack(&schema);
+
+    let specs: [StrategySpec; 5] = [
+        Strategy::Single.into(),
+        Strategy::SingleLazy.into(),
+        Strategy::Path.into(),
+        Strategy::PathLazy.into(),
+        StrategySpec::Auto,
+    ];
+    for spec in specs {
+        let run = |leaf_sharing: bool, join_sharing: bool| {
+            let mut proc = StreamProcessor::new(schema.clone())
+                .with_estimator(estimator.clone())
+                .with_statistics(false)
+                .with_sharing(leaf_sharing)
+                .with_join_sharing(join_sharing);
+            let ids: Vec<QueryId> = rules
+                .iter()
+                .map(|(q, w)| proc.register(q.clone(), spec, *w).unwrap())
+                .collect();
+            let multiset = multiset_of(|emit| {
+                let mut sink = FnSink(|q: QueryId, m: SubgraphMatch| {
+                    let slot = ids.iter().position(|&i| i == q).unwrap();
+                    emit(slot, m);
+                });
+                for ev in dataset.events() {
+                    proc.process_into(ev, &mut sink);
+                }
+            });
+            (multiset, proc.shared_join_stats(), ids, proc)
+        };
+        let (full, join_stats, ids, proc) = run(true, true);
+        let (leaf_only, leaf_only_stats, _, _) = run(true, false);
+        let (unshared, _, _, _) = run(false, false);
+        assert_eq!(
+            full, leaf_only,
+            "join sharing changed the multiset under {spec:?}"
+        );
+        assert_eq!(
+            full, unshared,
+            "sharing (any stage) changed the multiset under {spec:?}"
+        );
+        assert!(!full.is_empty(), "workload found no matches");
+        assert_eq!(
+            leaf_only_stats.tables, 0,
+            "join sharing off must not create tables"
+        );
+        // Under the 1-edge decompositions every 2-edge rule is join-capable
+        // and the identical exfil/exfil-wide chains must coalesce into one
+        // refcounted table that eliminates inserts and searches. (The
+        // 2-edge-path decompositions fold those rules into a single leaf —
+        // nothing to join — so only the multiset parity above applies.)
+        let single_edge = matches!(
+            spec,
+            StrategySpec::Fixed(Strategy::Single) | StrategySpec::Fixed(Strategy::SingleLazy)
+        );
+        if single_edge {
+            assert!(
+                join_stats.tables >= 1,
+                "no shared prefix table under {spec:?}: {join_stats:?}"
+            );
+            assert!(join_stats.subscriptions >= 2);
+            assert!(
+                join_stats.searches_saved > 0 && join_stats.inserts_saved > 0,
+                "no join work eliminated under {spec:?}: {join_stats:?}"
+            );
+            assert!(join_stats.deliveries > 0);
+            // Per-engine accounting: the identical-chain queries consumed
+            // their matches from the shared stage.
+            let exfil_profile = proc.profile_for(ids[0]).unwrap();
+            assert!(
+                exfil_profile.join_stages_shared > 0,
+                "exfil never hit a shared table under {spec:?}"
+            );
+        }
+
+        // Pre-sharing architecture: one independent single-query processor
+        // per rule.
+        let independent = multiset_of(|emit| {
+            for (slot, (q, w)) in rules.iter().enumerate() {
+                let mut proc = StreamProcessor::new(schema.clone())
+                    .with_estimator(estimator.clone())
+                    .with_statistics(false)
+                    .with_sharing(false)
+                    .with_join_sharing(false);
+                proc.register(q.clone(), spec, *w).unwrap();
+                let mut sink = FnSink(|_q: QueryId, m: SubgraphMatch| emit(slot, m));
+                for ev in dataset.events() {
+                    proc.process_into(ev, &mut sink);
+                }
+            }
+        });
+        assert_eq!(
+            full, independent,
+            "shared join stage diverges from independent processors under {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn shared_join_matches_parallel_runtime_across_worker_counts() {
+    let dataset = NetflowConfig {
+        num_hosts: 300,
+        num_edges: 2_500,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let rules = pack(&schema);
+
+    // Sequential reference with both sharing stages enabled (defaults).
+    let mut seq = StreamProcessor::new(schema.clone())
+        .with_estimator(estimator.clone())
+        .with_statistics(false);
+    let seq_ids: Vec<QueryId> = rules
+        .iter()
+        .map(|(q, w)| seq.register(q.clone(), Strategy::SingleLazy, *w).unwrap())
+        .collect();
+    let expected = multiset_of(|emit| {
+        let mut sink = FnSink(|q: QueryId, m: SubgraphMatch| {
+            emit(seq_ids.iter().position(|&i| i == q).unwrap(), m);
+        });
+        for ev in dataset.events() {
+            seq.process_into(ev, &mut sink);
+        }
+    });
+    assert!(seq.shared_join_stats().searches_saved > 0);
+
+    for workers in worker_counts() {
+        let mut runtime = ParallelStreamProcessor::new(
+            schema.clone(),
+            RuntimeConfig::with_workers(workers).statistics(false),
+        )
+        .with_estimator(estimator.clone());
+        let ids: Vec<QueryId> = rules
+            .iter()
+            .map(|(q, w)| {
+                runtime
+                    .register(q.clone(), Strategy::SingleLazy, *w)
+                    .unwrap()
+            })
+            .collect();
+        let got = multiset_of(|emit| {
+            let mut sink = FnSink(|q: QueryId, m: SubgraphMatch| {
+                emit(ids.iter().position(|&i| i == q).unwrap(), m);
+            });
+            runtime.process_all_into(dataset.events().iter(), &mut sink);
+        });
+        assert_eq!(got, expected, "multiset diverged at {workers} workers");
+    }
+}
+
+fn two_hop(schema: &Schema, name: &str) -> QueryGraph {
+    let tcp = schema.edge_type("tcp").unwrap();
+    let esp = schema.edge_type("esp").unwrap();
+    let mut q = QueryGraph::new(name);
+    let a = q.add_any_vertex();
+    let b = q.add_any_vertex();
+    let c = q.add_any_vertex();
+    q.add_edge(a, b, tcp);
+    q.add_edge(b, c, esp);
+    q
+}
+
+fn cyber_schema() -> Schema {
+    let mut schema = Schema::new();
+    schema.intern_vertex_type("ip");
+    schema.intern_edge_type("tcp");
+    schema.intern_edge_type("esp");
+    schema
+}
+
+#[test]
+fn late_subscriber_to_an_existing_prefix_sees_only_post_registration_matches() {
+    let schema = cyber_schema();
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let esp = schema.edge_type("esp").unwrap();
+    // A deterministic stream with tcp→esp completions in each half and no
+    // completion straddling the boundary.
+    let events: Vec<EdgeEvent> = (0..40u64)
+        .map(|i| {
+            let t = if i % 4 == 3 { esp } else { tcp };
+            EdgeEvent::homogeneous(i, i + 1, ip, t, Timestamp(i))
+        })
+        .collect();
+    let half = events.len() / 2;
+
+    // Statistics stay off so the early and late twins decompose with the
+    // same (tie-broken) leaf order — live statistics drifting between the
+    // two registrations would give them different chains, and different
+    // chains legitimately do not share a table.
+    let mut proc = StreamProcessor::new(schema.clone()).with_statistics(false);
+    let early = proc
+        .register(two_hop(&schema, "early"), Strategy::SingleLazy, None)
+        .unwrap();
+    // One registered chain: no partner yet, so no table.
+    assert_eq!(proc.shared_join_stats().tables, 0);
+    let mut early_first_half = 0u64;
+    for ev in &events[..half] {
+        early_first_half += proc.process(ev).iter().filter(|(q, _)| *q == early).count() as u64;
+    }
+    assert!(early_first_half > 0, "first half produced no matches");
+
+    // The late twin arrives mid-stream: a shared table is created for the
+    // common chain and the early query migrates onto it — back-filled by
+    // replaying the retained graph, so the early query's live partials
+    // keep completing.
+    let late = proc
+        .register(two_hop(&schema, "late"), Strategy::SingleLazy, None)
+        .unwrap();
+    let stats = proc.shared_join_stats();
+    assert_eq!(stats.tables, 1);
+    assert_eq!(stats.subscriptions, 2);
+    assert!(stats.replays >= 1, "migration must back-fill the table");
+
+    let mut early_second_half = 0u64;
+    let mut late_second_half = 0u64;
+    for ev in &events[half..] {
+        for (q, _) in proc.process(ev) {
+            if q == late {
+                late_second_half += 1;
+            } else {
+                early_second_half += 1;
+            }
+        }
+    }
+    // Reference: a fresh processor that sees only the second half. The
+    // late subscriber must report exactly these matches — nothing
+    // inherited from the shared table's earlier activity.
+    let mut fresh = StreamProcessor::new(schema.clone());
+    let fresh_id = fresh
+        .register(two_hop(&schema, "fresh"), Strategy::SingleLazy, None)
+        .unwrap();
+    let mut fresh_matches = 0u64;
+    for ev in &events[half..] {
+        fresh_matches += fresh
+            .process(ev)
+            .iter()
+            .filter(|(q, _)| *q == fresh_id)
+            .count() as u64;
+    }
+    assert_eq!(
+        late_second_half, fresh_matches,
+        "late subscriber saw pre-registration history"
+    );
+    // The early query keeps joining across the registration boundary.
+    assert!(early_second_half >= late_second_half);
+    assert!(early_second_half > 0);
+
+    // Refcount lifecycle via deregistration: the table survives while any
+    // subscriber remains and drops with the last one.
+    proc.deregister(early).unwrap();
+    let stats = proc.shared_join_stats();
+    assert_eq!(stats.tables, 1, "late query still holds the table");
+    assert_eq!(stats.subscriptions, 1);
+    proc.deregister(late).unwrap();
+    let stats = proc.shared_join_stats();
+    assert_eq!(stats.tables, 0, "last unsubscriber must drop the table");
+    assert_eq!(stats.subscriptions, 0);
+}
+
+/// Builds a tree over `q` whose leaves are the query's single edges in the
+/// given explicit order (bypassing the selectivity-driven order).
+fn tree_with_leaf_order(q: &QueryGraph, order: &[usize]) -> SjTree {
+    let leaves = order
+        .iter()
+        .map(|&i| sp_query::QuerySubgraph::from_edges(q, [sp_query::QueryEdgeId(i)]))
+        .collect();
+    SjTree::from_leaves(q.clone(), leaves)
+}
+
+#[test]
+fn drift_driven_resubscription_moves_prefix_refcounts() {
+    let schema = cyber_schema();
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let esp = schema.edge_type("esp").unwrap();
+
+    let mut proc = StreamProcessor::new(schema.clone());
+    let q1 = proc
+        .register(two_hop(&schema, "one"), Strategy::SingleLazy, Some(1_000))
+        .unwrap();
+    let q2 = proc
+        .register(two_hop(&schema, "two"), Strategy::SingleLazy, Some(1_000))
+        .unwrap();
+    assert_eq!(proc.shared_join_stats().tables, 1);
+    assert_eq!(proc.shared_join_stats().subscriptions, 2);
+
+    // Half a pattern arrives: a live partial sits in the shared table.
+    assert!(proc
+        .process(&EdgeEvent::homogeneous(1, 2, ip, tcp, Timestamp(10)))
+        .is_empty());
+
+    // Re-decompose q1 onto the flipped leaf order mid-window: q1 leaves the
+    // table (q2 keeps it alive — the refcount drops to one, the table
+    // stays) and runs privately until a partner with the flipped chain
+    // appears.
+    let query = proc.engine_for(q1).unwrap().query().clone();
+    let flipped = tree_with_leaf_order(&query, &[1, 0]);
+    proc.redecompose(q1, Strategy::SingleLazy, flipped.clone())
+        .unwrap();
+    let stats = proc.shared_join_stats();
+    assert_eq!(stats.tables, 1, "q2 still holds the original table");
+    assert_eq!(stats.subscriptions, 1);
+
+    // Re-decompose q2 the same way: the original table loses its last
+    // subscriber and is dropped; the two flipped chains coalesce into a
+    // fresh table (replayed from the retained graph).
+    proc.redecompose(q2, Strategy::SingleLazy, flipped).unwrap();
+    let stats = proc.shared_join_stats();
+    assert_eq!(stats.tables, 1, "flipped chains share a fresh table");
+    assert_eq!(stats.subscriptions, 2);
+    assert!(stats.replays >= 1);
+
+    // The completing edge arrives after both swaps: the pre-swap partial
+    // (replayed into the fresh table) completes exactly once per query.
+    let matches = proc.process(&EdgeEvent::homogeneous(2, 3, ip, esp, Timestamp(20)));
+    let for_q1 = matches.iter().filter(|(q, _)| *q == q1).count();
+    let for_q2 = matches.iter().filter(|(q, _)| *q == q2).count();
+    assert_eq!(for_q1, 1, "q1 lost its live partial across the swap");
+    assert_eq!(for_q2, 1, "q2 lost its live partial across the swap");
+}
+
+#[test]
+fn mixed_windows_share_one_table_and_filter_at_emit() {
+    let schema = cyber_schema();
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let esp = schema.edge_type("esp").unwrap();
+
+    let mut proc = StreamProcessor::new(schema.clone());
+    let narrow = proc
+        .register(two_hop(&schema, "narrow"), Strategy::Single, Some(50))
+        .unwrap();
+    let wide = proc
+        .register(two_hop(&schema, "wide"), Strategy::Single, None)
+        .unwrap();
+    assert_eq!(proc.shared_join_stats().tables, 1, "one table, two windows");
+
+    // tcp at t=0, esp at t=100: spans 100 ticks — outside the narrow
+    // window, inside the (unbounded) wide one.
+    proc.process(&EdgeEvent::homogeneous(1, 2, ip, tcp, Timestamp(0)));
+    let matches = proc.process(&EdgeEvent::homogeneous(2, 3, ip, esp, Timestamp(100)));
+    assert_eq!(matches.iter().filter(|(q, _)| *q == wide).count(), 1);
+    assert_eq!(matches.iter().filter(|(q, _)| *q == narrow).count(), 0);
+
+    // A fast completion lands in both.
+    proc.process(&EdgeEvent::homogeneous(10, 11, ip, tcp, Timestamp(200)));
+    let matches = proc.process(&EdgeEvent::homogeneous(11, 12, ip, esp, Timestamp(210)));
+    assert_eq!(matches.iter().filter(|(q, _)| *q == wide).count(), 1);
+    assert_eq!(matches.iter().filter(|(q, _)| *q == narrow).count(), 1);
+}
