@@ -92,6 +92,7 @@ mod adaptive;
 mod engine;
 mod error;
 mod lazy;
+mod metrics;
 mod processor;
 mod profile;
 mod registry;
@@ -106,6 +107,7 @@ pub use adaptive::{
 pub use engine::{ContinuousQueryEngine, LeafFanout, PrefixFeed, PreparedLeaf};
 pub use error::EngineError;
 pub use lazy::{LazyBitmap, MAX_LEAVES};
+pub use metrics::PipelineMetrics;
 pub use processor::StreamProcessor;
 pub use profile::ProfileCounters;
 pub use registry::{retention_for_windows, QueryId, QueryRegistry, StrategySpec};

@@ -16,16 +16,18 @@
 use crate::adaptive::{leaf_structure, AdaptiveStats, QueryDriftState};
 use crate::engine::ContinuousQueryEngine;
 use crate::error::EngineError;
+use crate::metrics::PipelineMetrics;
 use crate::profile::ProfileCounters;
 use crate::registry::{QueryId, QueryRegistry, StrategySpec};
 use crate::sink::{CollectSink, CountSink, MatchSink};
 use crate::strategy::{choose_strategy_with_sharing, Strategy, RELATIVE_SELECTIVITY_THRESHOLD};
-use sp_graph::{DynamicGraph, EdgeEvent, Schema, VertexId};
+use sp_graph::{monotonic_nanos, DynamicGraph, EdgeEvent, Schema, VertexId};
 use sp_iso::SubgraphMatch;
 use sp_query::QueryGraph;
 use sp_selectivity::{DriftConfig, SelectivityEstimator};
 use sp_sjtree::SjTree;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Default number of edges between partial-match purges.
 const DEFAULT_PURGE_INTERVAL: u64 = 4096;
@@ -70,6 +72,9 @@ pub struct StreamProcessor {
     specs: HashMap<QueryId, StrategySpec>,
     /// Processor-level counters: events ingested and vertex-type conflicts.
     stream: ProfileCounters,
+    /// Telemetry handles; `None` (the default) keeps the hot path at a
+    /// single branch with no clock reads.
+    metrics: Option<PipelineMetrics>,
 }
 
 impl StreamProcessor {
@@ -89,6 +94,7 @@ impl StreamProcessor {
             adaptive: None,
             specs: HashMap::new(),
             stream: ProfileCounters::new(),
+            metrics: None,
         }
     }
 
@@ -124,6 +130,27 @@ impl StreamProcessor {
     pub fn with_estimator(mut self, estimator: SelectivityEstimator) -> Self {
         self.estimator = estimator;
         self
+    }
+
+    /// Attaches telemetry (off by default): every processed edge records
+    /// per-stage timing spans and every reported match records its
+    /// detection latency into the bundle's histograms — see
+    /// [`PipelineMetrics`] for the metric catalogue. With metrics off the
+    /// hot path pays one branch and reads no clock.
+    pub fn with_metrics(mut self, metrics: PipelineMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Attaches or detaches telemetry on a live processor (the runtime
+    /// workers receive their handles over a control message after spawn).
+    pub fn set_metrics(&mut self, metrics: Option<PipelineMetrics>) {
+        self.metrics = metrics;
+    }
+
+    /// The attached telemetry bundle, if any.
+    pub fn metrics(&self) -> Option<&PipelineMetrics> {
+        self.metrics.as_ref()
     }
 
     /// Enables or disables shared-leaf evaluation (on by default): with
@@ -332,6 +359,20 @@ impl StreamProcessor {
     /// [`ProfileCounters::vertex_type_conflicts`].
     pub fn process_into<S: MatchSink + ?Sized>(&mut self, event: &EdgeEvent, sink: &mut S) -> u64 {
         self.stream.edges_processed += 1;
+        // The single metrics branch of the hot path: with metrics off,
+        // `started` stays `None` and no clock is ever read. The arrival
+        // instant prefers the stamp the runtime facade put on the event (the
+        // moment it left the producer) over "now", so detection latency
+        // includes batching and queueing delay.
+        let started = self.metrics.as_ref().map(|m| {
+            m.edges.inc();
+            let arrival = if event.arrival_ns != 0 {
+                event.arrival_ns
+            } else {
+                monotonic_nanos()
+            };
+            (arrival, Instant::now())
+        });
         let src = match self
             .graph
             .ensure_vertex(VertexId(event.src), event.src_type)
@@ -360,17 +401,40 @@ impl StreamProcessor {
         if self.collect_statistics {
             self.estimator.observe_edge(&edge);
         }
+        if let (Some(m), Some((_, t0))) = (&self.metrics, started) {
+            m.ingest_ns.add(t0.elapsed().as_nanos() as u64);
+        }
 
-        let found = self
-            .registry
-            .process_edge(&self.graph, &edge, |q, m| sink.on_match(q, m));
+        let found = match (&self.metrics, started) {
+            (Some(pm), Some((arrival_ns, _))) => self.registry.process_edge_timed(
+                &self.graph,
+                &edge,
+                |q, m| {
+                    pm.matches.inc();
+                    pm.match_latency_ns
+                        .record(monotonic_nanos().saturating_sub(arrival_ns));
+                    sink.on_match(q, m)
+                },
+                pm,
+            ),
+            _ => self
+                .registry
+                .process_edge(&self.graph, &edge, |q, m| sink.on_match(q, m)),
+        };
         self.total_matches += found;
 
         self.since_purge += 1;
         if self.since_purge >= self.purge_interval {
+            let span = self.metrics.as_ref().map(|_| Instant::now());
             self.graph.expire();
             self.registry.purge(&self.graph);
             self.since_purge = 0;
+            if let (Some(m), Some(t)) = (&self.metrics, span) {
+                m.purge_ns.add(t.elapsed().as_nanos() as u64);
+            }
+        }
+        if let (Some(m), Some((_, t0))) = (&self.metrics, started) {
+            m.edge_ns.record(t0.elapsed().as_nanos() as u64);
         }
 
         // Drift cadence: re-decomposition is semantics-preserving, so the
@@ -621,6 +685,7 @@ impl StreamProcessor {
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<StreamProcessor>();
+    assert_send::<PipelineMetrics>();
     assert_send::<ContinuousQueryEngine>();
     assert_send::<QueryRegistry>();
     assert_send::<ProfileCounters>();
@@ -671,6 +736,66 @@ mod tests {
         assert_eq!(proc.total_matches(), 1);
         assert_eq!(proc.graph().num_edges(), 3);
         assert_eq!(proc.profile().edges_processed, 3);
+    }
+
+    #[test]
+    fn metrics_record_stages_and_latency_without_changing_matches() {
+        use sp_metrics::MetricsRegistry;
+
+        let events: Vec<EdgeEvent> = {
+            let (schema, _) = simple_setup(Strategy::SingleLazy, None);
+            let ip = schema.vertex_type("ip").unwrap();
+            let tcp = schema.edge_type("tcp").unwrap();
+            let esp = schema.edge_type("esp").unwrap();
+            (0..200u64)
+                .map(|i| {
+                    let ty = if i % 3 == 0 { esp } else { tcp };
+                    EdgeEvent::homogeneous(i % 17, (i % 13) + 5, ip, ty, Timestamp(i))
+                })
+                .collect()
+        };
+
+        let run = |metrics: Option<&MetricsRegistry>| {
+            let (_, mut proc) = simple_setup(Strategy::SingleLazy, None);
+            if let Some(reg) = metrics {
+                proc = proc.with_metrics(PipelineMetrics::register(reg));
+            }
+            let mut got: Vec<String> = Vec::new();
+            {
+                let mut sink = crate::sink::FnSink(|q: QueryId, m: SubgraphMatch| {
+                    got.push(format!("{q}:{:?}", m.edge_pairs().collect::<Vec<_>>()));
+                });
+                for ev in &events {
+                    proc.process_into(ev, &mut sink);
+                }
+            }
+            got.sort();
+            got
+        };
+
+        let reg = MetricsRegistry::new();
+        let with = run(Some(&reg));
+        let without = run(None);
+        // Telemetry is observation only: identical match multiset.
+        assert_eq!(with, without);
+        assert!(!with.is_empty(), "test stream should produce matches");
+
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("stream.edges_total"), Some(200));
+        assert_eq!(
+            snap.counter("stream.matches_total"),
+            Some(with.len() as u64)
+        );
+        // Per-edge pipeline histogram saw every edge; match latency saw
+        // every match, measured from the ingest entry instant.
+        assert_eq!(snap.histogram("pipeline.edge_ns").unwrap().count(), 200);
+        assert_eq!(
+            snap.histogram("match.latency_ns").unwrap().count(),
+            with.len() as u64
+        );
+        // The stage spans that must run on this workload actually ticked.
+        assert!(snap.counter("stage.ingest_ns").unwrap() > 0);
+        assert!(snap.counter("stage.private_engine_ns").unwrap() > 0);
     }
 
     #[test]

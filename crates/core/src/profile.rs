@@ -66,15 +66,15 @@ pub struct ProfileCounters {
     /// Wall time spent inside re-decomposition replays (isomorphism and
     /// store updates), likewise kept out of
     /// [`ProfileCounters::iso_time`] / [`ProfileCounters::update_time`].
-    #[serde(with = "duration_micros")]
+    #[serde(with = "duration_nanos")]
     pub replay_time: Duration,
     /// Number of partial matches purged (window expiry).
     pub partial_matches_purged: u64,
     /// Wall time spent inside subgraph isomorphism.
-    #[serde(with = "duration_micros")]
+    #[serde(with = "duration_nanos")]
     pub iso_time: Duration,
     /// Wall time spent updating the SJ-Tree (hash probes, joins, inserts).
-    #[serde(with = "duration_micros")]
+    #[serde(with = "duration_nanos")]
     pub update_time: Duration,
     /// Peak number of partial matches stored at any point.
     pub peak_partial_matches: usize,
@@ -128,19 +128,21 @@ impl ProfileCounters {
     }
 }
 
-/// Serialize `Duration` as integer microseconds so profiles are readable in
-/// JSON experiment output.
-mod duration_micros {
+/// Serialize `Duration` as integer **nanoseconds** so profiles are readable
+/// in JSON experiment output at full precision (sub-microsecond engine spans
+/// used to round to 0). The field names are unchanged, so historical
+/// `BENCH_*.json` files still diff structurally; only the unit moved.
+mod duration_nanos {
     use serde::{Deserialize, Deserializer, Serializer};
     use std::time::Duration;
 
     pub fn serialize<S: Serializer>(d: &Duration, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(d.as_micros() as u64)
+        s.serialize_u64(d.as_nanos() as u64)
     }
 
     pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Duration, D::Error> {
-        let micros = u64::deserialize(d)?;
-        Ok(Duration::from_micros(micros))
+        let nanos = u64::deserialize(d)?;
+        Ok(Duration::from_nanos(nanos))
     }
 }
 
@@ -197,11 +199,23 @@ mod tests {
         let mut p = ProfileCounters::new();
         p.iso_time = Duration::from_micros(1234);
         p.update_time = Duration::from_micros(56);
+        p.replay_time = Duration::from_nanos(789); // sub-microsecond survives
         p.edges_processed = 9;
         let json = serde_json::to_string(&p).unwrap();
         let back: ProfileCounters = serde_json::from_str(&json).unwrap();
         assert_eq!(back.iso_time, Duration::from_micros(1234));
         assert_eq!(back.update_time, Duration::from_micros(56));
+        assert_eq!(back.replay_time, Duration::from_nanos(789));
         assert_eq!(back.edges_processed, 9);
+    }
+
+    #[test]
+    fn durations_serialize_as_integer_nanoseconds() {
+        let mut p = ProfileCounters::new();
+        p.iso_time = Duration::from_micros(3);
+        let json = serde_json::to_string(&p).unwrap();
+        // Same field name as before, integer value, nanosecond unit.
+        assert!(json.contains("\"iso_time\":3000"), "json: {json}");
+        assert!(json.contains("\"update_time\":0"), "json: {json}");
     }
 }

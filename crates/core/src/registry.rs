@@ -13,6 +13,7 @@
 //! edge.
 
 use crate::engine::{ContinuousQueryEngine, LeafFanout};
+use crate::metrics::PipelineMetrics;
 use crate::sharedjoin::{JoinSubscription, SharedJoinIndex, SharedJoinStats};
 use crate::sharing::{EdgeSearchCache, SharedLeafIndex, SharedLeafStats};
 use crate::strategy::Strategy;
@@ -20,6 +21,7 @@ use sp_graph::{DynamicGraph, EdgeData, EdgeType};
 use sp_iso::SubgraphMatch;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::time::Instant;
 
 /// Stable identifier of a registered continuous query. Ids are never reused,
 /// even after the query is deregistered.
@@ -331,7 +333,32 @@ impl QueryRegistry {
         &mut self,
         graph: &DynamicGraph,
         edge: &EdgeData,
+        emit: impl FnMut(QueryId, SubgraphMatch),
+    ) -> u64 {
+        self.process_edge_inner(graph, edge, emit, None)
+    }
+
+    /// [`QueryRegistry::process_edge`] with per-stage timing spans recorded
+    /// into `metrics` (`stage.dispatch_ns`, `stage.shared_join_ns`,
+    /// `stage.shared_leaf_ns`, `stage.private_engine_ns`, `stage.emit_ns`).
+    /// The processor routes here when metrics are attached; the untimed path
+    /// reads no clock at all.
+    pub fn process_edge_timed(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        emit: impl FnMut(QueryId, SubgraphMatch),
+        metrics: &PipelineMetrics,
+    ) -> u64 {
+        self.process_edge_inner(graph, edge, emit, Some(metrics))
+    }
+
+    fn process_edge_inner(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
         mut emit: impl FnMut(QueryId, SubgraphMatch),
+        metrics: Option<&PipelineMetrics>,
     ) -> u64 {
         // Edge ids are monotone in arrival order; one past the newest edge
         // is the boundary recorded for queries registered from now on.
@@ -345,7 +372,12 @@ impl QueryRegistry {
             fanout,
             ..
         } = self;
-        let Some(ids) = dispatch.get(&edge.edge_type) else {
+        let span = metrics.map(|_| Instant::now());
+        let ids = dispatch.get(&edge.edge_type);
+        if let (Some(m), Some(t)) = (metrics, span) {
+            m.dispatch_ns.add(t.elapsed().as_nanos() as u64);
+        }
+        let Some(ids) = ids else {
             return 0;
         };
         let mut reported = 0;
@@ -354,22 +386,44 @@ impl QueryRegistry {
         // one search-and-join pass per table, not per subscriber. Runs
         // independently of the leaf-stage toggle: a subscribed query's
         // prefix state lives here.
+        let span = metrics.map(|_| Instant::now());
         join.advance_edge(graph, edge);
+        if let (Some(m), Some(t)) = (metrics, span) {
+            m.shared_join_ns.add(t.elapsed().as_nanos() as u64);
+        }
         for &id in ids {
             let engine = engines
                 .get_mut(&id)
                 .expect("dispatch index only references live queries");
+            // The per-subscriber fan-out of the shared prefix tables is
+            // stage-0 work too, so its span joins `shared_join_ns`.
+            let span = metrics.map(|_| Instant::now());
             let feed = join.feed_for(id, edge);
+            if let (Some(m), Some(t)) = (metrics, span) {
+                m.shared_join_ns.add(t.elapsed().as_nanos() as u64);
+            }
+            let span = metrics.map(|_| Instant::now());
             let prepared =
                 *sharing && shared.prepare_into(id, engine, graph, edge, &mut cache, fanout);
+            if let (Some(m), Some(t)) = (metrics, span) {
+                m.shared_leaf_ns.add(t.elapsed().as_nanos() as u64);
+            }
+            let span = metrics.map(|_| Instant::now());
             let matches = match (prepared, feed) {
                 (true, feed) => engine.process_edge_shared(graph, edge, Some(fanout), feed),
                 (false, Some(feed)) => engine.process_edge_shared(graph, edge, None, Some(feed)),
                 (false, None) => engine.process_edge(graph, edge),
             };
+            if let (Some(m), Some(t)) = (metrics, span) {
+                m.private_engine_ns.add(t.elapsed().as_nanos() as u64);
+            }
+            let span = metrics.map(|_| Instant::now());
             for m in matches {
                 reported += 1;
                 emit(id, m);
+            }
+            if let (Some(m), Some(t)) = (metrics, span) {
+                m.emit_ns.add(t.elapsed().as_nanos() as u64);
             }
         }
         fanout.clear();

@@ -1,0 +1,115 @@
+//! CI gate over `BENCH_soak.json`: fails (exit 1) when any run's
+//! steady-state throughput regresses more than `--tolerance` below the
+//! checked-in baseline for its worker count.
+//!
+//! ```text
+//! cargo run --release -p sp-bench --bin soak_gate -- \
+//!     --current BENCH_soak.json --baseline ci/soak_baseline.json [--tolerance 0.2]
+//! ```
+//!
+//! The baseline file maps worker counts to conservative steady-eps floors
+//! (`{"steady_eps": {"1": 50000.0, ...}}`), deliberately far below typical
+//! hardware so the gate only trips on real regressions, not machine noise.
+//! Worker counts missing from the baseline are reported but do not gate.
+
+use sp_bench::SoakReport;
+use std::collections::BTreeMap;
+
+#[derive(serde::Deserialize)]
+struct Baseline {
+    /// Worker count (as a JSON-object string key) → steady edges/s floor.
+    steady_eps: BTreeMap<String, f64>,
+}
+
+struct Args {
+    current: String,
+    baseline: String,
+    tolerance: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut current = None;
+    let mut baseline = None;
+    let mut tolerance = 0.2;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--current" => current = Some(args.next().ok_or("--current needs a value")?),
+            "--baseline" => baseline = Some(args.next().ok_or("--baseline needs a value")?),
+            "--tolerance" => {
+                let v = args.next().ok_or("--tolerance needs a value")?;
+                tolerance = v
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..1.0).contains(t))
+                    .ok_or(format!("invalid tolerance '{v}' (want 0..1)"))?;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: soak_gate --current BENCH_soak.json --baseline ci/soak_baseline.json \
+                     [--tolerance 0.2]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        current: current.ok_or("--current is required")?,
+        baseline: baseline.ok_or("--baseline is required")?,
+        tolerance,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let current = std::fs::read_to_string(&args.current)
+        .unwrap_or_else(|e| panic!("read {}: {e}", args.current));
+    let report: SoakReport =
+        serde_json::from_str(&current).unwrap_or_else(|e| panic!("parse {}: {e}", args.current));
+    let baseline = std::fs::read_to_string(&args.baseline)
+        .unwrap_or_else(|e| panic!("read {}: {e}", args.baseline));
+    let baseline: Baseline =
+        serde_json::from_str(&baseline).unwrap_or_else(|e| panic!("parse {}: {e}", args.baseline));
+
+    let mut failed = false;
+    for run in &report.runs {
+        let key = run.workers.to_string();
+        match baseline.steady_eps.get(&key) {
+            Some(&floor) => {
+                let gate = floor * (1.0 - args.tolerance);
+                let verdict = if run.steady_eps < gate {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "[soak_gate] {} workers: steady {:.0} edges/s vs floor {:.0} (gate {:.0}) — {}",
+                    run.workers, run.steady_eps, floor, gate, verdict
+                );
+            }
+            None => println!(
+                "[soak_gate] {} workers: steady {:.0} edges/s — no baseline entry, not gated",
+                run.workers, run.steady_eps
+            ),
+        }
+    }
+    println!(
+        "[soak_gate] instrumentation overhead (sequential probe): {:.2}%",
+        100.0 * report.overhead.overhead
+    );
+    if failed {
+        eprintln!(
+            "[soak_gate] steady-state throughput regressed more than {:.0}% below baseline",
+            100.0 * args.tolerance
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,6 +16,7 @@
 //! | `costmodel`| Appendix A — analytic cost model vs measurement | [`experiments::costmodel`] |
 //! | `multiquery` | Multi-query scaling: shared graph + edge-type dispatch vs N independent processors | [`experiments::multiquery`] |
 //! | `sharing`  | Shared-leaf evaluation: one leaf search per shape per edge vs per-engine searches | [`experiments::sharing`] |
+//! | `soak`     | Sustained-throughput soak under live telemetry: per-interval edges/s, latency percentiles, stage split | [`experiments::soak`] |
 //!
 //! The `reproduce` binary drives these functions and renders markdown tables
 //! (the basis of `EXPERIMENTS.md`); the Criterion benches under `benches/`
@@ -29,6 +30,6 @@ pub mod report;
 pub mod runner;
 
 pub use runner::{
-    MultiQueryMeasurement, QueryGroupResult, RunMeasurement, Scale, SharedJoinMeasurement,
-    SharingMeasurement,
+    MetricsOverhead, MultiQueryMeasurement, QueryGroupResult, RunMeasurement, Scale,
+    SharedJoinMeasurement, SharingMeasurement, SoakInterval, SoakMeasurement, SoakReport,
 };

@@ -904,6 +904,278 @@ pub fn run_parallel(
     }
 }
 
+/// One soak interval: a fixed-size slice of the stream, timed end to end
+/// (including the pipeline drain at the slice boundary).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakInterval {
+    /// Interval index, starting at 0.
+    pub index: usize,
+    /// Stream edges processed in this interval.
+    pub edges: usize,
+    /// Wall-clock time of the interval.
+    #[serde(with = "serde_duration")]
+    pub elapsed: Duration,
+    /// Interval throughput in stream edges per second.
+    pub eps: f64,
+    /// Matches delivered during this interval.
+    pub matches: u64,
+}
+
+/// One sustained-throughput soak run of the parallel runtime under a live
+/// [`MetricsRegistry`](sp_metrics::MetricsRegistry): the stream is processed
+/// in fixed-size intervals (each ending on a full pipeline drain, so the
+/// per-interval throughput is honest), and the per-stage counters plus the
+/// detection-latency histogram are read off the registry at the end. A
+/// second, metrics-off pass over the same stream asserts the match multiset
+/// is unchanged and prices the instrumentation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakMeasurement {
+    /// Worker threads.
+    pub workers: usize,
+    /// Registered queries.
+    pub queries: usize,
+    /// Total stream edges processed.
+    pub edges: usize,
+    /// Per-interval throughput time series.
+    pub intervals: Vec<SoakInterval>,
+    /// Total wall-clock time of the metered pass.
+    #[serde(with = "serde_duration")]
+    pub total_elapsed: Duration,
+    /// Whole-run throughput of the metered pass (edges/s).
+    pub overall_eps: f64,
+    /// Steady-state throughput: the median interval eps (robust to the cold
+    /// first interval and to drain jitter).
+    pub steady_eps: f64,
+    /// Matches found (asserted identical to the metrics-off pass).
+    pub matches: u64,
+    /// Detection latency (event arrival at the facade → match emission on a
+    /// worker), in nanoseconds, from the `match.latency_ns` histogram.
+    pub latency_p50_ns: u64,
+    /// 90th percentile detection latency.
+    pub latency_p90_ns: u64,
+    /// 99th percentile detection latency.
+    pub latency_p99_ns: u64,
+    /// 99.9th percentile detection latency.
+    pub latency_p999_ns: u64,
+    /// 99th percentile batch channel sojourn (`runtime.batch_sojourn_ns`).
+    pub sojourn_p99_ns: u64,
+    /// Ingest-loop stalls on full worker channels
+    /// (`runtime.backpressure_stalls_total`).
+    pub backpressure_stalls: u64,
+    /// Cumulative per-stage nanoseconds across all worker replicas, in
+    /// pipeline order (`stage.*` counters).
+    pub stage_split_ns: Vec<(String, u64)>,
+    /// Whole-run throughput of the metrics-off pass over the same stream,
+    /// same interval structure (edges/s).
+    pub metrics_off_eps: f64,
+    /// Fractional throughput cost of live metrics:
+    /// `1 − overall_eps / metrics_off_eps`. Negative values are noise.
+    pub metrics_overhead: f64,
+}
+
+/// The full soak artifact serialized to `BENCH_soak.json`: one
+/// [`SoakMeasurement`] per worker count plus the sequential-processor
+/// instrumentation-overhead probe.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakReport {
+    /// One soak run per worker count, in sweep order.
+    pub runs: Vec<SoakMeasurement>,
+    /// Metrics-on vs metrics-off throughput on the `sharing` workload.
+    pub overhead: MetricsOverhead,
+}
+
+/// Metrics-off overhead probe on the sequential processor: the `sharing`
+/// workload run with the instrumentation compiled in but disabled, against
+/// the same run with a live registry attached. With metrics off the hot path
+/// pays exactly one `Option` branch per edge, so `off` here is the honest
+/// stand-in for the pre-instrumentation baseline the <2 % budget is written
+/// against.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MetricsOverhead {
+    /// Registered queries.
+    pub queries: usize,
+    /// Stream edges processed per pass.
+    pub edges: usize,
+    /// Throughput with metrics disabled (edges/s, best of two interleaved
+    /// passes).
+    pub off_eps: f64,
+    /// Throughput with a live registry attached (edges/s, best of two
+    /// interleaved passes).
+    pub on_eps: f64,
+    /// `1 − on_eps / off_eps`; negative values are noise.
+    pub overhead: f64,
+}
+
+/// Runs the `sharing`-shaped workload on the sequential [`StreamProcessor`]
+/// twice per arm (interleaved, keeping the faster pass) — metrics off versus
+/// a live [`MetricsRegistry`](sp_metrics::MetricsRegistry) — asserting equal
+/// match counts and reporting the throughput delta.
+pub fn run_metrics_overhead(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    queries: &[QueryGraph],
+    strategy: Strategy,
+    limit: usize,
+    window: Option<u64>,
+) -> MetricsOverhead {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    let run = |metered: bool| -> (Duration, u64) {
+        let mut proc = StreamProcessor::new(dataset.schema.clone())
+            .with_estimator(estimator.clone())
+            .with_statistics(false);
+        if metered {
+            let registry = sp_metrics::MetricsRegistry::new();
+            proc = proc.with_metrics(streampattern::PipelineMetrics::register(&registry));
+        }
+        for query in queries {
+            proc.register(query.clone(), strategy, window)
+                .expect("query decomposes");
+        }
+        let start = Instant::now();
+        let matches = proc.process_all(events.iter());
+        (start.elapsed(), matches)
+    };
+    let (off_a, off_matches) = run(false);
+    let (on_a, on_matches) = run(true);
+    let (off_b, _) = run(false);
+    let (on_b, _) = run(true);
+    assert_eq!(off_matches, on_matches, "metrics changed the match count");
+    let off_eps = events.len() as f64 / off_a.min(off_b).as_secs_f64().max(1e-12);
+    let on_eps = events.len() as f64 / on_a.min(on_b).as_secs_f64().max(1e-12);
+    MetricsOverhead {
+        queries: queries.len(),
+        edges: events.len(),
+        off_eps,
+        on_eps,
+        overhead: 1.0 - on_eps / off_eps.max(1e-12),
+    }
+}
+
+/// Runs `queries` over the first `limit` events on the parallel runtime with
+/// `workers` threads and a live metrics registry, in `num_intervals` drained
+/// slices, then re-runs the same stream metrics-off and asserts the match
+/// multiset is identical. See [`SoakMeasurement`] for what is reported.
+#[allow(clippy::too_many_arguments)]
+pub fn run_soak(
+    dataset: &Dataset,
+    estimator: &SelectivityEstimator,
+    queries: &[QueryGraph],
+    strategy: Strategy,
+    limit: usize,
+    window: Option<u64>,
+    workers: usize,
+    num_intervals: usize,
+) -> SoakMeasurement {
+    let events = &dataset.events()[..limit.min(dataset.len())];
+    let num_intervals = num_intervals.clamp(1, events.len().max(1));
+    let chunk = events.len().div_ceil(num_intervals).max(1);
+
+    let build = |registry: Option<&sp_metrics::MetricsRegistry>| {
+        let config = sp_runtime::RuntimeConfig::with_workers(workers).statistics(false);
+        let mut par = sp_runtime::ParallelStreamProcessor::new(dataset.schema.clone(), config)
+            .with_estimator(estimator.clone());
+        if let Some(registry) = registry {
+            par.enable_metrics(registry);
+        }
+        for query in queries {
+            par.register(query.clone(), strategy, window)
+                .expect("query decomposes");
+        }
+        par
+    };
+    // Both arms run the identical interval structure (process_all_into
+    // drains the pipeline at each slice boundary), so the off arm prices
+    // exactly the instrumentation, not a different barrier pattern.
+    let run =
+        |par: &mut sp_runtime::ParallelStreamProcessor| -> (Vec<SoakInterval>, Vec<(streampattern::QueryId, String)>) {
+            let mut intervals = Vec::with_capacity(num_intervals);
+            let mut found: Vec<(streampattern::QueryId, String)> = Vec::new();
+            for (index, slice) in events.chunks(chunk).enumerate() {
+                let mut matches = 0u64;
+                let mut sink = streampattern::FnSink(|q, m: streampattern::SubgraphMatch| {
+                    matches += 1;
+                    found.push((q, format!("{:?}", m.edge_pairs().collect::<Vec<_>>())));
+                });
+                let start = Instant::now();
+                par.process_all_into(slice.iter(), &mut sink);
+                let elapsed = start.elapsed();
+                intervals.push(SoakInterval {
+                    index,
+                    edges: slice.len(),
+                    elapsed,
+                    eps: slice.len() as f64 / elapsed.as_secs_f64().max(1e-12),
+                    matches,
+                });
+            }
+            found.sort();
+            (intervals, found)
+        };
+
+    let registry = sp_metrics::MetricsRegistry::new();
+    let mut metered = build(Some(&registry));
+    let (intervals, metered_matches) = run(&mut metered);
+    let stats = metered.stats();
+    drop(metered.shutdown());
+    let snapshot = registry.snapshot();
+
+    let mut plain = build(None);
+    let (plain_intervals, plain_matches) = run(&mut plain);
+    drop(plain.shutdown());
+    assert_eq!(
+        metered_matches, plain_matches,
+        "live metrics changed the match multiset at {workers} workers"
+    );
+
+    let total_elapsed: Duration = intervals.iter().map(|i| i.elapsed).sum();
+    let plain_elapsed: Duration = plain_intervals.iter().map(|i| i.elapsed).sum();
+    let overall_eps = events.len() as f64 / total_elapsed.as_secs_f64().max(1e-12);
+    let metrics_off_eps = events.len() as f64 / plain_elapsed.as_secs_f64().max(1e-12);
+    let steady_eps = {
+        let mut eps: Vec<f64> = intervals.iter().map(|i| i.eps).collect();
+        eps.sort_by(|a, b| a.partial_cmp(b).expect("eps is finite"));
+        eps[eps.len() / 2]
+    };
+    let latency = snapshot
+        .histogram("match.latency_ns")
+        .map(|h| h.percentiles())
+        .unwrap_or_default();
+    let sojourn = snapshot
+        .histogram("runtime.batch_sojourn_ns")
+        .map(|h| h.percentiles())
+        .unwrap_or_default();
+    let stage_split_ns = [
+        "stage.ingest_ns",
+        "stage.dispatch_ns",
+        "stage.shared_join_ns",
+        "stage.shared_leaf_ns",
+        "stage.private_engine_ns",
+        "stage.emit_ns",
+        "stage.purge_ns",
+    ]
+    .iter()
+    .map(|&name| (name.to_owned(), snapshot.counter(name).unwrap_or(0)))
+    .collect();
+    SoakMeasurement {
+        workers,
+        queries: queries.len(),
+        edges: events.len(),
+        intervals,
+        total_elapsed,
+        overall_eps,
+        steady_eps,
+        matches: metered_matches.len() as u64,
+        latency_p50_ns: latency.p50,
+        latency_p90_ns: latency.p90,
+        latency_p99_ns: latency.p99,
+        latency_p999_ns: latency.p999,
+        sojourn_p99_ns: sojourn.p99,
+        backpressure_stalls: stats.backpressure_events,
+        stage_split_ns,
+        metrics_off_eps,
+        metrics_overhead: 1.0 - overall_eps / metrics_off_eps.max(1e-12),
+    }
+}
+
 /// Expected Selectivity of a query under the 2-edge-path decomposition —
 /// the quantity the paper samples query groups by.
 pub fn query_expected_selectivity(query: &QueryGraph, estimator: &SelectivityEstimator) -> f64 {

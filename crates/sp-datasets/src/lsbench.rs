@@ -228,6 +228,7 @@ impl LsbenchConfig {
                 dst_type: rel.dst,
                 edge_type: rel.edge_type,
                 timestamp: Timestamp(i as u64),
+                arrival_ns: 0,
             });
         }
 

@@ -99,6 +99,7 @@ impl NytimesConfig {
                     dst_type: vertex_type,
                     edge_type,
                     timestamp: Timestamp(ts),
+                    arrival_ns: 0,
                 });
                 ts += 1;
             }

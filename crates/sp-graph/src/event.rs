@@ -24,6 +24,13 @@ pub struct EdgeEvent {
     pub edge_type: EdgeType,
     /// Event timestamp.
     pub timestamp: Timestamp,
+    /// Arrival instant on the process monotonic clock
+    /// ([`monotonic_nanos`](crate::monotonic_nanos)), or 0 when unstamped.
+    /// Set by the ingest path when metrics are enabled so detection latency
+    /// can be measured per match; never serialized (stream files carry only
+    /// logical time).
+    #[serde(skip)]
+    pub arrival_ns: u64,
 }
 
 impl EdgeEvent {
@@ -43,7 +50,15 @@ impl EdgeEvent {
             dst_type: vertex_type,
             edge_type,
             timestamp,
+            arrival_ns: 0,
         }
+    }
+
+    /// Copy of this event stamped with the current monotonic-clock instant.
+    #[inline]
+    pub fn stamped_now(mut self) -> Self {
+        self.arrival_ns = crate::clock::monotonic_nanos();
+        self
     }
 }
 
@@ -67,6 +82,22 @@ mod tests {
         let e = EdgeEvent::homogeneous(7, 8, VertexType(0), EdgeType(1), Timestamp(2));
         let json = serde_json::to_string(&e).unwrap();
         let back: EdgeEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn arrival_stamp_is_transient() {
+        let e = EdgeEvent::homogeneous(7, 8, VertexType(0), EdgeType(1), Timestamp(2));
+        // Exercise the clock once so a subsequent stamp is non-zero.
+        let _ = crate::clock::monotonic_nanos();
+        let stamped = e.stamped_now();
+        assert!(stamped.arrival_ns > 0);
+        // The stamp never reaches serialized streams, and deserialized
+        // events come back unstamped.
+        let json = serde_json::to_string(&stamped).unwrap();
+        assert!(!json.contains("arrival_ns"));
+        let back: EdgeEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.arrival_ns, 0);
         assert_eq!(back, e);
     }
 }

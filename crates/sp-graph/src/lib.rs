@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod clock;
 mod error;
 mod event;
 mod graph;
@@ -41,6 +42,7 @@ mod ids;
 mod schema;
 mod window;
 
+pub use clock::monotonic_nanos;
 pub use error::GraphError;
 pub use event::EdgeEvent;
 pub use graph::{DegreeStats, DynamicGraph, EdgeData, IncidentEdge, VertexData};

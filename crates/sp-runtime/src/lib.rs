@@ -71,6 +71,8 @@ pub use processor::{ParallelStreamProcessor, RuntimeReport, RuntimeStats};
 pub use worker::WorkerReport;
 
 // Re-export the pieces callers need alongside the runtime.
+pub use sp_metrics::MetricsRegistry;
 pub use streampattern::{
-    ContinuousQueryEngine, MatchSink, ProfileCounters, QueryId, Strategy, StrategySpec,
+    ContinuousQueryEngine, MatchSink, PipelineMetrics, ProfileCounters, QueryId, Strategy,
+    StrategySpec,
 };

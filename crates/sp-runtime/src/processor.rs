@@ -3,8 +3,9 @@
 
 use crate::config::RuntimeConfig;
 use crate::worker::{worker_loop, DrainAck, MatchBatch, WorkerMsg, WorkerReport};
-use sp_graph::{EdgeData, EdgeEvent, EdgeId, Schema, VertexId};
+use sp_graph::{monotonic_nanos, EdgeData, EdgeEvent, EdgeId, Schema, VertexId};
 use sp_iso::SubgraphMatch;
+use sp_metrics::{Counter, Gauge, MetricsRegistry};
 use sp_query::QueryEdgeId;
 use sp_query::QueryGraph;
 use sp_selectivity::SelectivityEstimator;
@@ -16,8 +17,8 @@ use std::time::Duration;
 use streampattern::{
     canonicalize_subgraph, choose_strategy, leaf_structure, retention_for_windows, tree_chain,
     AdaptiveStats, CollectSink, ContinuousQueryEngine, CountSink, EngineError, LeafSignature,
-    MatchSink, PrefixSignature, ProfileCounters, QueryDriftState, QueryId, Strategy, StrategySpec,
-    MIN_PREFIX_DEPTH, RELATIVE_SELECTIVITY_THRESHOLD,
+    MatchSink, PipelineMetrics, PrefixSignature, ProfileCounters, QueryDriftState, QueryId,
+    Strategy, StrategySpec, MIN_PREFIX_DEPTH, RELATIVE_SELECTIVITY_THRESHOLD,
 };
 
 /// How long a control wait sleeps on the aggregation channel before
@@ -68,6 +69,24 @@ pub struct RuntimeReport {
 struct WorkerHandle {
     tx: SyncSender<WorkerMsg>,
     join: Option<JoinHandle<()>>,
+}
+
+/// Facade-side telemetry handles, live only when
+/// [`ParallelStreamProcessor::enable_metrics`] has been called. The worker
+/// replicas hold their own handles (shipped via [`WorkerMsg::Metrics`]); all
+/// of them write into the same registry, so a snapshot aggregates the whole
+/// runtime.
+struct RuntimeMetrics {
+    /// `runtime.backpressure_stalls_total` — mirrors
+    /// [`RuntimeStats::backpressure_events`], but readable live from any
+    /// thread holding the registry.
+    backpressure: Counter,
+    /// `runtime.batches_sent_total` — mirrors [`RuntimeStats::batches_sent`].
+    batches: Counter,
+    /// `runtime.queue_depth.w{i}` — batches enqueued on worker *i*'s input
+    /// channel and not yet dequeued (facade increments on send, worker
+    /// decrements on receive).
+    queue_depth: Vec<Gauge>,
 }
 
 /// One query's drift bookkeeping on the facade: the detector plus the
@@ -154,6 +173,7 @@ pub struct ParallelStreamProcessor {
     total_matches: u64,
     buffered: VecDeque<(QueryId, SubgraphMatch)>,
     stats: RuntimeStats,
+    metrics: Option<RuntimeMetrics>,
 }
 
 impl ParallelStreamProcessor {
@@ -211,7 +231,53 @@ impl ParallelStreamProcessor {
             total_matches: 0,
             buffered: VecDeque::new(),
             stats: RuntimeStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a [`MetricsRegistry`] to the runtime. Registers the
+    /// facade-level series (`runtime.backpressure_stalls_total`,
+    /// `runtime.batches_sent_total`, one `runtime.queue_depth.w{i}` gauge per
+    /// worker, `runtime.batch_sojourn_ns`) plus one shared
+    /// [`PipelineMetrics`] bundle whose handles are shipped to every worker
+    /// replica — the per-stage counters therefore aggregate over all shards,
+    /// and `stream.edges_total` counts **replica ingests** (events × workers,
+    /// minus ingest-filtered events). From this point on the facade also
+    /// stamps every event's [`arrival_ns`](sp_graph::EdgeEvent::arrival_ns)
+    /// at ingest, so `match.latency_ns` measures detection latency including
+    /// the channel queueing delay.
+    ///
+    /// Metrics attach via the FIFO worker channels: batches already in
+    /// flight stay unmetered, everything sent afterwards is metered. Calling
+    /// this more than once re-registers the same names (idempotent in the
+    /// registry) and re-ships handles.
+    pub fn enable_metrics(&mut self, registry: &MetricsRegistry) {
+        let pipeline = PipelineMetrics::register(registry);
+        let sojourn = registry.histogram("runtime.batch_sojourn_ns");
+        let queue_depth: Vec<Gauge> = (0..self.workers.len())
+            .map(|w| registry.gauge(&format!("runtime.queue_depth.w{w}")))
+            .collect();
+        for (w, gauge) in queue_depth.iter().enumerate() {
+            self.send_to_worker(
+                w,
+                WorkerMsg::Metrics {
+                    pipeline: pipeline.clone(),
+                    queue_depth: gauge.clone(),
+                    sojourn: sojourn.clone(),
+                },
+            );
+        }
+        self.metrics = Some(RuntimeMetrics {
+            backpressure: registry.counter("runtime.backpressure_stalls_total"),
+            batches: registry.counter("runtime.batches_sent_total"),
+            queue_depth,
+        });
+    }
+
+    /// Builder-style variant of [`enable_metrics`](Self::enable_metrics).
+    pub fn with_metrics(mut self, registry: &MetricsRegistry) -> Self {
+        self.enable_metrics(registry);
+        self
     }
 
     /// Seeds the runtime's stream statistics (e.g. from
@@ -480,7 +546,14 @@ impl ParallelStreamProcessor {
                 });
             }
             self.events_ingested += 1;
-            batch.push(*ev);
+            // With metrics attached the ingest instant rides on the event so
+            // workers can measure detection latency from arrival, not from
+            // dequeue. One clock read per event, only when metrics are on.
+            batch.push(if self.metrics.is_some() {
+                ev.stamped_now()
+            } else {
+                *ev
+            });
             if batch.len() >= self.config.batch_size {
                 self.broadcast(std::mem::take(&mut batch));
                 batch = Vec::with_capacity(self.config.batch_size);
@@ -773,6 +846,9 @@ impl ParallelStreamProcessor {
                     if !blocked {
                         blocked = true;
                         self.stats.backpressure_events += 1;
+                        if let Some(m) = &self.metrics {
+                            m.backpressure.inc();
+                        }
                     }
                     if self.drain_pending_matches() == 0 {
                         // Nothing to drain: the worker is compute-bound, not
@@ -793,10 +869,27 @@ impl ParallelStreamProcessor {
     /// Broadcasts one batch to every worker.
     fn broadcast(&mut self, batch: Vec<EdgeEvent>) {
         let shared = Arc::new(batch);
+        let sent_ns = if self.metrics.is_some() {
+            monotonic_nanos()
+        } else {
+            0
+        };
         for w in 0..self.workers.len() {
-            self.send_to_worker(w, WorkerMsg::Batch(shared.clone()));
+            if let Some(m) = &self.metrics {
+                m.queue_depth[w].add(1);
+            }
+            self.send_to_worker(
+                w,
+                WorkerMsg::Batch {
+                    events: shared.clone(),
+                    sent_ns,
+                },
+            );
         }
         self.stats.batches_sent += 1;
+        if let Some(m) = &self.metrics {
+            m.batches.inc();
+        }
     }
 
     /// Receives one control reply, draining the aggregation channel while

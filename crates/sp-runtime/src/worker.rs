@@ -10,13 +10,15 @@
 //! processor.
 
 use crate::config::RuntimeConfig;
-use sp_graph::{EdgeEvent, Schema};
+use sp_graph::{monotonic_nanos, EdgeEvent, Schema};
 use sp_iso::SubgraphMatch;
+use sp_metrics::{Gauge, Histogram};
 use std::collections::HashMap;
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use streampattern::{
-    ContinuousQueryEngine, FnSink, ProfileCounters, QueryId, SjTree, Strategy, StreamProcessor,
+    ContinuousQueryEngine, FnSink, PipelineMetrics, ProfileCounters, QueryId, SjTree, Strategy,
+    StreamProcessor,
 };
 
 /// One aggregation-channel message: the originating worker index and the
@@ -28,7 +30,23 @@ pub(crate) type MatchBatch = (usize, Vec<(QueryId, SubgraphMatch)>);
 /// Messages a worker accepts on its input channel.
 pub(crate) enum WorkerMsg {
     /// A batch of stream events, shared across all workers via `Arc`.
-    Batch(Arc<Vec<EdgeEvent>>),
+    /// `sent_ns` is the facade's broadcast instant on the process monotonic
+    /// clock (0 when metrics are off) — the worker's dequeue instant minus
+    /// it is the batch's channel sojourn time.
+    Batch {
+        events: Arc<Vec<EdgeEvent>>,
+        sent_ns: u64,
+    },
+    /// Attach telemetry handles: the shared pipeline bundle for this
+    /// worker's processor replica, plus this worker's queue-depth gauge and
+    /// the shared batch-sojourn histogram. Rides the FIFO channel, so
+    /// batches sent before it stay unmetered and batches after it are fully
+    /// metered.
+    Metrics {
+        pipeline: PipelineMetrics,
+        queue_depth: Gauge,
+        sojourn: Histogram,
+    },
     /// Register an engine under the facade's global query id.
     Register {
         global: QueryId,
@@ -112,10 +130,19 @@ pub(crate) fn worker_loop(
     let mut to_local: HashMap<QueryId, QueryId> = HashMap::new();
     let mut retention_override: Option<Option<u64>> = None;
     let mut emitted: u64 = 0;
+    // Telemetry handles, attached via `WorkerMsg::Metrics`; `None` keeps the
+    // loop clock-free.
+    let mut telemetry: Option<(Gauge, Histogram)> = None;
 
     while let Ok(msg) = rx.recv() {
         match msg {
-            WorkerMsg::Batch(events) => {
+            WorkerMsg::Batch { events, sent_ns } => {
+                if let Some((queue_depth, sojourn)) = &telemetry {
+                    if sent_ns != 0 {
+                        sojourn.record(monotonic_nanos().saturating_sub(sent_ns));
+                    }
+                    queue_depth.sub(1);
+                }
                 let mut out: Vec<(QueryId, SubgraphMatch)> = Vec::new();
                 for ev in events.iter() {
                     if config.ingest_filter && proc.registry().candidates(ev.edge_type).is_empty() {
@@ -139,6 +166,14 @@ pub(crate) fn worker_loop(
                         return; // facade dropped the receiver: shut down
                     }
                 }
+            }
+            WorkerMsg::Metrics {
+                pipeline,
+                queue_depth,
+                sojourn,
+            } => {
+                proc.set_metrics(Some(pipeline));
+                telemetry = Some((queue_depth, sojourn));
             }
             WorkerMsg::Register { global, engine } => {
                 let local = proc.register_engine(*engine);

@@ -520,3 +520,78 @@ fn shard_assignment_co_locates_prefix_sharers() {
     drop(runtime.shutdown());
     let _ = (f1, f2);
 }
+
+/// Regression: `RuntimeStats::backpressure_events` used to be the only
+/// backpressure signal, and it is only observable from the ingest thread via
+/// `stats()` (in practice: after the run). With a `MetricsRegistry` attached,
+/// the stall counter and the per-worker queue-depth gauges are live shared
+/// handles — readable mid-stream from any thread — and the counter must agree
+/// with the legacy stat.
+#[test]
+fn backpressure_and_queue_depth_are_live_through_metrics() {
+    let schema = cyber_schema();
+    let events = synth_stream(&schema, 1_200);
+    let expected = sequential_matches(&events).len() as u64;
+    let registry = sp_runtime::MetricsRegistry::new();
+    // Same deliberately tiny channels as the slow-sink scenario above.
+    let mut runtime = ParallelStreamProcessor::new(
+        schema.clone(),
+        RuntimeConfig::with_workers(2)
+            .batch_size(16)
+            .channel_capacity(1)
+            .match_capacity(1),
+    )
+    .with_metrics(&registry);
+    for (q, s, w) in queries(&schema) {
+        runtime.register(q, s, w).unwrap();
+    }
+    let stall_counter = registry.counter("runtime.backpressure_stalls_total");
+    let depth_w0 = registry.gauge("runtime.queue_depth.w0");
+    let depth_w1 = registry.gauge("runtime.queue_depth.w1");
+    let mut seen = 0u64;
+    let mut mid_stream_stalls = 0u64;
+    let mut max_depth_seen = 0i64;
+    let mut sink = FnSink(|_q: QueryId, _m: streampattern::SubgraphMatch| {
+        seen += 1;
+        // Live reads while the pipeline is saturated — no shutdown, no
+        // stats() call. The gauges bound by the channel capacity (+1 for the
+        // batch the facade has stamped but not yet enqueued).
+        mid_stream_stalls = mid_stream_stalls.max(stall_counter.get());
+        max_depth_seen = max_depth_seen.max(depth_w0.get()).max(depth_w1.get());
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    });
+    let delivered = runtime.process_all_into(events.iter(), &mut sink);
+    assert_eq!(seen, expected, "metrics changed the match multiset");
+    assert_eq!(delivered, expected);
+    assert!(
+        mid_stream_stalls > 0,
+        "stall counter not visible live while the sink was slow"
+    );
+    assert!(
+        max_depth_seen >= 1,
+        "queue-depth gauges never showed an enqueued batch"
+    );
+    assert!(
+        max_depth_seen <= 2,
+        "queue depth exceeded channel capacity + in-flight batch: {max_depth_seen}"
+    );
+    let stats = runtime.stats();
+    assert_eq!(
+        stall_counter.get(),
+        stats.backpressure_events,
+        "live counter diverged from RuntimeStats"
+    );
+    // After the full drain inside process_all_into, every broadcast batch
+    // has been dequeued: the gauges must have returned to zero.
+    assert_eq!(depth_w0.get(), 0, "w0 queue depth did not drain to 0");
+    assert_eq!(depth_w1.get(), 0, "w1 queue depth did not drain to 0");
+    // Worker-side pipeline metrics aggregated across both replicas: each
+    // replica ingests all 1200 events.
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("stream.edges_total"), Some(2 * 1_200));
+    assert_eq!(snap.counter("stream.matches_total"), Some(expected));
+    let latency = snap.histogram("match.latency_ns").expect("latency series");
+    assert_eq!(latency.count(), expected);
+    assert!(latency.percentile(0.5).unwrap() > 0);
+    drop(runtime.shutdown());
+}
