@@ -20,8 +20,11 @@ use crate::error::EngineError;
 use crate::lazy::{LazyBitmap, MAX_LEAVES};
 use crate::profile::ProfileCounters;
 use crate::strategy::Strategy;
-use sp_graph::{DynamicGraph, EdgeData};
-use sp_iso::{find_matches_around_vertex, find_matches_containing_edge, SubgraphMatch, Vf2Matcher};
+use sp_graph::{DynamicGraph, EdgeData, EdgeType, VertexId};
+use sp_iso::{
+    find_matches_around_vertex_into, find_matches_containing_edge_into, SearchScratch,
+    SubgraphMatch, Vf2Matcher,
+};
 use sp_query::QueryGraph;
 use sp_query::QuerySubgraph;
 use sp_selectivity::SelectivityEstimator;
@@ -81,30 +84,59 @@ pub struct PrefixFeed {
     pub shared: bool,
 }
 
+/// Reusable per-engine buffers for the per-edge hot path. Owned by the
+/// engine so every processed edge reuses the capacity the previous edges
+/// grew: the anchored-search scratch, the search-result staging buffer, the
+/// join worklist, the insert trace, and the (rare-path) enablement
+/// propagation buffers. Dropping the scratch
+/// ([`ContinuousQueryEngine::release_scratch`]) changes nothing but
+/// allocator traffic — every buffer is fully drained or cleared between
+/// edges.
+#[derive(Debug, Clone, Default)]
+struct EngineScratch {
+    /// Working state of the anchored subgraph-isomorphism searches.
+    search: SearchScratch,
+    /// Results of the most recent anchored search, drained into `worklist`.
+    found: Vec<SubgraphMatch>,
+    /// Pending `(tree node, match)` insertions; always empty between edges.
+    worklist: VecDeque<(NodeId, SubgraphMatch)>,
+    /// Newly stored matches of one `insert_traced` call (Lazy Search
+    /// enablement); cleared per worklist item.
+    trace: Vec<(NodeId, SubgraphMatch)>,
+    /// Edge types of a multi-edge leaf (enablement propagation).
+    leaf_types: Vec<EdgeType>,
+    /// One-hop neighbors to propagate enablement to.
+    neighbors: Vec<VertexId>,
+}
+
 /// Enables search for a leaf around `v`. On a fresh 0→1 transition, performs
 /// the retroactive neighborhood probe the paper mandates ("whenever we enable
 /// the search on a node in the data graph, we also perform a subgraph search
-/// around the node", Section 4) and returns its results; returns `None` when
-/// the bit was already set (the probe already ran when it was set).
+/// around the node", Section 4), leaving its results in `found` (cleared
+/// first), and returns `true`; returns `false` when the bit was already set
+/// (the probe already ran when it was set — `found` is untouched).
 #[allow(clippy::too_many_arguments)]
 fn enable_with_probe(
     bitmap: &mut LazyBitmap,
     graph: &DynamicGraph,
     query: &QueryGraph,
     subgraph: &QuerySubgraph,
-    v: sp_graph::VertexId,
+    v: VertexId,
     rank: usize,
     profile: &mut ProfileCounters,
-) -> Option<Vec<SubgraphMatch>> {
+    search: &mut SearchScratch,
+    found: &mut Vec<SubgraphMatch>,
+) -> bool {
     if !bitmap.enable(v, rank) {
-        return None;
+        return false;
     }
     let t = Instant::now();
-    let found = find_matches_around_vertex(graph, query, subgraph, v);
+    found.clear();
+    find_matches_around_vertex_into(graph, query, subgraph, v, search, found);
     profile.iso_time += t.elapsed();
     profile.retroactive_searches += 1;
     profile.leaf_matches += found.len() as u64;
-    Some(found)
+    true
 }
 
 /// Structural equality of two query graphs (same vertices with the same
@@ -144,6 +176,9 @@ pub struct ContinuousQueryEngine {
     window: Option<u64>,
     backend: Backend,
     profile: ProfileCounters,
+    /// Reusable hot-path buffers; semantically invisible (always drained
+    /// between edges), kept so steady-state processing is allocation-free.
+    scratch: EngineScratch,
 }
 
 impl ContinuousQueryEngine {
@@ -182,6 +217,7 @@ impl ContinuousQueryEngine {
             window,
             backend,
             profile: ProfileCounters::new(),
+            scratch: EngineScratch::default(),
         })
     }
 
@@ -204,6 +240,7 @@ impl ContinuousQueryEngine {
             window,
             backend,
             profile: ProfileCounters::new(),
+            scratch: EngineScratch::default(),
         })
     }
 
@@ -283,7 +320,9 @@ impl ContinuousQueryEngine {
     /// Returns the complete query matches created by this edge, i.e.
     /// `M(G^{k+1}) − M(G^k)` of the problem statement.
     pub fn process_edge(&mut self, graph: &DynamicGraph, edge: &EdgeData) -> Vec<SubgraphMatch> {
-        self.process_edge_inner(graph, edge, None, None)
+        let mut complete = Vec::new();
+        self.process_edge_inner(graph, edge, None, None, &mut complete);
+        complete
     }
 
     /// Like [`ContinuousQueryEngine::process_edge`], but the per-leaf
@@ -308,7 +347,9 @@ impl ContinuousQueryEngine {
         edge: &EdgeData,
         prepared: &mut Vec<Option<LeafFanout>>,
     ) -> Vec<SubgraphMatch> {
-        self.process_edge_inner(graph, edge, Some(prepared), None)
+        let mut complete = Vec::new();
+        self.process_edge_inner(graph, edge, Some(prepared), None, &mut complete);
+        complete
     }
 
     /// The full shared pipeline: like
@@ -328,7 +369,25 @@ impl ContinuousQueryEngine {
         prepared: Option<&mut Vec<Option<LeafFanout>>>,
         prefix: Option<PrefixFeed>,
     ) -> Vec<SubgraphMatch> {
-        self.process_edge_inner(graph, edge, prepared, prefix)
+        let mut complete = Vec::new();
+        self.process_edge_inner(graph, edge, prepared, prefix, &mut complete);
+        complete
+    }
+
+    /// Allocation-free variant of
+    /// [`ContinuousQueryEngine::process_edge_shared`]: complete matches are
+    /// appended to the caller-owned `complete` buffer (cleared first), so a
+    /// registry processing a fan-out of engines reuses one buffer for the
+    /// whole stream instead of allocating a fresh `Vec` per engine per edge.
+    pub fn process_edge_shared_into(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        prepared: Option<&mut Vec<Option<LeafFanout>>>,
+        prefix: Option<PrefixFeed>,
+        complete: &mut Vec<SubgraphMatch>,
+    ) {
+        self.process_edge_inner(graph, edge, prepared, prefix, complete);
     }
 
     fn process_edge_inner(
@@ -337,10 +396,11 @@ impl ContinuousQueryEngine {
         edge: &EdgeData,
         mut supplied: Option<&mut Vec<Option<LeafFanout>>>,
         prefix: Option<PrefixFeed>,
-    ) -> Vec<SubgraphMatch> {
+        complete: &mut Vec<SubgraphMatch>,
+    ) {
+        complete.clear();
         self.profile.edges_processed += 1;
         let window = self.window;
-        let mut complete = Vec::new();
         match &mut self.backend {
             Backend::Vf2 { matcher, whole } => {
                 let t0 = Instant::now();
@@ -365,8 +425,11 @@ impl ContinuousQueryEngine {
                 let lazy = *lazy;
                 // Work items: (tree node, match of that node's subgraph) —
                 // leaf matches from the per-edge searches, plus prefix-root
-                // matches the shared join stage delivered.
-                let mut worklist: VecDeque<(NodeId, SubgraphMatch)> = VecDeque::new();
+                // matches the shared join stage delivered. The queue lives in
+                // the engine-owned scratch so its capacity persists across
+                // edges; it is always drained before this function returns.
+                let worklist = &mut self.scratch.worklist;
+                debug_assert!(worklist.is_empty());
 
                 let start_rank = match prefix {
                     Some(feed) => {
@@ -388,7 +451,7 @@ impl ContinuousQueryEngine {
                                 complete.push(m);
                             }
                             self.profile.complete_matches += complete.len() as u64;
-                            return complete;
+                            return;
                         }
                         // Seed the join continuation: each emission is an
                         // insert at the internal node covering the prefix
@@ -435,7 +498,7 @@ impl ContinuousQueryEngine {
                             .any(|qe| self.query.edge(qe).edge_type == edge.edge_type);
                         if type_occurs {
                             for v in [edge.src, edge.dst] {
-                                if let Some(found) = enable_with_probe(
+                                if enable_with_probe(
                                     bitmap,
                                     graph,
                                     &self.query,
@@ -443,8 +506,10 @@ impl ContinuousQueryEngine {
                                     v,
                                     rank,
                                     &mut self.profile,
+                                    &mut self.scratch.search,
+                                    &mut self.scratch.found,
                                 ) {
-                                    for fm in found {
+                                    for fm in self.scratch.found.drain(..) {
                                         worklist.push_back((leaf, fm));
                                     }
                                 }
@@ -461,16 +526,28 @@ impl ContinuousQueryEngine {
                     let slot = supplied
                         .as_mut()
                         .map(|prepared| prepared.get_mut(rank).and_then(Option::take));
-                    let found = match slot {
+                    match slot {
                         // Standalone path, or the shared stage delegated the
                         // search back (single-subscriber shape): run the
-                        // anchored search here.
+                        // anchored search here, straight into the reusable
+                        // scratch buffers (no per-search allocation once their
+                        // capacity has warmed up).
                         None | Some(Some(LeafFanout::SearchLocally)) | Some(None) => {
                             let t0 = Instant::now();
-                            let found =
-                                find_matches_containing_edge(graph, &self.query, subgraph, edge);
+                            self.scratch.found.clear();
+                            find_matches_containing_edge_into(
+                                graph,
+                                &self.query,
+                                subgraph,
+                                edge,
+                                &mut self.scratch.search,
+                                &mut self.scratch.found,
+                            );
                             self.profile.iso_time += t0.elapsed();
-                            found
+                            self.profile.leaf_matches += self.scratch.found.len() as u64;
+                            for m in self.scratch.found.drain(..) {
+                                worklist.push_back((leaf, m));
+                            }
                         }
                         Some(Some(LeafFanout::Prepared(leaf_prep))) => {
                             if let Some(elapsed) = leaf_prep.charged {
@@ -479,14 +556,13 @@ impl ContinuousQueryEngine {
                             if leaf_prep.shared {
                                 self.profile.leaf_searches_shared += 1;
                             }
-                            leaf_prep.matches
+                            self.profile.leaf_matches += leaf_prep.matches.len() as u64;
+                            for m in leaf_prep.matches {
+                                worklist.push_back((leaf, m));
+                            }
                         }
-                    };
-                    self.profile.iso_searches += 1;
-                    self.profile.leaf_matches += found.len() as u64;
-                    for m in found {
-                        worklist.push_back((leaf, m));
                     }
+                    self.profile.iso_searches += 1;
                 }
 
                 // Insert matches; when Lazy Search is active, every newly
@@ -494,15 +570,17 @@ impl ContinuousQueryEngine {
                 // search on its vertices and trigger a retroactive probe for
                 // that leaf, which can in turn produce more work items.
                 while let Some((leaf, m)) = worklist.pop_front() {
-                    let mut trace = Vec::new();
+                    let trace = &mut self.scratch.trace;
+                    trace.clear();
                     let t0 = Instant::now();
-                    store.insert_traced(tree, leaf, m, window, &mut complete, &mut trace);
+                    store.insert_traced(tree, leaf, m, window, complete, trace);
                     self.profile.update_time += t0.elapsed();
 
                     if !lazy {
                         continue;
                     }
-                    for (node, created) in trace {
+                    for item in 0..self.scratch.trace.len() {
+                        let node = self.scratch.trace[item].0;
                         let Some(next_leaf) = tree.next_leaf_to_enable(node) else {
                             continue;
                         };
@@ -511,12 +589,13 @@ impl ContinuousQueryEngine {
                             .leaf_rank
                             .expect("next_leaf_to_enable returns leaves");
                         let next_subgraph = tree.subgraph(next_leaf);
+                        let created = &self.scratch.trace[item].1;
                         for (_, dv) in created.vertex_pairs() {
                             // Retroactive search on every fresh enablement:
                             // the next leaf's matches may already exist around
                             // this vertex (arrival-order robustness,
                             // Section 4).
-                            let Some(found) = enable_with_probe(
+                            if !enable_with_probe(
                                 bitmap,
                                 graph,
                                 &self.query,
@@ -524,10 +603,12 @@ impl ContinuousQueryEngine {
                                 dv,
                                 next_rank,
                                 &mut self.profile,
-                            ) else {
+                                &mut self.scratch.search,
+                                &mut self.scratch.found,
+                            ) {
                                 continue;
-                            };
-                            for fm in found {
+                            }
+                            for fm in self.scratch.found.drain(..) {
                                 worklist.push_back((next_leaf, fm));
                             }
                             // Multi-edge leaves: partially present matches
@@ -536,17 +617,24 @@ impl ContinuousQueryEngine {
                             // along edges whose type occurs in the leaf so the
                             // completing edge is searched when it arrives.
                             if next_subgraph.num_edges() > 1 {
-                                let leaf_types: Vec<_> = next_subgraph
-                                    .edges()
-                                    .map(|qe| self.query.edge(qe).edge_type)
-                                    .collect();
-                                let neighbors: Vec<_> = graph
-                                    .incident_edges(dv)
-                                    .filter(|inc| leaf_types.contains(&inc.edge_type))
-                                    .map(|inc| inc.neighbor)
-                                    .collect();
-                                for n in neighbors {
-                                    if let Some(found) = enable_with_probe(
+                                let leaf_types = &mut self.scratch.leaf_types;
+                                leaf_types.clear();
+                                leaf_types.extend(
+                                    next_subgraph
+                                        .edges()
+                                        .map(|qe| self.query.edge(qe).edge_type),
+                                );
+                                let neighbors = &mut self.scratch.neighbors;
+                                neighbors.clear();
+                                neighbors.extend(
+                                    graph
+                                        .incident_edges(dv)
+                                        .filter(|inc| leaf_types.contains(&inc.edge_type))
+                                        .map(|inc| inc.neighbor),
+                                );
+                                for ni in 0..self.scratch.neighbors.len() {
+                                    let n = self.scratch.neighbors[ni];
+                                    if enable_with_probe(
                                         bitmap,
                                         graph,
                                         &self.query,
@@ -554,8 +642,10 @@ impl ContinuousQueryEngine {
                                         n,
                                         next_rank,
                                         &mut self.profile,
+                                        &mut self.scratch.search,
+                                        &mut self.scratch.found,
                                     ) {
-                                        for fm in found {
+                                        for fm in self.scratch.found.drain(..) {
                                             worklist.push_back((next_leaf, fm));
                                         }
                                     }
@@ -567,7 +657,6 @@ impl ContinuousQueryEngine {
             }
         }
         self.profile.complete_matches += complete.len() as u64;
-        complete
     }
 
     /// Drops this engine's own partial-match tables for the nodes a shared
@@ -681,8 +770,9 @@ impl ContinuousQueryEngine {
         // Swap the live profile out so the replay's work lands on a scratch
         // profile, then fold it into the dedicated replay counters.
         let live = std::mem::take(&mut self.profile);
+        let mut discard = Vec::new();
         for e in &edges {
-            let _ = self.process_edge_inner(graph, e, None, None);
+            self.process_edge_inner(graph, e, None, None, &mut discard);
         }
         let replay = std::mem::replace(&mut self.profile, live);
         self.profile.replay_searches +=
@@ -703,6 +793,18 @@ impl ContinuousQueryEngine {
             bitmap.clear();
         }
         self.profile = ProfileCounters::new();
+    }
+
+    /// Releases the engine-owned search scratch (frontier/result buffers,
+    /// binding work area, join worklist) and the match store's recycled
+    /// bucket pool, returning their retained capacity to the allocator.
+    /// Purely a memory/perf knob — never changes reported matches. The next
+    /// processed edge re-warms the buffers from empty.
+    pub fn release_scratch(&mut self) {
+        self.scratch = EngineScratch::default();
+        if let Backend::SjTree { store, .. } = &mut self.backend {
+            store.release_spare();
+        }
     }
 }
 

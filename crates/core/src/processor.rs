@@ -171,6 +171,17 @@ impl StreamProcessor {
         self.registry.shared_leaf_stats()
     }
 
+    /// Enables or disables scratch reuse on the per-edge hot path (on by
+    /// default): with reuse on, the anchored-search buffers, join worklists
+    /// and the shared-stage edge cache keep their warmed-up capacity across
+    /// edges; with it off every buffer is released after each edge. The
+    /// reported match multiset is identical either way — the toggle exists
+    /// for allocation accounting and equivalence testing.
+    pub fn with_scratch_reuse(mut self, enabled: bool) -> Self {
+        self.registry.set_scratch_reuse(enabled);
+        self
+    }
+
     /// Enables or disables shared-**join** evaluation for queries
     /// registered afterwards (on by default): with it on, queries whose
     /// decompositions begin with the same canonical leaf sequence share one
@@ -540,6 +551,23 @@ impl StreamProcessor {
         sink.into_matches()
     }
 
+    /// Ingests a batch of stream events into one sink, returning the number
+    /// of matches reported. This is the batch loop both the sequential
+    /// driver ([`StreamProcessor::process_all`]) and the parallel runtime's
+    /// workers route through: one registry-owned edge cache and one warm
+    /// per-engine scratch serve every edge of the batch.
+    pub fn process_batch_into<'a, S, I>(&mut self, events: I, sink: &mut S) -> u64
+    where
+        S: MatchSink + ?Sized,
+        I: IntoIterator<Item = &'a EdgeEvent>,
+    {
+        let mut found = 0;
+        for e in events {
+            found += self.process_into(e, sink);
+        }
+        found
+    }
+
     /// Ingests a whole stream, returning the total number of matches found
     /// across all registered queries (allocation-free per event).
     pub fn process_all<'a, I>(&mut self, events: I) -> u64
@@ -547,9 +575,7 @@ impl StreamProcessor {
         I: IntoIterator<Item = &'a EdgeEvent>,
     {
         let mut sink = CountSink::new();
-        for e in events {
-            self.process_into(e, &mut sink);
-        }
+        self.process_batch_into(events, &mut sink);
         sink.matches
     }
 

@@ -79,6 +79,18 @@ pub struct QueryRegistry {
     /// allocation serves every candidate engine of every edge instead of a
     /// fresh vector per engine per edge.
     fanout: Vec<Option<LeafFanout>>,
+    /// Registry-owned per-edge memo for the shared leaf-search stage,
+    /// *reset* (not reconstructed) per edge so its map table, match buffers
+    /// and search scratch keep their capacity across the stream.
+    cache: EdgeSearchCache,
+    /// Reusable buffer for each engine's complete matches; drained into
+    /// `emit` per engine.
+    complete: Vec<SubgraphMatch>,
+    /// Whether the per-edge hot path reuses warmed-up scratch capacity
+    /// (default). Disabling releases every engine's scratch and the edge
+    /// cache after each edge — the algorithm is identical, only the
+    /// allocator traffic differs (the equivalence tests run both).
+    scratch_reuse: bool,
     /// The next subscription boundary: one past the id of the last
     /// processed edge. A query registered now is entitled to matches
     /// anchored at edge ids `>= boundary` (see the shared-join module docs).
@@ -99,6 +111,9 @@ impl Default for QueryRegistry {
             sharing: true,
             join_sharing: true,
             fanout: Vec::new(),
+            cache: EdgeSearchCache::new(),
+            complete: Vec::new(),
+            scratch_reuse: true,
             boundary: 0,
             origins: HashMap::new(),
             next_id: 0,
@@ -124,6 +139,20 @@ impl QueryRegistry {
     /// Whether shared-leaf evaluation is active.
     pub fn sharing_enabled(&self) -> bool {
         self.sharing
+    }
+
+    /// Enables or disables scratch reuse on the per-edge hot path (enabled
+    /// by default). With reuse off, every engine's search scratch and the
+    /// registry's edge cache are released after each edge, so each edge
+    /// starts allocation-cold. Match output is identical either way — this
+    /// knob exists for allocation accounting and the equivalence tests.
+    pub fn set_scratch_reuse(&mut self, enabled: bool) {
+        self.scratch_reuse = enabled;
+    }
+
+    /// Whether the per-edge hot path retains warmed-up scratch capacity.
+    pub fn scratch_reuse_enabled(&self) -> bool {
+        self.scratch_reuse
     }
 
     /// Snapshot of the shared-leaf index bookkeeping (distinct shapes,
@@ -370,6 +399,9 @@ impl QueryRegistry {
             join,
             sharing,
             fanout,
+            cache,
+            complete,
+            scratch_reuse,
             ..
         } = self;
         let span = metrics.map(|_| Instant::now());
@@ -381,7 +413,10 @@ impl QueryRegistry {
             return 0;
         };
         let mut reported = 0;
-        let mut cache = EdgeSearchCache::new();
+        // Reset the registry-owned per-edge memo in place: the map table,
+        // the recycled match buffers and the anchored-search scratch keep
+        // their capacity from previous edges.
+        cache.begin_edge();
         // Stage 0: advance every shared prefix table this edge can touch —
         // one search-and-join pass per table, not per subscriber. Runs
         // independently of the leaf-stage toggle: a subscribed query's
@@ -403,22 +438,25 @@ impl QueryRegistry {
                 m.shared_join_ns.add(t.elapsed().as_nanos() as u64);
             }
             let span = metrics.map(|_| Instant::now());
-            let prepared =
-                *sharing && shared.prepare_into(id, engine, graph, edge, &mut cache, fanout);
+            let prepared = *sharing && shared.prepare_into(id, engine, graph, edge, cache, fanout);
             if let (Some(m), Some(t)) = (metrics, span) {
                 m.shared_leaf_ns.add(t.elapsed().as_nanos() as u64);
             }
             let span = metrics.map(|_| Instant::now());
-            let matches = match (prepared, feed) {
-                (true, feed) => engine.process_edge_shared(graph, edge, Some(fanout), feed),
-                (false, Some(feed)) => engine.process_edge_shared(graph, edge, None, Some(feed)),
-                (false, None) => engine.process_edge(graph, edge),
+            match (prepared, feed) {
+                (true, feed) => {
+                    engine.process_edge_shared_into(graph, edge, Some(fanout), feed, complete)
+                }
+                (false, Some(feed)) => {
+                    engine.process_edge_shared_into(graph, edge, None, Some(feed), complete)
+                }
+                (false, None) => engine.process_edge_shared_into(graph, edge, None, None, complete),
             };
             if let (Some(m), Some(t)) = (metrics, span) {
                 m.private_engine_ns.add(t.elapsed().as_nanos() as u64);
             }
             let span = metrics.map(|_| Instant::now());
-            for m in matches {
+            for m in complete.drain(..) {
                 reported += 1;
                 emit(id, m);
             }
@@ -427,6 +465,18 @@ impl QueryRegistry {
             }
         }
         fanout.clear();
+        if !*scratch_reuse {
+            // Allocation-cold mode: hand every warmed buffer back after the
+            // edge, so the next edge starts from scratch. Output-identical —
+            // used by the equivalence tests and for memory accounting.
+            cache.release();
+            for &id in ids {
+                engines
+                    .get_mut(&id)
+                    .expect("dispatch index only references live queries")
+                    .release_scratch();
+            }
+        }
         reported
     }
 

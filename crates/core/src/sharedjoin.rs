@@ -79,7 +79,7 @@
 use crate::engine::{ContinuousQueryEngine, PrefixFeed};
 use crate::registry::{retention_for_windows, QueryId};
 use sp_graph::{DynamicGraph, EdgeData, EdgeId, EdgeType};
-use sp_iso::{find_matches_containing_edge, SubgraphMatch};
+use sp_iso::{find_matches_containing_edge_into, SearchScratch, SubgraphMatch};
 use sp_query::{prefix_chain, PrefixSignature, QueryEdgeId, QueryGraph, QueryVertexId};
 use sp_sjtree::{MatchStore, SjTree};
 use std::collections::{BTreeMap, HashMap};
@@ -192,7 +192,13 @@ impl PrefixEntry {
     /// Runs the prefix's leaf searches and hash joins for one edge against
     /// the shared table, leaving the new prefix-root matches in `pending`.
     /// Returns `(searches run, matches inserted)`.
-    fn advance(&mut self, graph: &DynamicGraph, edge: &EdgeData) -> (u64, u64) {
+    fn advance(
+        &mut self,
+        graph: &DynamicGraph,
+        edge: &EdgeData,
+        scratch: &mut SearchScratch,
+        found: &mut Vec<SubgraphMatch>,
+    ) -> (u64, u64) {
         self.pending.clear();
         self.advanced_for = Some(edge.id);
         let inserted_before = self.store.lifetime_inserted();
@@ -201,10 +207,17 @@ impl PrefixEntry {
             if !self.per_leaf_types[rank].contains(&edge.edge_type) {
                 continue;
             }
-            let found =
-                find_matches_containing_edge(graph, &self.query, self.tree.subgraph(leaf), edge);
+            found.clear();
+            find_matches_containing_edge_into(
+                graph,
+                &self.query,
+                self.tree.subgraph(leaf),
+                edge,
+                scratch,
+                found,
+            );
             searches += 1;
-            for m in found {
+            for m in found.drain(..) {
                 self.store
                     .insert(&self.tree, leaf, m, self.window, &mut self.pending);
             }
@@ -226,18 +239,23 @@ impl PrefixEntry {
             .collect();
         edges.sort_unstable_by_key(|e| (e.timestamp, e.id));
         let mut discard = Vec::new();
+        let mut scratch = SearchScratch::default();
+        let mut found = Vec::new();
         for edge in &edges {
             for (rank, &leaf) in self.tree.leaves().iter().enumerate() {
                 if !self.per_leaf_types[rank].contains(&edge.edge_type) {
                     continue;
                 }
-                let found = find_matches_containing_edge(
+                found.clear();
+                find_matches_containing_edge_into(
                     graph,
                     &self.query,
                     self.tree.subgraph(leaf),
                     edge,
+                    &mut scratch,
+                    &mut found,
                 );
-                for m in found {
+                for m in found.drain(..) {
                     self.store
                         .insert(&self.tree, leaf, m, self.window, &mut discard);
                 }
@@ -353,6 +371,10 @@ pub struct SharedJoinIndex {
     emissions: u64,
     deliveries: u64,
     replays: u64,
+    /// Reusable anchored-search buffers for [`SharedJoinIndex::advance_edge`]
+    /// — one warm scratch serves every table on every edge.
+    scratch: SearchScratch,
+    found: Vec<SubgraphMatch>,
 }
 
 impl SharedJoinIndex {
@@ -581,7 +603,8 @@ impl SharedJoinIndex {
             let entry = self.entries[idx]
                 .as_mut()
                 .expect("dispatched entry is live");
-            let (searches, inserts) = entry.advance(graph, edge);
+            let (searches, inserts) =
+                entry.advance(graph, edge, &mut self.scratch, &mut self.found);
             let saved = entry.subs.len().saturating_sub(1) as u64;
             self.searches_run += searches;
             self.inserts_run += inserts;

@@ -35,7 +35,7 @@
 use crate::engine::{ContinuousQueryEngine, LeafFanout, PreparedLeaf};
 use crate::registry::QueryId;
 use sp_graph::{DynamicGraph, EdgeData, EdgeType};
-use sp_iso::{find_matches_containing_edge, SubgraphMatch};
+use sp_iso::{find_matches_containing_edge_into, SearchScratch, SubgraphMatch};
 use sp_query::{canonicalize_subgraph, CanonicalMapping, LeafSignature, QueryGraph, QuerySubgraph};
 use sp_sjtree::NodeId;
 use std::collections::hash_map::Entry;
@@ -112,14 +112,27 @@ impl SharedLeafStats {
 }
 
 /// Per-edge memo of shared search executions: signature index → matches (in
-/// canonical numbering) and the search's wall time. Created fresh by the
-/// registry for every dispatched edge and dropped afterwards.
-#[derive(Debug, Default)]
+/// canonical numbering) and the search's wall time.
+///
+/// The cache is scoped to one edge *logically* but owned by the registry
+/// *physically*: [`EdgeSearchCache::begin_edge`] resets the memo while
+/// keeping the map's capacity, recycling each entry's match buffer into a
+/// spare pool, and retaining the anchored-search scratch — so the per-edge
+/// shared stage stops allocating once the buffers have warmed up.
+#[derive(Debug, Clone, Default)]
 pub struct EdgeSearchCache {
     searches: HashMap<usize, CachedSearch>,
+    /// Recycled match buffers, handed back out to fresh cache entries.
+    spare: Vec<Vec<SubgraphMatch>>,
+    /// Reusable anchored-search frontier/binding buffers.
+    scratch: SearchScratch,
 }
 
-#[derive(Debug)]
+/// Cap on pooled spare buffers — enough for every distinct signature a
+/// realistic edge fans out to, without hoarding after a burst.
+const SPARE_SEARCH_BUFFERS_CAP: usize = 256;
+
+#[derive(Debug, Clone)]
 struct CachedSearch {
     matches: Vec<SubgraphMatch>,
     elapsed: Duration,
@@ -131,6 +144,26 @@ impl EdgeSearchCache {
     /// An empty cache for one edge.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Resets the memo for a new edge, keeping warmed-up capacity: the memo
+    /// map keeps its table, each entry's match buffer moves to the spare
+    /// pool, and the search scratch is retained as-is.
+    pub fn begin_edge(&mut self) {
+        let spare = &mut self.spare;
+        for (_, cs) in self.searches.drain() {
+            let mut buf = cs.matches;
+            if spare.len() < SPARE_SEARCH_BUFFERS_CAP && buf.capacity() > 0 {
+                buf.clear();
+                spare.push(buf);
+            }
+        }
+    }
+
+    /// Drops all retained capacity (memo table, spare pool, search scratch),
+    /// returning the memory to the allocator.
+    pub fn release(&mut self) {
+        *self = Self::default();
     }
 }
 
@@ -334,8 +367,18 @@ impl SharedLeafIndex {
                 Entry::Occupied(o) => o.into_mut(),
                 Entry::Vacant(v) => {
                     let t0 = Instant::now();
-                    let matches =
-                        find_matches_containing_edge(graph, &entry.query, &entry.subgraph, edge);
+                    // Reuse a recycled buffer and the cache-owned scratch:
+                    // in the steady state (buffers warmed, no matches) the
+                    // shared search allocates nothing.
+                    let mut matches = cache.spare.pop().unwrap_or_default();
+                    find_matches_containing_edge_into(
+                        graph,
+                        &entry.query,
+                        &entry.subgraph,
+                        edge,
+                        &mut cache.scratch,
+                        &mut matches,
+                    );
                     let elapsed = t0.elapsed();
                     *searches_run += 1;
                     v.insert(CachedSearch {

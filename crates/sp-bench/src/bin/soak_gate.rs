@@ -1,6 +1,7 @@
 //! CI gate over `BENCH_soak.json`: fails (exit 1) when any run's
 //! steady-state throughput regresses more than `--tolerance` below the
-//! checked-in baseline for its worker count.
+//! checked-in baseline for its worker count, or when its p99 detection
+//! latency lands more than 25% above the baseline ceiling.
 //!
 //! ```text
 //! cargo run --release -p sp-bench --bin soak_gate -- \
@@ -8,17 +9,30 @@
 //! ```
 //!
 //! The baseline file maps worker counts to conservative steady-eps floors
-//! (`{"steady_eps": {"1": 50000.0, ...}}`), deliberately far below typical
-//! hardware so the gate only trips on real regressions, not machine noise.
-//! Worker counts missing from the baseline are reported but do not gate.
+//! and p99 latency ceilings (`{"steady_eps": {"1": 50000.0, ...},
+//! "latency_p99_ns": {...}, "allocs_per_edge": {...}}`), deliberately far
+//! from typical hardware so the gates only trip on real regressions, not
+//! machine noise. `allocs_per_edge` is reported against its reference but
+//! never gates — allocation accounting needs a `count-allocs` build and is
+//! informational on runs without one (reported as −1). Worker counts
+//! missing from a baseline map are reported but do not gate.
 
 use sp_bench::SoakReport;
 use std::collections::BTreeMap;
+
+/// Fractional headroom over the baseline p99 ceiling before the latency
+/// gate fails (a >25% regression trips it).
+const LATENCY_P99_HEADROOM: f64 = 0.25;
 
 #[derive(serde::Deserialize)]
 struct Baseline {
     /// Worker count (as a JSON-object string key) → steady edges/s floor.
     steady_eps: BTreeMap<String, f64>,
+    /// Worker count → p99 detection-latency ceiling in nanoseconds.
+    latency_p99_ns: BTreeMap<String, f64>,
+    /// Worker count → reference steady-state allocations per edge
+    /// (report-only, never gates).
+    allocs_per_edge: BTreeMap<String, f64>,
 }
 
 struct Args {
@@ -99,6 +113,50 @@ fn main() {
                 "[soak_gate] {} workers: steady {:.0} edges/s — no baseline entry, not gated",
                 run.workers, run.steady_eps
             ),
+        }
+        match baseline.latency_p99_ns.get(&key) {
+            Some(&ceiling) => {
+                let gate = ceiling * (1.0 + LATENCY_P99_HEADROOM);
+                let verdict = if (run.latency_p99_ns as f64) > gate {
+                    failed = true;
+                    "FAIL"
+                } else {
+                    "ok"
+                };
+                println!(
+                    "[soak_gate] {} workers: p99 latency {:.3} ms vs ceiling {:.3} (gate {:.3}) — {}",
+                    run.workers,
+                    run.latency_p99_ns as f64 / 1e6,
+                    ceiling / 1e6,
+                    gate / 1e6,
+                    verdict
+                );
+            }
+            None => println!(
+                "[soak_gate] {} workers: p99 latency {:.3} ms — no baseline entry, not gated",
+                run.workers,
+                run.latency_p99_ns as f64 / 1e6
+            ),
+        }
+        // Allocation accounting: informational on every run, never a gate
+        // (the metric needs a `count-allocs` build; plain builds report −1).
+        let reference = baseline.allocs_per_edge.get(&key);
+        if run.allocs_per_edge < 0.0 {
+            println!(
+                "[soak_gate] {} workers: allocs/edge not metered (build without count-allocs)",
+                run.workers
+            );
+        } else {
+            match reference {
+                Some(&r) => println!(
+                    "[soak_gate] {} workers: {:.2} allocs/edge (reference {:.2}) — report only",
+                    run.workers, run.allocs_per_edge, r
+                ),
+                None => println!(
+                    "[soak_gate] {} workers: {:.2} allocs/edge — no reference, report only",
+                    run.workers, run.allocs_per_edge
+                ),
+            }
         }
     }
     println!(

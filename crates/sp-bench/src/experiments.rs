@@ -1128,6 +1128,11 @@ pub fn render_soak(report: &SoakReport) -> String {
             fmt_ms(m.sojourn_p99_ns),
             m.backpressure_stalls.to_string(),
             format!("{:.1}%", 100.0 * m.metrics_overhead),
+            if m.allocs_per_edge < 0.0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:.2}", m.allocs_per_edge)
+            },
             m.matches.to_string(),
         ]);
     }
@@ -1143,6 +1148,7 @@ pub fn render_soak(report: &SoakReport) -> String {
             "p99 sojourn (ms)",
             "stalls",
             "metrics cost",
+            "allocs/edge",
             "matches",
         ],
         &rows,

@@ -965,6 +965,14 @@ pub struct SoakMeasurement {
     /// Cumulative per-stage nanoseconds across all worker replicas, in
     /// pipeline order (`stage.*` counters).
     pub stage_split_ns: Vec<(String, u64)>,
+    /// Steady-state heap allocations per stream edge, metered by a third,
+    /// metrics-off pass with the counting global allocator (`count-allocs`
+    /// feature): the first half of the stream warms every scratch buffer,
+    /// the second half is differenced. `-1` when the feature is off.
+    pub allocs_per_edge: f64,
+    /// Steady-state heap bytes requested per stream edge over the same
+    /// metering slice. `-1` when the `count-allocs` feature is off.
+    pub bytes_per_edge: f64,
     /// Whole-run throughput of the metrics-off pass over the same stream,
     /// same interval structure (edges/s).
     pub metrics_off_eps: f64,
@@ -1126,6 +1134,30 @@ pub fn run_soak(
         "live metrics changed the match multiset at {workers} workers"
     );
 
+    // Allocation metering (count-allocs builds): a dedicated metrics-off
+    // pass with a counting sink — the collecting sinks above format every
+    // match into a `String`, which would drown the hot path's allocator
+    // traffic in reporting noise. The first half of the stream warms the
+    // scratch buffers and channels; only the second half is differenced.
+    #[cfg(feature = "count-allocs")]
+    let (allocs_per_edge, bytes_per_edge) = {
+        let mut par = build(None);
+        let warm = events.len() / 2;
+        let mut sink = streampattern::CountSink::new();
+        par.process_all_into(events[..warm].iter(), &mut sink);
+        let (a0, b0) = sp_metrics::alloc_counts();
+        par.process_all_into(events[warm..].iter(), &mut sink);
+        let (a1, b1) = sp_metrics::alloc_counts();
+        drop(par.shutdown());
+        let metered_edges = (events.len() - warm).max(1) as f64;
+        (
+            (a1 - a0) as f64 / metered_edges,
+            (b1 - b0) as f64 / metered_edges,
+        )
+    };
+    #[cfg(not(feature = "count-allocs"))]
+    let (allocs_per_edge, bytes_per_edge) = (-1.0, -1.0);
+
     let total_elapsed: Duration = intervals.iter().map(|i| i.elapsed).sum();
     let plain_elapsed: Duration = plain_intervals.iter().map(|i| i.elapsed).sum();
     let overall_eps = events.len() as f64 / total_elapsed.as_secs_f64().max(1e-12);
@@ -1171,6 +1203,8 @@ pub fn run_soak(
         sojourn_p99_ns: sojourn.p99,
         backpressure_stalls: stats.backpressure_events,
         stage_split_ns,
+        allocs_per_edge,
+        bytes_per_edge,
         metrics_off_eps,
         metrics_overhead: 1.0 - overall_eps / metrics_off_eps.max(1e-12),
     }

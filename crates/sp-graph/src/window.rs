@@ -7,17 +7,22 @@
 //! of the window as new edges arrive.
 //!
 //! Streaming edges are *mostly* ordered by timestamp but real traces contain
-//! small reorderings, so the queue uses an ordered map keyed by
-//! `(timestamp, edge id)` rather than assuming monotone arrival.
+//! small reorderings, so the queue orders by `(timestamp, edge id)` rather
+//! than assuming monotone arrival. It is a Vec-backed min-heap, not an
+//! ordered map: a B-tree splits and frees nodes as the window boundary
+//! rolls through it, putting an allocation on the ingest path every few
+//! edges, while the heap's backing storage is reused once warmed up — the
+//! steady-state `add_edge` path allocates nothing.
 
 use crate::ids::{EdgeId, Timestamp};
-use std::collections::BTreeSet;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Tracks live edges in timestamp order and computes which edges expire when
 /// the window slides forward.
 #[derive(Debug, Clone, Default)]
 pub struct ExpiryQueue {
-    live: BTreeSet<(Timestamp, EdgeId)>,
+    live: BinaryHeap<Reverse<(Timestamp, EdgeId)>>,
 }
 
 impl ExpiryQueue {
@@ -28,22 +33,24 @@ impl ExpiryQueue {
 
     /// Registers a new live edge.
     pub fn push(&mut self, edge: EdgeId, ts: Timestamp) {
-        self.live.insert((ts, edge));
+        self.live.push(Reverse((ts, edge)));
     }
 
     /// Removes an edge that is being deleted for a reason other than expiry
-    /// (currently only used by tests and future explicit-deletion support).
+    /// (the explicit-deletion path — O(n), never on the streaming path).
     pub fn remove(&mut self, edge: EdgeId, ts: Timestamp) -> bool {
-        self.live.remove(&(ts, edge))
+        let before = self.live.len();
+        self.live.retain(|&Reverse(entry)| entry != (ts, edge));
+        before != self.live.len()
     }
 
     /// Pops every edge strictly older than `cutoff` and returns them in
     /// timestamp order.
     pub fn expire_older_than(&mut self, cutoff: Timestamp) -> Vec<(EdgeId, Timestamp)> {
         let mut expired = Vec::new();
-        while let Some(&(ts, edge)) = self.live.iter().next() {
+        while let Some(&Reverse((ts, edge))) = self.live.peek() {
             if ts < cutoff {
-                self.live.remove(&(ts, edge));
+                self.live.pop();
                 expired.push((edge, ts));
             } else {
                 break;
@@ -64,7 +71,7 @@ impl ExpiryQueue {
 
     /// Timestamp of the oldest live edge, if any.
     pub fn oldest(&self) -> Option<Timestamp> {
-        self.live.iter().next().map(|&(ts, _)| ts)
+        self.live.peek().map(|&Reverse((ts, _))| ts)
     }
 }
 

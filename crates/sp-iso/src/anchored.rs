@@ -35,25 +35,92 @@ pub fn edge_compatible(
     src_ok && dst_ok
 }
 
+/// Reusable per-search state, owned by a long-lived pipeline stage (a query
+/// engine, the shared-leaf index, the shared-join stage) rather than the
+/// call: the steady-state per-edge path runs thousands of anchored searches
+/// per second, and allocating a working match and result buffers per search
+/// was the dominant allocator traffic of the hot path.
+///
+/// The `_into` search variants thread a scratch through the whole
+/// backtracking extension; the working binding map is extended **in place
+/// with undo** (bind → recurse → unbind + time-span restore) instead of
+/// cloning the partial match once per candidate. Only completed matches are
+/// cloned, into the caller's output buffer — a memcpy for every built-in
+/// workload query (inline binding maps).
+#[derive(Debug, Clone, Default)]
+pub struct SearchScratch {
+    /// The working partial match, mutated in place during extension. Reused
+    /// across seeds and searches: spilled binding storage (queries past the
+    /// inline cap) keeps its capacity.
+    work: SubgraphMatch,
+    /// Reusable result buffer for callers that drain search results
+    /// immediately instead of keeping them (e.g. the lazy retroactive
+    /// probe). The `_into` variants never touch it.
+    pub buf: Vec<SubgraphMatch>,
+}
+
+impl SearchScratch {
+    /// An empty scratch. Capacity grows with use and persists across
+    /// searches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drops all retained capacity, returning the scratch to its freshly
+    /// constructed state (the `scratch reuse off` measurement arm).
+    pub fn release(&mut self) {
+        *self = Self::default();
+    }
+}
+
 /// Finds every match of `subgraph` (a connected subgraph of `query`) in the
 /// data graph that uses `data_edge` for one of its query edges.
 ///
 /// This is the per-edge search performed by the engine: a new streaming edge
 /// can only create matches that contain it, so anchoring the search on the
 /// new edge is both correct and cheap.
+///
+/// Convenience wrapper over
+/// [`find_matches_containing_edge_into`] that allocates a fresh scratch and
+/// result vector; hot-path callers hold a [`SearchScratch`] and call the
+/// `_into` variant instead.
 pub fn find_matches_containing_edge(
     graph: &DynamicGraph,
     query: &QueryGraph,
     subgraph: &QuerySubgraph,
     data_edge: &EdgeData,
 ) -> Vec<SubgraphMatch> {
+    let mut scratch = SearchScratch::new();
     let mut results = Vec::new();
+    find_matches_containing_edge_into(
+        graph,
+        query,
+        subgraph,
+        data_edge,
+        &mut scratch,
+        &mut results,
+    );
+    results
+}
+
+/// Allocation-free variant of [`find_matches_containing_edge`]: appends every
+/// match to `results`, reusing the scratch's working state. `results` is not
+/// cleared — callers own its lifecycle (and its capacity).
+pub fn find_matches_containing_edge_into(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    subgraph: &QuerySubgraph,
+    data_edge: &EdgeData,
+    scratch: &mut SearchScratch,
+    results: &mut Vec<SubgraphMatch>,
+) {
+    let mut m = std::mem::take(&mut scratch.work);
     for qe in subgraph.edges() {
         if !edge_compatible(graph, query, qe, data_edge) {
             continue;
         }
         let q = query.edge(qe);
-        let mut m = SubgraphMatch::new();
+        m.clear();
         if !m.bind_vertex(q.src, data_edge.src) {
             continue;
         }
@@ -63,9 +130,10 @@ pub fn find_matches_containing_edge(
         if !m.bind_edge(qe, data_edge.id, data_edge.timestamp) {
             continue;
         }
-        extend(graph, query, subgraph, m, &mut results);
+        extend(graph, query, subgraph, &mut m, results);
     }
-    results
+    m.clear();
+    scratch.work = m;
 }
 
 /// Finds every match of `subgraph` in which `data_vertex` is bound to one of
@@ -80,36 +148,66 @@ pub fn find_matches_around_vertex(
     subgraph: &QuerySubgraph,
     data_vertex: VertexId,
 ) -> Vec<SubgraphMatch> {
+    let mut scratch = SearchScratch::new();
     let mut results = Vec::new();
+    find_matches_around_vertex_into(
+        graph,
+        query,
+        subgraph,
+        data_vertex,
+        &mut scratch,
+        &mut results,
+    );
+    results
+}
+
+/// Allocation-free variant of [`find_matches_around_vertex`]: appends every
+/// match to `results`, reusing the scratch's working state. `results` is not
+/// cleared — callers own its lifecycle (and its capacity).
+pub fn find_matches_around_vertex_into(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    subgraph: &QuerySubgraph,
+    data_vertex: VertexId,
+    scratch: &mut SearchScratch,
+    results: &mut Vec<SubgraphMatch>,
+) {
     let Some(vt) = graph.vertex_type(data_vertex) else {
-        return results;
+        return;
     };
+    let mut m = std::mem::take(&mut scratch.work);
     for qv in subgraph.vertices() {
         if !query.vertex(qv).vertex_type.accepts(vt) {
             continue;
         }
-        let mut m = SubgraphMatch::new();
+        m.clear();
         if !m.bind_vertex(qv, data_vertex) {
             continue;
         }
-        extend(graph, query, subgraph, m, &mut results);
+        extend(graph, query, subgraph, &mut m, results);
     }
-    results
+    m.clear();
+    scratch.work = m;
 }
 
 /// Backtracking extension: repeatedly picks an unmatched query edge with at
 /// least one bound endpoint and enumerates the data edges that can be bound
 /// to it from the neighborhood of the bound endpoint.
+///
+/// The working match is extended speculatively in place: every candidate
+/// bind is undone (unbind + time-span restore) after the recursive call, so
+/// no partial match is ever cloned — only completed matches are, into
+/// `results`.
 fn extend(
     graph: &DynamicGraph,
     query: &QueryGraph,
     subgraph: &QuerySubgraph,
-    m: SubgraphMatch,
+    m: &mut SubgraphMatch,
     results: &mut Vec<SubgraphMatch>,
 ) {
     // Complete when every subgraph edge is bound.
     if m.num_edges() == subgraph.num_edges() {
-        results.push(m);
+        results.push(m.clone());
         return;
     }
 
@@ -144,40 +242,32 @@ fn extend(
                 if e.edge_type != q.edge_type || m.uses_data_edge(e.id) {
                     continue;
                 }
-                let mut next = m.clone();
-                if next.bind_edge(qe, e.id, e.timestamp) {
-                    extend(graph, query, subgraph, next, results);
+                let span = m.time_span();
+                if m.bind_edge(qe, e.id, e.timestamp) {
+                    extend(graph, query, subgraph, m, results);
+                    m.unbind_edge(qe);
                 }
+                m.restore_time_span(span);
             }
         }
         1 => {
             // Exactly one endpoint bound: walk that endpoint's incident edges
-            // in the matching direction.
+            // in the matching direction, straight off the adjacency iterator
+            // (no candidate buffer — the graph is only ever borrowed
+            // immutably here).
             let (bound_qv, free_qv, outgoing) = if m.data_vertex(q.src).is_some() {
                 (q.src, q.dst, true)
             } else {
                 (q.dst, q.src, false)
             };
             let anchor = m.data_vertex(bound_qv).expect("bound");
-            let candidates: Vec<&EdgeData> = if outgoing {
-                graph.out_edges(anchor).collect()
+            if outgoing {
+                for e in graph.out_edges(anchor) {
+                    try_one_bound(graph, query, subgraph, m, results, qe, free_qv, e, true);
+                }
             } else {
-                graph.in_edges(anchor).collect()
-            };
-            for e in candidates {
-                if e.edge_type != q.edge_type || m.uses_data_edge(e.id) {
-                    continue;
-                }
-                let free_data = if outgoing { e.dst } else { e.src };
-                let Some(ft) = graph.vertex_type(free_data) else {
-                    continue;
-                };
-                if !query.vertex(free_qv).vertex_type.accepts(ft) {
-                    continue;
-                }
-                let mut next = m.clone();
-                if next.bind_vertex(free_qv, free_data) && next.bind_edge(qe, e.id, e.timestamp) {
-                    extend(graph, query, subgraph, next, results);
+                for e in graph.in_edges(anchor) {
+                    try_one_bound(graph, query, subgraph, m, results, qe, free_qv, e, false);
                 }
             }
         }
@@ -186,28 +276,74 @@ fn extend(
             // where the seed vertex has no incident subgraph edge left): fall
             // back to scanning all live edges of the right type. Correct but
             // only used off the hot path.
-            let candidates: Vec<EdgeData> = graph
-                .edges()
-                .filter(|e| e.edge_type == q.edge_type)
-                .copied()
-                .collect();
-            for e in candidates {
-                if m.uses_data_edge(e.id) {
+            for e in graph.edges() {
+                if e.edge_type != q.edge_type || m.uses_data_edge(e.id) {
                     continue;
                 }
-                if !edge_compatible(graph, query, qe, &e) {
+                if !edge_compatible(graph, query, qe, e) {
                     continue;
                 }
-                let mut next = m.clone();
-                if next.bind_vertex(q.src, e.src)
-                    && next.bind_vertex(q.dst, e.dst)
-                    && next.bind_edge(qe, e.id, e.timestamp)
-                {
-                    extend(graph, query, subgraph, next, results);
+                let span = m.time_span();
+                // Both endpoints may name the same query vertex (a self-loop
+                // edge): track which binds actually inserted, so the undo
+                // removes exactly what this candidate added.
+                if let Some(src_new) = m.bind_vertex_tracked(q.src, e.src) {
+                    if let Some(dst_new) = m.bind_vertex_tracked(q.dst, e.dst) {
+                        if m.bind_edge(qe, e.id, e.timestamp) {
+                            extend(graph, query, subgraph, m, results);
+                            m.unbind_edge(qe);
+                        }
+                        if dst_new {
+                            m.unbind_vertex(q.dst);
+                        }
+                    }
+                    if src_new {
+                        m.unbind_vertex(q.src);
+                    }
                 }
+                m.restore_time_span(span);
             }
         }
     }
+}
+
+/// One candidate of the single-bound-endpoint arm of [`extend`]: type- and
+/// injectivity-check the edge, bind the free endpoint and the edge, recurse,
+/// undo.
+#[allow(clippy::too_many_arguments)]
+fn try_one_bound(
+    graph: &DynamicGraph,
+    query: &QueryGraph,
+    subgraph: &QuerySubgraph,
+    m: &mut SubgraphMatch,
+    results: &mut Vec<SubgraphMatch>,
+    qe: QueryEdgeId,
+    free_qv: sp_query::QueryVertexId,
+    e: &EdgeData,
+    outgoing: bool,
+) {
+    let q = query.edge(qe);
+    if e.edge_type != q.edge_type || m.uses_data_edge(e.id) {
+        return;
+    }
+    let free_data = if outgoing { e.dst } else { e.src };
+    let Some(ft) = graph.vertex_type(free_data) else {
+        return;
+    };
+    if !query.vertex(free_qv).vertex_type.accepts(ft) {
+        return;
+    }
+    let span = m.time_span();
+    // `free_qv` is the unbound endpoint of `qe`, so a successful bind always
+    // inserts (and is undone unconditionally below).
+    if m.bind_vertex(free_qv, free_data) {
+        if m.bind_edge(qe, e.id, e.timestamp) {
+            extend(graph, query, subgraph, m, results);
+            m.unbind_edge(qe);
+        }
+        m.unbind_vertex(free_qv);
+    }
+    m.restore_time_span(span);
 }
 
 #[cfg(test)]
@@ -407,6 +543,42 @@ mod tests {
         let whole = QuerySubgraph::from_edges(&q, q.edge_ids());
         let matches = find_matches_around_vertex(&g, &q, &whole, VertexId(999));
         assert!(matches.is_empty());
+    }
+
+    #[test]
+    fn reused_scratch_matches_fresh_scratch_across_searches() {
+        // One scratch threaded through every search of the fixture must
+        // yield exactly what per-call fresh scratches yield — no state may
+        // leak between seeds or searches.
+        let (g, v) = fixture();
+        let q = tcp_udp_path_query(g.schema());
+        let whole = QuerySubgraph::from_edges(&q, q.edge_ids());
+        let single = QuerySubgraph::from_edges(&q, [QueryEdgeId(0)]);
+
+        let mut scratch = SearchScratch::new();
+        let mut reused: Vec<SubgraphMatch> = Vec::new();
+        let mut fresh: Vec<SubgraphMatch> = Vec::new();
+        for e in g.edges() {
+            find_matches_containing_edge_into(&g, &q, &whole, e, &mut scratch, &mut reused);
+            find_matches_containing_edge_into(&g, &q, &single, e, &mut scratch, &mut reused);
+            fresh.extend(find_matches_containing_edge(&g, &q, &whole, e));
+            fresh.extend(find_matches_containing_edge(&g, &q, &single, e));
+        }
+        for &vx in &v {
+            find_matches_around_vertex_into(&g, &q, &whole, vx, &mut scratch, &mut reused);
+            fresh.extend(find_matches_around_vertex(&g, &q, &whole, vx));
+        }
+        assert!(!fresh.is_empty());
+        assert_eq!(reused, fresh);
+        // Releasing the scratch drops capacity but not correctness.
+        scratch.release();
+        let mut after_release = Vec::new();
+        let e = *g.edges_between(v[0], v[1]).next().unwrap();
+        find_matches_containing_edge_into(&g, &q, &whole, &e, &mut scratch, &mut after_release);
+        assert_eq!(
+            after_release,
+            find_matches_containing_edge(&g, &q, &whole, &e)
+        );
     }
 
     #[test]

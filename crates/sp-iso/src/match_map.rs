@@ -101,6 +101,40 @@ macro_rules! small_sorted_map {
                 }
             }
 
+            /// Removes `key` if present, keeping the entries sorted. The
+            /// vacated inline slot is re-zeroed and a spilled map that fits
+            /// inline again is converted back, so the representation stays
+            /// canonical by length and derived comparisons stay consistent.
+            fn remove(&mut self, key: $k) -> bool {
+                let Ok(i) = self.as_slice().binary_search_by_key(&key, |&(k, _)| k) else {
+                    return false;
+                };
+                match self {
+                    $name::Inline(n, entries) => {
+                        let len = *n as usize;
+                        entries.copy_within(i + 1..len, i);
+                        entries[len - 1] = $zero;
+                        *n -= 1;
+                    }
+                    $name::Spilled(v) => {
+                        v.remove(i);
+                        if v.len() <= MATCH_INLINE_BINDINGS {
+                            let len = v.len();
+                            let mut inline = [$zero; MATCH_INLINE_BINDINGS];
+                            inline[..len].copy_from_slice(v);
+                            *self = $name::Inline(len as u8, inline);
+                        }
+                    }
+                }
+                true
+            }
+
+            /// Resets to empty, dropping any spilled storage (inline storage
+            /// is simply re-zeroed).
+            fn clear(&mut self) {
+                *self = $name::new();
+            }
+
             fn is_inline(&self) -> bool {
                 matches!(self, $name::Inline(..))
             }
@@ -269,6 +303,61 @@ impl SubgraphMatch {
                 true
             }
         }
+    }
+
+    /// Like [`SubgraphMatch::bind_vertex`], but reports what happened so a
+    /// speculative caller knows what to undo: `None` = conflict (nothing
+    /// changed), `Some(true)` = a new binding was inserted (undo with
+    /// [`SubgraphMatch::unbind_vertex`]), `Some(false)` = the vertex was
+    /// already bound to the same data vertex (nothing to undo).
+    pub fn bind_vertex_tracked(&mut self, q: QueryVertexId, d: VertexId) -> Option<bool> {
+        match self.vertex_map.get(q) {
+            Some(existing) => (existing == d).then_some(false),
+            None => {
+                if self.vertex_map.values().any(|v| v == d) {
+                    return None;
+                }
+                self.vertex_map.insert(q, d);
+                Some(true)
+            }
+        }
+    }
+
+    /// Removes the binding of `q`, if any. Paired with
+    /// [`SubgraphMatch::bind_vertex`] to extend a match speculatively in
+    /// place instead of cloning it per candidate.
+    pub fn unbind_vertex(&mut self, q: QueryVertexId) {
+        self.vertex_map.remove(q);
+    }
+
+    /// Removes the binding of `q`, if any. The time interval is **not**
+    /// recomputed (binds only widen it); callers snapshot
+    /// [`SubgraphMatch::time_span`] before the bind and restore it after.
+    pub fn unbind_edge(&mut self, q: QueryEdgeId) {
+        self.edge_map.remove(q);
+    }
+
+    /// The `(earliest, latest)` interval, for snapshot/restore around
+    /// speculative binds (binds only ever widen the interval, so undo is a
+    /// plain restore).
+    pub fn time_span(&self) -> (Timestamp, Timestamp) {
+        (self.earliest, self.latest)
+    }
+
+    /// Restores an interval snapshot taken with
+    /// [`SubgraphMatch::time_span`].
+    pub fn restore_time_span(&mut self, span: (Timestamp, Timestamp)) {
+        self.earliest = span.0;
+        self.latest = span.1;
+    }
+
+    /// Resets to an empty match so the allocation (if any) can be reused for
+    /// another search seed.
+    pub fn clear(&mut self) {
+        self.edge_map.clear();
+        self.vertex_map.clear();
+        self.earliest = Timestamp(u64::MAX);
+        self.latest = Timestamp(0);
     }
 
     /// Attempts to bind `query_edge -> data_edge`. Fails if either side is
@@ -609,6 +698,69 @@ mod tests {
         let keys: Vec<usize> = m.vertex_pairs().map(|(q, _)| q.0).collect();
         assert_eq!(keys, vec![0, 1, 2, 3, 4, 5]);
         assert!(m.bindings_inline());
+    }
+
+    #[test]
+    fn unbind_reverses_bind_exactly() {
+        let mut m = SubgraphMatch::new();
+        assert!(m.bind_vertex(qv(0), dv(10)));
+        assert!(m.bind_vertex(qv(2), dv(12)));
+        assert!(m.bind_edge(qe(0), de(100), Timestamp(5)));
+        let reference = m.clone();
+        let span = m.time_span();
+
+        // Speculative extension: bind, then undo.
+        assert_eq!(m.bind_vertex_tracked(qv(1), dv(11)), Some(true));
+        assert!(m.bind_edge(qe(1), de(101), Timestamp(9)));
+        assert_eq!(m.latest(), Timestamp(9));
+        m.unbind_edge(qe(1));
+        m.unbind_vertex(qv(1));
+        m.restore_time_span(span);
+        assert_eq!(m, reference, "undo must restore the match byte for byte");
+
+        // Tracked re-bind of an existing consistent binding: nothing to undo.
+        assert_eq!(m.bind_vertex_tracked(qv(0), dv(10)), Some(false));
+        assert_eq!(m, reference);
+        // Conflicting tracked bind changes nothing.
+        assert_eq!(m.bind_vertex_tracked(qv(0), dv(99)), None);
+        assert_eq!(m.bind_vertex_tracked(qv(5), dv(12)), None);
+        assert_eq!(m, reference);
+    }
+
+    #[test]
+    fn remove_from_spilled_map_restores_canonical_inline_form() {
+        // Spill past the inline cap, then unbind back under it: the match
+        // must compare equal to one that never spilled (store-bucket dedup
+        // relies on the derived Eq/Ord).
+        let build = |extra: bool| {
+            let mut m = SubgraphMatch::new();
+            for i in 0..super::MATCH_INLINE_BINDINGS {
+                assert!(m.bind_vertex(qv(i), dv(100 + i as u64)));
+            }
+            if extra {
+                let e = super::MATCH_INLINE_BINDINGS;
+                assert!(m.bind_vertex(qv(e), dv(999)));
+                assert!(!m.bindings_inline());
+                m.unbind_vertex(qv(e));
+            }
+            m
+        };
+        let via_spill = build(true);
+        let never_spilled = build(false);
+        assert!(via_spill.bindings_inline());
+        assert_eq!(via_spill, never_spilled);
+        assert_eq!(via_spill.cmp(&never_spilled), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn clear_resets_to_the_empty_match() {
+        let mut m = SubgraphMatch::new();
+        m.bind_vertex(qv(3), dv(30));
+        m.bind_edge(qe(2), de(20), Timestamp(7));
+        m.clear();
+        assert_eq!(m, SubgraphMatch::new());
+        assert!(m.is_empty());
+        assert_eq!(m.duration(), 0);
     }
 
     #[test]

@@ -33,13 +33,22 @@
 //! assert_eq!(snap.histogram("match.latency_ns").unwrap().count(), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// The optional `count-allocs` feature installs a counting
+// `#[global_allocator]`, which requires an `unsafe impl GlobalAlloc`; that
+// module carries the only `allow(unsafe_code)`. Without the feature the
+// crate-wide forbid is intact.
+#![cfg_attr(not(feature = "count-allocs"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-allocs", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+#[cfg(feature = "count-allocs")]
+pub mod alloc;
 mod exporter;
 mod histogram;
 mod registry;
 
+#[cfg(feature = "count-allocs")]
+pub use alloc::alloc_counts;
 pub use exporter::{render_dashboard, ExportFormat, MetricsConfig, SnapshotExporter};
 pub use histogram::{
     bucket_lower_bound, HistogramSnapshot, LogHistogram, PercentileSummary, NUM_BUCKETS,

@@ -144,10 +144,7 @@ pub(crate) fn worker_loop(
                     queue_depth.sub(1);
                 }
                 let mut out: Vec<(QueryId, SubgraphMatch)> = Vec::new();
-                for ev in events.iter() {
-                    if config.ingest_filter && proc.registry().candidates(ev.edge_type).is_empty() {
-                        continue;
-                    }
+                {
                     let mut sink = FnSink(|local: QueryId, m: SubgraphMatch| {
                         let global = to_global
                             .get(&local)
@@ -155,7 +152,21 @@ pub(crate) fn worker_loop(
                             .expect("match from an unmapped local query");
                         out.push((global, m));
                     });
-                    proc.process_into(ev, &mut sink);
+                    if config.ingest_filter {
+                        // The candidate pre-filter reads the registry between
+                        // events, so this path stays per-event.
+                        for ev in events.iter() {
+                            if proc.registry().candidates(ev.edge_type).is_empty() {
+                                continue;
+                            }
+                            proc.process_into(ev, &mut sink);
+                        }
+                    } else {
+                        // Default path: the whole batch runs through the
+                        // processor's batch loop — one warm edge cache and
+                        // one per-engine scratch serve every event.
+                        proc.process_batch_into(events.iter(), &mut sink);
+                    }
                 }
                 emitted += out.len() as u64;
                 if !out.is_empty() {

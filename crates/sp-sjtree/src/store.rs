@@ -29,11 +29,38 @@ use std::collections::HashMap;
 /// `bucket.contains(&m)` scan made every insert `O(n)`.
 type NodeTable = HashMap<JoinKey, Vec<SubgraphMatch>>;
 
+/// Upper bound on recycled bucket vectors kept in a store's free list. A
+/// purge can empty thousands of buckets at once; retaining a bounded pool
+/// keeps steady-state inserts allocation-free without pinning a whole
+/// window's worth of peak memory forever.
+const SPARE_BUCKETS_CAP: usize = 1024;
+
 /// Runtime partial-match storage for one SJ-Tree.
+///
+/// Bucket memory is arena-style: match bindings small enough for the inline
+/// representation (every tree the built-in decompositions produce) live
+/// directly in the bucket vector — dropping a match is a plain `Vec`
+/// truncation, no per-match heap traffic — and bucket vectors emptied by
+/// window expiry are recycled through a bounded free list (`spare`) instead
+/// of being freed, so the next insert at a fresh join key reuses their
+/// capacity.
 #[derive(Debug, Clone)]
 pub struct MatchStore {
     tables: Vec<NodeTable>,
     inserted: Vec<u64>,
+    /// Free list of emptied bucket vectors (capacity preserved), refilled by
+    /// the purge/clear paths and drained by inserts at previously unseen
+    /// join keys.
+    spare: Vec<Vec<SubgraphMatch>>,
+}
+
+/// Moves an emptied bucket into the free list, dropping it instead when the
+/// pool is full or the bucket never grew.
+fn recycle(spare: &mut Vec<Vec<SubgraphMatch>>, mut bucket: Vec<SubgraphMatch>) {
+    if spare.len() < SPARE_BUCKETS_CAP && bucket.capacity() > 0 {
+        bucket.clear();
+        spare.push(bucket);
+    }
 }
 
 /// Aggregate statistics of a [`MatchStore`], used by the memory/space
@@ -55,7 +82,19 @@ impl MatchStore {
         Self {
             tables: vec![NodeTable::new(); tree.num_nodes()],
             inserted: vec![0; tree.num_nodes()],
+            spare: Vec::new(),
         }
+    }
+
+    /// Number of recycled bucket vectors currently in the free list.
+    pub fn spare_buckets(&self) -> usize {
+        self.spare.len()
+    }
+
+    /// Drops the recycled-bucket free list (the `scratch reuse off`
+    /// measurement arm; steady-state operation never calls this).
+    pub fn release_spare(&mut self) {
+        self.spare = Vec::new();
     }
 
     /// Inserts a match of `node`'s subgraph, performing the recursive hash
@@ -115,13 +154,14 @@ impl MatchStore {
 
         // Deduplicate: buckets are sorted, so membership is O(log n). The
         // failed search also yields the position that keeps the bucket
-        // sorted when the match is stored below.
-        let insert_at = match self.tables[node.0].get(&key) {
+        // sorted when the match is stored below. A miss on the key itself
+        // claims a recycled bucket vector from the free list up front.
+        let (insert_at, recycled) = match self.tables[node.0].get(&key) {
             Some(bucket) => match bucket.binary_search(&m) {
                 Ok(_) => return,
-                Err(pos) => pos,
+                Err(pos) => (pos, None),
             },
-            None => 0,
+            None => (0, Some(self.spare.pop().unwrap_or_default())),
         };
 
         // Probe the sibling's table with the same key and join (lines 4-7 of
@@ -139,10 +179,13 @@ impl MatchStore {
 
         // Store the new match at this node (line 12), preserving the sorted
         // bucket invariant.
-        self.tables[node.0]
-            .entry(key)
-            .or_default()
-            .insert(insert_at, m.clone());
+        let bucket = match recycled {
+            Some(fresh) => self.tables[node.0].entry(key).or_insert(fresh),
+            None => self.tables[node.0]
+                .get_mut(&key)
+                .expect("bucket existed at the dedup probe above"),
+        };
+        bucket.insert(insert_at, m.clone());
         self.inserted[node.0] += 1;
         trace.push((node, m));
 
@@ -213,22 +256,36 @@ impl MatchStore {
     /// preserves relative order, so the sorted-bucket invariant survives.
     /// Returns the number of matches removed.
     fn retain_matches(&mut self, keep: impl Fn(&SubgraphMatch) -> bool) -> usize {
+        let Self { tables, spare, .. } = self;
         let mut removed = 0;
-        for table in &mut self.tables {
+        for table in tables {
             for bucket in table.values_mut() {
                 let before = bucket.len();
                 bucket.retain(&keep);
                 removed += before - bucket.len();
             }
-            table.retain(|_, bucket| !bucket.is_empty());
+            // Emptied buckets leave the table but their capacity goes to the
+            // free list — window expiry returns memory to the store, not the
+            // allocator.
+            table.retain(|_, bucket| {
+                if bucket.is_empty() {
+                    recycle(spare, std::mem::take(bucket));
+                    false
+                } else {
+                    true
+                }
+            });
         }
         removed
     }
 
-    /// Clears every table.
+    /// Clears every table, recycling every bucket vector.
     pub fn clear(&mut self) {
-        for table in &mut self.tables {
-            table.clear();
+        let Self { tables, spare, .. } = self;
+        for table in tables {
+            for (_, bucket) in table.drain() {
+                recycle(spare, bucket);
+            }
         }
     }
 
@@ -239,7 +296,10 @@ impl MatchStore {
     /// table is repopulated by replaying the retained graph) and would
     /// otherwise linger until window expiry.
     pub fn clear_node(&mut self, node: NodeId) {
-        self.tables[node.0].clear();
+        let Self { tables, spare, .. } = self;
+        for (_, bucket) in tables[node.0].drain() {
+            recycle(spare, bucket);
+        }
     }
 
     /// Aggregate statistics.
@@ -661,6 +721,46 @@ mod tests {
         );
         assert_eq!(complete.len(), FAN as usize);
         assert!(complete.iter().all(|m| m.bindings_inline()));
+    }
+
+    #[test]
+    fn purge_recycles_bucket_capacity_into_the_free_list() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        // Distinct cut-vertex bindings → distinct buckets at leaf 0.
+        for i in 0..8u64 {
+            store.insert(
+                &tree,
+                tree.leaf(0),
+                leaf0_match(10 + i, 50 + i, 100 + i, i),
+                None,
+                &mut complete,
+            );
+        }
+        assert_eq!(store.spare_buckets(), 0);
+        // Expire everything: all eight buckets empty out and are recycled.
+        let removed = store.purge_expired(Timestamp(1_000), 10);
+        assert_eq!(removed, 8);
+        assert_eq!(store.spare_buckets(), 8);
+        // New inserts at fresh keys draw from the free list instead of the
+        // allocator.
+        for i in 0..3u64 {
+            store.insert(
+                &tree,
+                tree.leaf(0),
+                leaf0_match(200 + i, 300 + i, 400 + i, 2_000),
+                None,
+                &mut complete,
+            );
+        }
+        assert_eq!(store.spare_buckets(), 5);
+        assert_eq!(store.stats().total_live_matches, 3);
+        // `clear` recycles too; `release_spare` drops the pool.
+        store.clear();
+        assert_eq!(store.spare_buckets(), 8);
+        store.release_spare();
+        assert_eq!(store.spare_buckets(), 0);
     }
 
     #[test]

@@ -1,0 +1,334 @@
+//! Per-edge hot-path scratch reuse: equivalence and allocation regression.
+//!
+//! The tentpole contract is that scratch reuse is *invisible*: threading
+//! warm [`sp_iso::SearchScratch`] buffers, registry-owned search caches and
+//! recycled match-store buckets through the pipeline must not change the
+//! reported `(query, match)` multiset for any strategy or worker count.
+//! The feature-gated test at the bottom pins the point of the exercise:
+//! with reuse on, the steady-state per-edge path stops allocating.
+
+use sp_datasets::NetflowConfig;
+use sp_query::QueryGraph;
+use sp_runtime::{ParallelStreamProcessor, RuntimeConfig};
+use streampattern::{
+    FnSink, QueryId, Schema, Strategy, StrategySpec, StreamProcessor, SubgraphMatch,
+};
+
+/// Worker counts under test: `RUNTIME_WORKERS` (e.g. `2` or `1,2,4`) or the
+/// default sweep, mirroring `integration_parallel.rs`.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("RUNTIME_WORKERS") {
+        Ok(v) => v
+            .split(',')
+            .map(|p| {
+                p.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad RUNTIME_WORKERS entry '{p}'"))
+            })
+            .collect(),
+        Err(_) => vec![1, 2, 4],
+    }
+}
+
+/// An overlapping netflow rule pack (identical chains, a proper-prefix
+/// overlap, disjoint rules) so the reuse paths in all three pipeline stages
+/// — shared join tables, the shared leaf cache and private engines — run
+/// against warm buffers.
+fn pack(schema: &Schema) -> Vec<(QueryGraph, Option<u64>)> {
+    let chain = |name: &str, protos: &[&str]| {
+        let mut q = QueryGraph::new(name);
+        let mut prev = q.add_any_vertex();
+        for p in protos {
+            let next = q.add_any_vertex();
+            q.add_edge(prev, next, schema.edge_type(p).unwrap());
+            prev = next;
+        }
+        q
+    };
+    vec![
+        (chain("exfil", &["TCP", "ESP"]), Some(5_000)),
+        (chain("exfil-wide", &["TCP", "ESP"]), None),
+        (chain("bounce", &["TCP", "ESP", "TCP"]), Some(5_000)),
+        (chain("scan", &["ICMP", "TCP"]), Some(2_000)),
+        (chain("relay", &["TCP", "TCP"]), Some(1_000)),
+    ]
+}
+
+/// Sorted `(query slot, match fingerprint)` multiset of a full run.
+fn multiset_of<F>(mut process_all: F) -> Vec<(usize, String)>
+where
+    F: FnMut(&mut dyn FnMut(usize, SubgraphMatch)),
+{
+    let mut out = Vec::new();
+    process_all(&mut |slot, m| {
+        out.push((slot, format!("{:?}", m.edge_pairs().collect::<Vec<_>>())));
+    });
+    out.sort();
+    out
+}
+
+#[test]
+fn scratch_reuse_is_semantics_preserving_across_strategies() {
+    let dataset = NetflowConfig {
+        num_hosts: 300,
+        num_edges: 2_500,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let rules = pack(&schema);
+
+    let specs: [StrategySpec; 5] = [
+        Strategy::Single.into(),
+        Strategy::SingleLazy.into(),
+        Strategy::Path.into(),
+        Strategy::PathLazy.into(),
+        StrategySpec::Auto,
+    ];
+    for spec in specs {
+        let run = |scratch_reuse: bool| {
+            let mut proc = StreamProcessor::new(schema.clone())
+                .with_estimator(estimator.clone())
+                .with_statistics(false)
+                .with_scratch_reuse(scratch_reuse);
+            let ids: Vec<QueryId> = rules
+                .iter()
+                .map(|(q, w)| proc.register(q.clone(), spec, *w).unwrap())
+                .collect();
+            multiset_of(|emit| {
+                let mut sink = FnSink(|q: QueryId, m: SubgraphMatch| {
+                    emit(ids.iter().position(|&i| i == q).unwrap(), m);
+                });
+                for ev in dataset.events() {
+                    proc.process_into(ev, &mut sink);
+                }
+            })
+        };
+        let reused = run(true);
+        let released = run(false);
+        assert!(
+            !reused.is_empty(),
+            "workload found no matches under {spec:?}"
+        );
+        assert_eq!(
+            reused, released,
+            "scratch reuse changed the multiset under {spec:?}"
+        );
+
+        // Pre-sharing architecture: one independent single-query processor
+        // per rule, with every reuse and sharing stage disabled.
+        let independent = multiset_of(|emit| {
+            for (slot, (q, w)) in rules.iter().enumerate() {
+                let mut proc = StreamProcessor::new(schema.clone())
+                    .with_estimator(estimator.clone())
+                    .with_statistics(false)
+                    .with_sharing(false)
+                    .with_join_sharing(false)
+                    .with_scratch_reuse(false);
+                proc.register(q.clone(), spec, *w).unwrap();
+                let mut sink = FnSink(|_q: QueryId, m: SubgraphMatch| emit(slot, m));
+                for ev in dataset.events() {
+                    proc.process_into(ev, &mut sink);
+                }
+            }
+        });
+        assert_eq!(
+            reused, independent,
+            "warm scratch diverges from independent processors under {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn scratch_reuse_matches_parallel_runtime_across_worker_counts() {
+    let dataset = NetflowConfig {
+        num_hosts: 300,
+        num_edges: 2_500,
+        ..NetflowConfig::tiny()
+    }
+    .generate();
+    let schema = dataset.schema.clone();
+    let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+    let rules = pack(&schema);
+
+    // Sequential reference with per-edge scratch release (the conservative
+    // configuration), against the parallel runtime's always-warm workers.
+    let mut seq = StreamProcessor::new(schema.clone())
+        .with_estimator(estimator.clone())
+        .with_statistics(false)
+        .with_scratch_reuse(false);
+    let seq_ids: Vec<QueryId> = rules
+        .iter()
+        .map(|(q, w)| seq.register(q.clone(), Strategy::SingleLazy, *w).unwrap())
+        .collect();
+    let expected = multiset_of(|emit| {
+        let mut sink = FnSink(|q: QueryId, m: SubgraphMatch| {
+            emit(seq_ids.iter().position(|&i| i == q).unwrap(), m);
+        });
+        for ev in dataset.events() {
+            seq.process_into(ev, &mut sink);
+        }
+    });
+
+    for workers in worker_counts() {
+        let mut runtime = ParallelStreamProcessor::new(
+            schema.clone(),
+            RuntimeConfig::with_workers(workers).statistics(false),
+        )
+        .with_estimator(estimator.clone());
+        let ids: Vec<QueryId> = rules
+            .iter()
+            .map(|(q, w)| {
+                runtime
+                    .register(q.clone(), Strategy::SingleLazy, *w)
+                    .unwrap()
+            })
+            .collect();
+        let got = multiset_of(|emit| {
+            let mut sink = FnSink(|q: QueryId, m: SubgraphMatch| {
+                emit(ids.iter().position(|&i| i == q).unwrap(), m);
+            });
+            runtime.process_all_into(dataset.events().iter(), &mut sink);
+        });
+        assert_eq!(got, expected, "multiset diverged at {workers} workers");
+    }
+}
+
+/// Steady-state allocation regression, only meaningful under the counting
+/// global allocator (`--features count-allocs`). Two claims:
+///
+/// 1. **The per-edge machinery is allocation-free.** A cyber stream whose
+///    steady-state slice is all gated-leaf traffic (esp edges in a region
+///    no tcp partial ever touched, under Lazy Search) drives the full
+///    dispatch path — ingest, candidate lookup, shared-leaf fan-out, lazy
+///    gate — without materializing new matches or partials. After warmup
+///    that slice must average (almost) zero allocations per edge; the
+///    residue is amortized container growth, not per-edge churn.
+/// 2. **Reuse also wins when matches flow.** On a match-heavy netflow
+///    workload (where per-match materialization is irreducible), warm
+///    scratch must still allocate measurably less than the conservative
+///    per-edge-release configuration.
+#[cfg(feature = "count-allocs")]
+mod alloc_regression {
+    use super::*;
+    use sp_graph::{EdgeEvent, Timestamp};
+
+    fn cyber_schema() -> Schema {
+        let mut schema = Schema::new();
+        schema.intern_vertex_type("ip");
+        schema.intern_edge_type("tcp");
+        schema.intern_edge_type("esp");
+        schema
+    }
+
+    #[test]
+    fn gated_steady_state_is_allocation_free() {
+        let schema = cyber_schema();
+        let ip = schema.vertex_type("ip").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+
+        // tcp -> esp chain under Lazy Search: the tcp leaf is primary, the
+        // esp leaf is gated per vertex and only enabled where a tcp partial
+        // lands. Region A (hosts 0..40) sees completions during warmup;
+        // region B (hosts 100..140) sees esp traffic only, so its gate
+        // never opens.
+        let mut q = sp_query::QueryGraph::new("exfil");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        q.add_edge(b, c, esp);
+
+        // A purge cadence well inside the window keeps the retained graph
+        // (and thus every container's high-water mark) bounded, so warmup
+        // actually reaches a steady state instead of growing forever.
+        let mut proc = StreamProcessor::new(schema.clone())
+            .with_statistics(false)
+            .with_purge_interval(512);
+        proc.register(q, Strategy::SingleLazy, Some(1_000)).unwrap();
+
+        let warm = 8_000u64;
+        let metered = 4_000u64;
+        let mut sink = streampattern::CountSink::new();
+        // `j` is the per-region sequence number (drives the host walk and
+        // the tcp/esp mix), `i` the global one (drives the clock).
+        let event = |i: u64, j: u64, region_b: bool| {
+            let (base, span, t) = if region_b {
+                (100, 40, esp)
+            } else {
+                (0, 40, if j % 4 == 0 { tcp } else { esp })
+            };
+            let src = base + j % span;
+            let dst = base + (j + 1) % span;
+            EdgeEvent::homogeneous(src, dst, ip, t, Timestamp(i))
+        };
+        for i in 0..warm {
+            proc.process_into(&event(i, i / 2, i % 2 == 0), &mut sink);
+        }
+        assert!(sink.matches > 0, "warmup produced no matches");
+        let warm_matches = sink.matches;
+
+        let (a0, b0) = sp_metrics::alloc_counts();
+        for i in warm..warm + metered {
+            proc.process_into(&event(i, warm / 2 + (i - warm), true), &mut sink);
+        }
+        let (a1, b1) = sp_metrics::alloc_counts();
+        assert_eq!(sink.matches, warm_matches, "gated slice completed a match");
+        let allocs_per_edge = (a1 - a0) as f64 / metered as f64;
+        let bytes_per_edge = (b1 - b0) as f64 / metered as f64;
+        println!(
+            "gated steady state: {allocs_per_edge:.4} allocs/edge, {bytes_per_edge:.1} bytes/edge"
+        );
+        assert!(
+            allocs_per_edge < 0.1,
+            "gated steady-state path allocates per edge: {allocs_per_edge:.4} allocs/edge"
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_reduces_allocations_on_a_match_heavy_stream() {
+        let dataset = NetflowConfig {
+            num_hosts: 300,
+            num_edges: 6_000,
+            ..NetflowConfig::tiny()
+        }
+        .generate();
+        let schema = dataset.schema.clone();
+        let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
+        let rules = pack(&schema);
+
+        let metered = |scratch_reuse: bool| -> f64 {
+            let mut proc = StreamProcessor::new(schema.clone())
+                .with_estimator(estimator.clone())
+                .with_statistics(false)
+                .with_scratch_reuse(scratch_reuse);
+            for (q, w) in &rules {
+                proc.register(q.clone(), Strategy::SingleLazy, *w).unwrap();
+            }
+            let events = dataset.events();
+            let warm = events.len() / 2;
+            let mut sink = streampattern::CountSink::new();
+            for ev in &events[..warm] {
+                proc.process_into(ev, &mut sink);
+            }
+            let (a0, _) = sp_metrics::alloc_counts();
+            for ev in &events[warm..] {
+                proc.process_into(ev, &mut sink);
+            }
+            let (a1, _) = sp_metrics::alloc_counts();
+            assert!(sink.matches > 0, "workload found no matches");
+            (a1 - a0) as f64 / (events.len() - warm) as f64
+        };
+
+        let warm_allocs = metered(true);
+        let cold_allocs = metered(false);
+        println!("allocs/edge: warm scratch {warm_allocs:.3}, per-edge release {cold_allocs:.3}");
+        assert!(
+            warm_allocs < cold_allocs * 0.9,
+            "scratch reuse no longer reduces steady-state allocator traffic: \
+             warm {warm_allocs:.3} vs released {cold_allocs:.3} allocs/edge"
+        );
+    }
+}
