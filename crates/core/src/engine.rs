@@ -367,7 +367,7 @@ impl ContinuousQueryEngine {
         graph: &DynamicGraph,
         edge: &EdgeData,
         prepared: Option<&mut Vec<Option<LeafFanout>>>,
-        prefix: Option<PrefixFeed>,
+        prefix: Option<&mut PrefixFeed>,
     ) -> Vec<SubgraphMatch> {
         let mut complete = Vec::new();
         self.process_edge_inner(graph, edge, prepared, prefix, &mut complete);
@@ -379,12 +379,15 @@ impl ContinuousQueryEngine {
     /// appended to the caller-owned `complete` buffer (cleared first), so a
     /// registry processing a fan-out of engines reuses one buffer for the
     /// whole stream instead of allocating a fresh `Vec` per engine per edge.
+    /// The prefix feed is likewise borrowed, not consumed — the engine
+    /// *drains* its matches, so the caller can hand the emission buffer
+    /// back to the shared join stage's pool.
     pub fn process_edge_shared_into(
         &mut self,
         graph: &DynamicGraph,
         edge: &EdgeData,
         prepared: Option<&mut Vec<Option<LeafFanout>>>,
-        prefix: Option<PrefixFeed>,
+        prefix: Option<&mut PrefixFeed>,
         complete: &mut Vec<SubgraphMatch>,
     ) {
         self.process_edge_inner(graph, edge, prepared, prefix, complete);
@@ -395,7 +398,7 @@ impl ContinuousQueryEngine {
         graph: &DynamicGraph,
         edge: &EdgeData,
         mut supplied: Option<&mut Vec<Option<LeafFanout>>>,
-        prefix: Option<PrefixFeed>,
+        prefix: Option<&mut PrefixFeed>,
         complete: &mut Vec<SubgraphMatch>,
     ) {
         complete.clear();
@@ -446,7 +449,7 @@ impl ContinuousQueryEngine {
                             // matches are the complete matches (the shared
                             // stage pre-filtered them against this engine's
                             // window and subscription boundary).
-                            for m in feed.matches {
+                            for m in feed.matches.drain(..) {
                                 debug_assert!(window.is_none_or(|tw| m.within_window(tw)));
                                 complete.push(m);
                             }
@@ -460,7 +463,7 @@ impl ContinuousQueryEngine {
                         let prefix_node = tree
                             .parent(tree.leaf(feed.depth - 1))
                             .expect("a strict prefix has a parent join node");
-                        for m in feed.matches {
+                        for m in feed.matches.drain(..) {
                             worklist.push_back((prefix_node, m));
                         }
                         feed.depth

@@ -199,6 +199,20 @@ impl StreamProcessor {
         self
     }
 
+    /// Switches the shared join stage between the **trie** policy (on by
+    /// default: nesting prefixes link parent→child, a child consumes its
+    /// parent's emissions instead of re-running the parent's leaf searches,
+    /// and the shared partials are stored exactly once) and the flat PR 5
+    /// policy of independent per-prefix tables. The reported match multiset
+    /// is identical either way; the toggle exists for the `sharedjoin`
+    /// benchmark's trie-vs-flat comparison and the equivalence tests. Like
+    /// [`StreamProcessor::with_join_sharing`], a registration-time
+    /// property — flip it before registering.
+    pub fn with_join_trie(mut self, enabled: bool) -> Self {
+        self.registry.set_join_trie(enabled);
+        self
+    }
+
     /// Snapshot of the shared join stage: live prefix tables, current
     /// subscriptions, and how much join-stage work sharing eliminated.
     pub fn shared_join_stats(&self) -> crate::SharedJoinStats {

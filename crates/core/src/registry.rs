@@ -181,6 +181,19 @@ impl QueryRegistry {
         self.join_sharing
     }
 
+    /// Switches the shared join stage between the trie policy (default:
+    /// nesting prefixes link parent→child and share storage) and the flat
+    /// PR 5 policy (independent tables) for *future* subscriptions. Like
+    /// [`QueryRegistry::set_join_sharing`], a registration-time property.
+    pub fn set_join_trie(&mut self, enabled: bool) {
+        self.join.set_trie(enabled);
+    }
+
+    /// Whether the shared join stage links nesting prefixes into a trie.
+    pub fn join_trie_enabled(&self) -> bool {
+        self.join.trie_enabled()
+    }
+
     /// Snapshot of the shared join stage bookkeeping (live tables,
     /// subscriptions, work run vs saved).
     pub fn shared_join_stats(&self) -> SharedJoinStats {
@@ -433,7 +446,7 @@ impl QueryRegistry {
             // The per-subscriber fan-out of the shared prefix tables is
             // stage-0 work too, so its span joins `shared_join_ns`.
             let span = metrics.map(|_| Instant::now());
-            let feed = join.feed_for(id, edge);
+            let mut feed = join.feed_for(id, edge);
             if let (Some(m), Some(t)) = (metrics, span) {
                 m.shared_join_ns.add(t.elapsed().as_nanos() as u64);
             }
@@ -443,7 +456,7 @@ impl QueryRegistry {
                 m.shared_leaf_ns.add(t.elapsed().as_nanos() as u64);
             }
             let span = metrics.map(|_| Instant::now());
-            match (prepared, feed) {
+            match (prepared, feed.as_mut()) {
                 (true, feed) => {
                     engine.process_edge_shared_into(graph, edge, Some(fanout), feed, complete)
                 }
@@ -452,6 +465,11 @@ impl QueryRegistry {
                 }
                 (false, None) => engine.process_edge_shared_into(graph, edge, None, None, complete),
             };
+            if let Some(feed) = feed {
+                // The engine drained the feed; its emission buffer goes
+                // back to the shared join stage's pool.
+                join.recycle_feed(feed);
+            }
             if let (Some(m), Some(t)) = (metrics, span) {
                 m.private_engine_ns.add(t.elapsed().as_nanos() as u64);
             }

@@ -25,6 +25,31 @@
 //!   drift-driven re-subscription) drops the table; a late subscriber to an
 //!   existing table sees no pre-registration matches (see *Boundaries*).
 //!
+//! # Trie of prefix tables
+//!
+//! Tables are organized as a **trie keyed on
+//! [`ChainStep`](sp_query::ChainStep)s** (the
+//! query-clustering shape of Zervakis et al., "Efficient Continuous
+//! Multi-Query Processing over Graph Streams"): a node whose signature
+//! extends another materialized signature is that node's *child*, and on
+//! every dispatched edge the parent advances first and its freshly emitted
+//! prefix-root matches are **consumed by the child** as inserts at the
+//! child's internal node covering the parent's leaves — instead of the
+//! child re-running the parent's leaf searches and re-storing its partials.
+//! A child therefore stores only its *suffix* stages (the consume node plus
+//! its own leaves and upper joins); the storage for the shared `[A,B]`
+//! partials exists in exactly one place. Subscribers hang off the node
+//! covering their deepest shared prefix, refcounts are per node, and a node
+//! outlived by its children (its own last subscriber left) stays alive
+//! until the whole subtree is unsubscribed. When a later registration
+//! materializes a prefix *between* an existing node and its parent (or
+//! above a current trie root), the trie edge is **split**: the extension
+//! re-points onto the new node (its consume stage is already populated —
+//! no replay needed on its side) and the new node is back-filled by
+//! retained-window replay before it feeds anyone. The flat PR 5 policy
+//! remains available behind [`SharedJoinIndex::set_trie`] as a comparison
+//! baseline for the benchmarks and equivalence tests.
+//!
 //! # Windows move to emit time
 //!
 //! Subscribers with different `tW` share one table: the table itself prunes
@@ -134,10 +159,14 @@ struct PrefixEntry {
     per_leaf_types: Vec<Vec<EdgeType>>,
     /// Canonical edge ids per leaf rank, for the boundary (`dep`) filter.
     leaf_edges: Vec<Vec<QueryEdgeId>>,
-    /// Loosest subscriber window (`None` = some subscriber is unwindowed);
-    /// prunes joins inside the table and drives the periodic purge.
+    /// Loosest window across the node's **subtree** (own subscribers plus
+    /// every descendant's; `None` = someone is unwindowed): a parent's
+    /// emissions feed its children, so its table must retain at least as
+    /// much as any consumer downstream. Prunes joins inside the table and
+    /// drives the periodic purge.
     window: Option<u64>,
-    /// Subscribers in subscription order (the refcount is `subs.len()`).
+    /// Subscribers in subscription order (the node refcount is
+    /// `subs.len()`, but lifetime also considers `children`).
     subs: Vec<JoinSub>,
     /// Stream position the table's contents are complete from; subscribing
     /// with an earlier boundary triggers a replay.
@@ -146,6 +175,19 @@ struct PrefixEntry {
     pending: Vec<SubgraphMatch>,
     /// Edge the `pending` buffer belongs to.
     advanced_for: Option<EdgeId>,
+    /// Trie parent: the deepest materialized strict prefix of `sig`.
+    /// `None` for trie roots and for every entry under the flat policy.
+    parent: Option<usize>,
+    /// `self.entries[parent].depth()`, or `0` without a parent. Leaf ranks
+    /// `0..parent_depth` are covered by consuming the parent's emissions,
+    /// so this node searches and stores only from rank `parent_depth` up.
+    parent_depth: usize,
+    /// Trie children: materialized extensions consuming this node's
+    /// emissions.
+    children: Vec<usize>,
+    /// Subscribers across the node's subtree (own + descendants) — the
+    /// would-be-runner count behind the saved-work accounting.
+    subtree_subs: usize,
 }
 
 impl PrefixEntry {
@@ -177,6 +219,10 @@ impl PrefixEntry {
             populated_since,
             pending: Vec::new(),
             advanced_for: None,
+            parent: None,
+            parent_depth: 0,
+            children: Vec::new(),
+            subtree_subs: 0,
         }
     }
 
@@ -184,18 +230,49 @@ impl PrefixEntry {
         self.sig.depth()
     }
 
-    /// Recomputes the table window as the loosest subscriber window.
-    fn recompute_window(&mut self) {
-        self.window = retention_for_windows(self.subs.iter().map(|s| s.window));
+    /// The internal tree node at which the parent's emissions are inserted:
+    /// the join node covering exactly the parent's leaves `0..parent_depth`.
+    /// Canonical ids line up across the two trees by prefix-closure, so the
+    /// parent's root matches need no remapping.
+    fn consume_node(&self) -> sp_sjtree::NodeId {
+        debug_assert!(self.parent.is_some());
+        self.tree
+            .parent(self.tree.leaf(self.parent_depth - 1))
+            .expect("a strict prefix has a covering join node")
     }
 
-    /// Runs the prefix's leaf searches and hash joins for one edge against
-    /// the shared table, leaving the new prefix-root matches in `pending`.
-    /// Returns `(searches run, matches inserted)`.
+    /// Drops the stages the trie parent owns on this node's behalf: leaf
+    /// ranks `0..parent_depth` and the internal join nodes strictly below
+    /// the consume node (the consume node itself and everything above stay
+    /// — that is this node's own suffix state). Mirrors
+    /// `ContinuousQueryEngine::clear_prefix_state`.
+    fn clear_parent_stages(&mut self) {
+        if self.parent.is_none() {
+            return;
+        }
+        let d = self.parent_depth;
+        for rank in 0..d {
+            self.store.clear_node(self.tree.leaf(rank));
+        }
+        for j in 1..d.saturating_sub(1) {
+            let node = self
+                .tree
+                .parent(self.tree.leaf(j))
+                .expect("non-root leaves have join parents");
+            self.store.clear_node(node);
+        }
+    }
+
+    /// Runs the prefix's per-edge work against the shared table, leaving the
+    /// new prefix-root matches in `pending`: first consumes `parent_feed` —
+    /// the trie parent's emissions for this same edge — as inserts at the
+    /// consume node, then runs the leaf searches for this node's own ranks
+    /// (`parent_depth..`). Returns `(searches run, matches inserted)`.
     fn advance(
         &mut self,
         graph: &DynamicGraph,
         edge: &EdgeData,
+        parent_feed: &[SubgraphMatch],
         scratch: &mut SearchScratch,
         found: &mut Vec<SubgraphMatch>,
     ) -> (u64, u64) {
@@ -203,7 +280,25 @@ impl PrefixEntry {
         self.advanced_for = Some(edge.id);
         let inserted_before = self.store.lifetime_inserted();
         let mut searches = 0u64;
-        for (rank, &leaf) in self.tree.leaves().iter().enumerate() {
+        if !parent_feed.is_empty() {
+            let consume = self.consume_node();
+            for m in parent_feed {
+                self.store.insert(
+                    &self.tree,
+                    consume,
+                    m.clone(),
+                    self.window,
+                    &mut self.pending,
+                );
+            }
+        }
+        for (rank, &leaf) in self
+            .tree
+            .leaves()
+            .iter()
+            .enumerate()
+            .skip(self.parent_depth)
+        {
             if !self.per_leaf_types[rank].contains(&edge.edge_type) {
                 continue;
             }
@@ -230,6 +325,11 @@ impl PrefixEntry {
     /// Emissions are discarded: every prefix-root match reconstructed here
     /// lies entirely in the retained (pre-subscription) graph, so whoever
     /// was subscribed when its last edge arrived already consumed it.
+    ///
+    /// The replay always runs **all** ranks — a node with a trie parent
+    /// needs the lower stages live while the joins propagate upward — and
+    /// the caller clears the parent-owned stages afterwards
+    /// ([`PrefixEntry::clear_parent_stages`]).
     fn replay(&mut self, graph: &DynamicGraph) {
         self.store.clear();
         let mut edges: Vec<EdgeData> = graph
@@ -312,8 +412,16 @@ pub struct SharedJoinStats {
     /// Emissions delivered after window/boundary filtering, summed over
     /// subscribers.
     pub deliveries: u64,
-    /// Table back-fills (late-partner migrations and re-subscriptions).
+    /// Table back-fills (late-partner migrations, re-subscriptions and
+    /// trie-edge splits).
     pub replays: u64,
+    /// Deepest live trie node (equals the deepest flat table when no
+    /// prefixes nest; 0 with no tables).
+    pub max_depth: usize,
+    /// Parent-node emissions consumed by child trie nodes in place of
+    /// re-running the parent's leaf searches and joins (always 0 under the
+    /// flat policy).
+    pub parent_feeds: u64,
 }
 
 impl SharedJoinStats {
@@ -328,6 +436,28 @@ impl SharedJoinStats {
             saved as f64 / (run + saved) as f64
         }
     }
+}
+
+/// One live node of the prefix-table trie, as reported by
+/// [`SharedJoinIndex::trie_nodes`] for tests and benchmarks. Under the flat
+/// policy every node reads as a parentless, childless trie root.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrieNodeInfo {
+    /// Leaves the node's canonical prefix covers.
+    pub depth: usize,
+    /// Depth of the trie parent feeding this node (`None` for trie roots).
+    pub parent_depth: Option<usize>,
+    /// Child nodes consuming this node's emissions.
+    pub children: usize,
+    /// Queries subscribed directly at this node.
+    pub subscribers: usize,
+    /// Live stored partial matches per canonical tree node: first the leaf
+    /// ranks `0..depth`, then the internal join nodes by ascending coverage
+    /// (`leaves 0..=1`, `0..=2`, …). The last slot is the prefix root,
+    /// whose matches are emitted, never stored — it stays 0. A node with a
+    /// trie parent keeps its parent-covered slots empty: those partials
+    /// live in exactly one place, the child's consume slot.
+    pub live_by_node: Vec<usize>,
 }
 
 /// Outcome of [`SharedJoinIndex::subscribe`].
@@ -352,18 +482,23 @@ pub enum JoinSubscription {
 
 /// The registry-wide index of canonical prefix tables and their
 /// subscribers. See the module docs for the semantics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct SharedJoinIndex {
     entries: Vec<Option<PrefixEntry>>,
     by_sig: HashMap<PrefixSignature, usize>,
     free: Vec<usize>,
-    /// Edge type → entries whose prefix contains it (entry dispatch).
+    /// Edge type → entries whose prefix contains it (entry dispatch), each
+    /// list kept sorted shallow-first so a trie parent always advances
+    /// before any of its children on the same edge.
     by_type: HashMap<EdgeType, Vec<usize>>,
     /// Query → entry index, for subscribed queries.
     subs: BTreeMap<QueryId, usize>,
     /// Full canonical chains of every join-capable registered query
     /// (subscribed or not), for partner matching.
     chains: BTreeMap<QueryId, PrefixSignature>,
+    /// Whether nesting prefixes form a trie (default) or stay independent
+    /// flat tables under the PR 5 greedy policy.
+    trie: bool,
     searches_run: u64,
     inserts_run: u64,
     searches_saved: u64,
@@ -371,16 +506,60 @@ pub struct SharedJoinIndex {
     emissions: u64,
     deliveries: u64,
     replays: u64,
+    parent_feeds: u64,
     /// Reusable anchored-search buffers for [`SharedJoinIndex::advance_edge`]
     /// — one warm scratch serves every table on every edge.
     scratch: SearchScratch,
     found: Vec<SubgraphMatch>,
+    /// Recycled emission buffers for [`SharedJoinIndex::feed_for`]: a feed's
+    /// rebased matches live in a pooled `Vec` handed back through
+    /// [`SharedJoinIndex::recycle_feed`] once the engine drained it, so the
+    /// steady-state per-delivered-match path allocates nothing.
+    feed_pool: Vec<Vec<SubgraphMatch>>,
+}
+
+impl Default for SharedJoinIndex {
+    fn default() -> Self {
+        SharedJoinIndex {
+            entries: Vec::new(),
+            by_sig: HashMap::new(),
+            free: Vec::new(),
+            by_type: HashMap::new(),
+            subs: BTreeMap::new(),
+            chains: BTreeMap::new(),
+            trie: true,
+            searches_run: 0,
+            inserts_run: 0,
+            searches_saved: 0,
+            inserts_saved: 0,
+            emissions: 0,
+            deliveries: 0,
+            replays: 0,
+            parent_feeds: 0,
+            scratch: SearchScratch::default(),
+            found: Vec::new(),
+            feed_pool: Vec::new(),
+        }
+    }
 }
 
 impl SharedJoinIndex {
-    /// Creates an empty index.
+    /// Creates an empty index (trie policy enabled).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Switches between the trie policy (default) and the flat PR 5 policy
+    /// for *future* subscriptions. Like
+    /// [`set_join_sharing`](crate::QueryRegistry::set_join_sharing) this is
+    /// a registration-time property: existing nodes keep their links.
+    pub fn set_trie(&mut self, enabled: bool) {
+        self.trie = enabled;
+    }
+
+    /// Whether nesting prefixes share storage through the trie.
+    pub fn trie_enabled(&self) -> bool {
+        self.trie
     }
 
     /// Whether a query is evaluated through a shared prefix table.
@@ -419,7 +598,45 @@ impl SharedJoinIndex {
             emissions: self.emissions,
             deliveries: self.deliveries,
             replays: self.replays,
+            max_depth: self
+                .entries
+                .iter()
+                .flatten()
+                .map(PrefixEntry::depth)
+                .max()
+                .unwrap_or(0),
+            parent_feeds: self.parent_feeds,
         }
+    }
+
+    /// Snapshot of every live trie node, shallow-first (ties broken by
+    /// signature order), for tests and the bench's trie statistics.
+    pub fn trie_nodes(&self) -> Vec<TrieNodeInfo> {
+        let mut live: Vec<&PrefixEntry> = self.entries.iter().flatten().collect();
+        live.sort_by(|a, b| (a.depth(), &a.sig).cmp(&(b.depth(), &b.sig)));
+        live.into_iter()
+            .map(|e| {
+                let k = e.tree.num_leaves();
+                let mut live_by_node = Vec::with_capacity(2 * k - 1);
+                for &leaf in e.tree.leaves() {
+                    live_by_node.push(e.store.live_matches(leaf));
+                }
+                for j in 1..k {
+                    let node = e
+                        .tree
+                        .parent(e.tree.leaf(j))
+                        .expect("non-root leaves have join parents");
+                    live_by_node.push(e.store.live_matches(node));
+                }
+                TrieNodeInfo {
+                    depth: e.depth(),
+                    parent_depth: e.parent.map(|_| e.parent_depth),
+                    children: e.children.len(),
+                    subscribers: e.subs.len(),
+                    live_by_node,
+                }
+            })
+            .collect()
     }
 
     /// Computes the canonical chain of an engine's decomposition together
@@ -446,12 +663,17 @@ impl SharedJoinIndex {
     /// position; `graph` is the retained data graph, needed when an
     /// existing table must be back-filled for an early boundary.
     ///
-    /// Policy (greedy, deterministic): attach to the **deepest existing**
-    /// table matching a chain prefix; otherwise create a table at the
-    /// deepest prefix shared with a currently *private* partner (ties
-    /// broken toward the smallest partner id) and report the partners for
-    /// migration; otherwise stay private. A created table with a
-    /// partner-to-migrate is back-filled by replay before any emission.
+    /// Policy (greedy, deterministic). Under the **trie** (default): the
+    /// target depth is the deeper of the deepest materialized node on the
+    /// chain's path and the deepest prefix shared with any other registered
+    /// chain not already covered that deep for its owner; the node at that
+    /// depth is attached to or created (linking it into the trie, splitting
+    /// an existing trie edge and back-filling by replay when needed), and
+    /// every query whose chain runs through the node but is covered more
+    /// shallowly — private *or* subscribed — is reported for migration.
+    /// Under the **flat** PR 5 policy: attach to the deepest existing
+    /// table, else create a table at the deepest prefix shared with a
+    /// currently *private* partner, else stay private.
     pub fn subscribe(
         &mut self,
         id: QueryId,
@@ -464,6 +686,9 @@ impl SharedJoinIndex {
             return JoinSubscription::Private;
         };
         self.chains.insert(id, chain.clone());
+        if self.trie {
+            return self.subscribe_trie(id, &chain, &mapping, engine, boundary, now, graph);
+        }
         // Deepest existing table first: attaching is free (no replay unless
         // this subscriber's boundary predates the table's coverage).
         let existing_depth = (MIN_PREFIX_DEPTH..=chain.depth())
@@ -508,11 +733,70 @@ impl SharedJoinIndex {
         JoinSubscription::Private
     }
 
-    /// Attaches a previously private query to the deepest existing table
-    /// matching its recorded chain — the migration half of a
-    /// [`JoinSubscription::Shared`] outcome. Returns the table depth, or
-    /// `None` when no table matches (e.g. the partner was deregistered in
-    /// between).
+    /// The trie subscription policy (see [`SharedJoinIndex::subscribe`]).
+    #[allow(clippy::too_many_arguments)]
+    fn subscribe_trie(
+        &mut self,
+        id: QueryId,
+        chain: &PrefixSignature,
+        mapping: &sp_query::CanonicalMapping,
+        engine: &ContinuousQueryEngine,
+        boundary: u64,
+        now: u64,
+        graph: &DynamicGraph,
+    ) -> JoinSubscription {
+        // Deepest materialized node on the chain's path.
+        let existing_depth = (MIN_PREFIX_DEPTH..=chain.depth())
+            .rev()
+            .find(|&d| self.by_sig.contains_key(&chain.truncated(d)))
+            .unwrap_or(0);
+        // Deepest prefix shared with another registered chain whose owner
+        // is not already covered that deep — subscribed-but-shallower
+        // partners count (they re-point onto the deeper node), unlike the
+        // flat policy's private-only rule.
+        let mut partner_depth = 0usize;
+        for (&other, other_chain) in &self.chains {
+            if other == id {
+                continue;
+            }
+            let d = chain.common_depth(other_chain);
+            if d > self.subscription_depth(other).unwrap_or(0) {
+                partner_depth = partner_depth.max(d);
+            }
+        }
+        let target = existing_depth.max(partner_depth);
+        if target < MIN_PREFIX_DEPTH {
+            return JoinSubscription::Private;
+        }
+        let sig = chain.truncated(target);
+        let migrations: Vec<QueryId> = self
+            .chains
+            .iter()
+            .filter(|&(&other, oc)| {
+                other != id
+                    && oc.common_depth(&sig) == target
+                    && self.subscription_depth(other).unwrap_or(0) < target
+            })
+            .map(|(&other, _)| other)
+            .collect();
+        let idx = match self.by_sig.get(&sig) {
+            Some(&idx) => idx,
+            None => self.create_node(sig, now, graph),
+        };
+        self.attach_at(idx, id, mapping, engine.window(), boundary, graph);
+        JoinSubscription::Shared {
+            depth: target,
+            migrations,
+        }
+    }
+
+    /// Attaches a migrating query to the deepest existing table matching
+    /// its recorded chain — the migration half of a
+    /// [`JoinSubscription::Shared`] outcome. The query may be private (the
+    /// flat policy's only case) or already subscribed at a shallower node
+    /// (the trie re-point case: its old subscription is detached first).
+    /// Returns the table depth, or `None` when no table matches (e.g. the
+    /// partner was deregistered in between).
     pub fn attach_partner(
         &mut self,
         id: QueryId,
@@ -525,6 +809,10 @@ impl SharedJoinIndex {
             .rev()
             .find(|&d| self.by_sig.contains_key(&chain.truncated(d)))?;
         let idx = self.by_sig[&chain.truncated(depth)];
+        if self.subs.get(&id) == Some(&idx) {
+            return Some(depth);
+        }
+        self.detach(id);
         let (_, mapping) = Self::engine_chain(engine).expect("chain canonicalized before");
         self.attach_at(idx, id, &mapping, engine.window(), boundary, graph);
         Some(depth)
@@ -555,62 +843,246 @@ impl SharedJoinIndex {
             window,
             boundary,
         });
-        entry.recompute_window();
         self.subs.insert(id, idx);
-        if boundary < entry.populated_since {
-            // The subscriber is entitled to matches older than the table:
-            // back-fill from the retained graph (replayed matches keep
-            // their original edge ids, so everyone's boundary filter still
-            // applies).
-            entry.replay(graph);
-            entry.populated_since = boundary;
-            self.replays += 1;
+        self.refresh_structure();
+        // The subscriber may be entitled to matches older than the node's
+        // (or any feeding ancestor's) coverage: back-fill from the retained
+        // graph (replayed matches keep their original edge ids, so
+        // everyone's boundary filter still applies).
+        self.ensure_populated(idx, boundary, graph);
+    }
+
+    /// Back-fills `idx` and every trie ancestor whose contents start later
+    /// than `boundary`: a node is only complete from `populated_since`, and
+    /// a consumer downstream entitled to older matches needs the whole
+    /// feeding path complete from its boundary.
+    fn ensure_populated(&mut self, idx: usize, boundary: u64, graph: &DynamicGraph) {
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            let entry = self.entries[i].as_mut().expect("live entry");
+            if boundary < entry.populated_since {
+                entry.replay(graph);
+                entry.clear_parent_stages();
+                entry.populated_since = boundary;
+                self.replays += 1;
+            }
+            cur = entry.parent;
         }
     }
 
-    /// Drops a query's subscription and chain. The last unsubscriber drops
-    /// the table entirely ([`SharedJoinStats::tables`] shrinks). Returns
-    /// whether the query had been subscribed.
-    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
-        self.chains.remove(&id);
+    /// Recomputes the structure-derived per-node state after any
+    /// subscription or trie change: subtree subscriber counts, subtree
+    /// windows (children processed before parents: depth strictly grows
+    /// down the trie), and the shallow-first order of the dispatch lists.
+    fn refresh_structure(&mut self) {
+        let mut order: Vec<usize> = (0..self.entries.len())
+            .filter(|&i| self.entries[i].is_some())
+            .collect();
+        order.sort_by_key(|&i| {
+            std::cmp::Reverse(self.entries[i].as_ref().expect("filtered live").depth())
+        });
+        for &i in &order {
+            let (mut subs, mut windows, children) = {
+                let e = self.entries[i].as_ref().expect("filtered live");
+                let windows: Vec<Option<u64>> = e.subs.iter().map(|s| s.window).collect();
+                (e.subs.len(), windows, e.children.clone())
+            };
+            for c in children {
+                let child = self.entries[c].as_ref().expect("children are live");
+                subs += child.subtree_subs;
+                windows.push(child.window);
+            }
+            let e = self.entries[i].as_mut().expect("filtered live");
+            e.subtree_subs = subs;
+            e.window = retention_for_windows(windows);
+        }
+        for ids in self.by_type.values_mut() {
+            ids.sort_by_key(|&i| (self.entries[i].as_ref().map(PrefixEntry::depth), i));
+        }
+    }
+
+    /// Materializes a new trie node for `sig`: links it under the deepest
+    /// materialized strict prefix, splices it in *above* any materialized
+    /// extension whose current parent is shallower (splitting that trie
+    /// edge — the extension's consume stage is already populated, so only
+    /// its now-parent-owned lower stages are dropped), and back-fills the
+    /// new node by retained-window replay when it has live consumers.
+    fn create_node(&mut self, sig: PrefixSignature, now: u64, graph: &DynamicGraph) -> usize {
+        let depth = sig.depth();
+        let idx = self.create_entry(sig.clone(), now);
+        if let Some(p) = (MIN_PREFIX_DEPTH..depth)
+            .rev()
+            .find_map(|d| self.by_sig.get(&sig.truncated(d)).copied())
+        {
+            let pd = self.entries[p].as_ref().expect("live parent").depth();
+            let e = self.entries[idx].as_mut().expect("just created");
+            e.parent = Some(p);
+            e.parent_depth = pd;
+            self.entries[p]
+                .as_mut()
+                .expect("live parent")
+                .children
+                .push(idx);
+        }
+        let mut spliced = false;
+        for i in 0..self.entries.len() {
+            if i == idx {
+                continue;
+            }
+            let Some(e) = self.entries[i].as_ref() else {
+                continue;
+            };
+            if e.sig.common_depth(&sig) != depth || e.parent_depth >= depth {
+                continue;
+            }
+            if let Some(op) = e.parent {
+                self.entries[op]
+                    .as_mut()
+                    .expect("live parent")
+                    .children
+                    .retain(|&c| c != i);
+            }
+            let e = self.entries[i].as_mut().expect("checked above");
+            e.parent = Some(idx);
+            e.parent_depth = depth;
+            e.clear_parent_stages();
+            self.entries[idx]
+                .as_mut()
+                .expect("just created")
+                .children
+                .push(i);
+            spliced = true;
+        }
+        self.refresh_structure();
+        if spliced {
+            // The node was spliced in above live children: it must be
+            // complete over everything their subscribers are entitled to
+            // before its emissions replace their own lower-stage work.
+            let needed = self.subtree_min_boundary(idx);
+            self.ensure_populated(idx, needed, graph);
+        }
+        idx
+    }
+
+    /// The earliest subscription boundary across a node's subtree (`0`
+    /// when the subtree has no subscribers — conservative full coverage).
+    fn subtree_min_boundary(&self, idx: usize) -> u64 {
+        let e = self.entries[idx].as_ref().expect("live entry");
+        e.subs
+            .iter()
+            .map(|s| s.boundary)
+            .chain(e.children.iter().map(|&c| self.subtree_min_boundary(c)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Removes a query's subscription (keeping its chain registered) and
+    /// collapses any nodes left without subscribers or children.
+    fn detach(&mut self, id: QueryId) {
         let Some(idx) = self.subs.remove(&id) else {
-            return false;
+            return;
         };
-        let entry = self.entries[idx].as_mut().expect("live entry");
-        entry.subs.retain(|s| s.id != id);
-        if entry.subs.is_empty() {
-            let entry = self.entries[idx].take().expect("checked above");
+        self.entries[idx]
+            .as_mut()
+            .expect("live entry")
+            .subs
+            .retain(|s| s.id != id);
+        self.collapse(idx);
+        self.refresh_structure();
+    }
+
+    /// Drops `idx` and then its ancestors while they have neither own
+    /// subscribers nor children — a node outlived by its children keeps
+    /// running (it feeds them); a fully unsubscribed subtree unwinds
+    /// bottom-up.
+    fn collapse(&mut self, idx: usize) {
+        let mut cur = Some(idx);
+        while let Some(i) = cur {
+            {
+                let entry = self.entries[i].as_ref().expect("live entry");
+                if !entry.subs.is_empty() || !entry.children.is_empty() {
+                    break;
+                }
+            }
+            let entry = self.entries[i].take().expect("checked above");
             self.by_sig.remove(&entry.sig);
             for ids in self.by_type.values_mut() {
-                ids.retain(|&i| i != idx);
+                ids.retain(|&x| x != i);
             }
             self.by_type.retain(|_, ids| !ids.is_empty());
-            self.free.push(idx);
-        } else {
-            entry.recompute_window();
+            self.free.push(i);
+            if let Some(p) = entry.parent {
+                self.entries[p]
+                    .as_mut()
+                    .expect("trie parent is live")
+                    .children
+                    .retain(|&c| c != i);
+            }
+            cur = entry.parent;
         }
-        true
     }
 
-    /// Advances every table whose prefix contains the edge's type: one
-    /// shared search-and-join pass per table per edge, regardless of how
-    /// many queries subscribe.
+    /// Drops a query's subscription and chain. The last unsubscriber of a
+    /// childless node drops it ([`SharedJoinStats::tables`] shrinks), and
+    /// the drop cascades up through ancestors left with no subtree.
+    /// Returns whether the query had been subscribed.
+    pub fn unsubscribe(&mut self, id: QueryId) -> bool {
+        self.chains.remove(&id);
+        let had = self.subs.contains_key(&id);
+        self.detach(id);
+        had
+    }
+
+    /// Advances every node whose prefix contains the edge's type: one
+    /// shared search-and-join pass per node per edge, regardless of how
+    /// many queries subscribe. This is the per-edge **trie walk**: dispatch
+    /// lists are sorted shallow-first and a child's edge types are a
+    /// superset of its parent's, so whenever a child is dispatched its
+    /// parent has already advanced for this edge and the child consumes the
+    /// parent's fresh emissions instead of re-running the parent's ranks.
     pub fn advance_edge(&mut self, graph: &DynamicGraph, edge: &EdgeData) {
         let Some(ids) = self.by_type.get(&edge.edge_type) else {
             return;
         };
         for &idx in ids {
-            let entry = self.entries[idx]
-                .as_mut()
-                .expect("dispatched entry is live");
-            let (searches, inserts) =
-                entry.advance(graph, edge, &mut self.scratch, &mut self.found);
-            let saved = entry.subs.len().saturating_sub(1) as u64;
+            // Detach the parent's pending buffer for the duration of the
+            // advance (a second live borrow into `entries` otherwise); the
+            // swap is allocation-free and the buffer goes straight back.
+            let parent = self.entries[idx]
+                .as_ref()
+                .expect("dispatched entry is live")
+                .parent;
+            let parent_pending = parent.and_then(|p| {
+                let pe = self.entries[p].as_mut().expect("trie parent is live");
+                (pe.advanced_for == Some(edge.id) && !pe.pending.is_empty())
+                    .then(|| std::mem::take(&mut pe.pending))
+            });
+            let feed: &[SubgraphMatch] = parent_pending.as_deref().unwrap_or(&[]);
+            let (searches, inserts, saved, pending) = {
+                let entry = self.entries[idx]
+                    .as_mut()
+                    .expect("dispatched entry is live");
+                let (searches, inserts) =
+                    entry.advance(graph, edge, feed, &mut self.scratch, &mut self.found);
+                (
+                    searches,
+                    inserts,
+                    entry.subtree_subs.saturating_sub(1) as u64,
+                    entry.pending.len() as u64,
+                )
+            };
             self.searches_run += searches;
             self.inserts_run += inserts;
             self.searches_saved += searches * saved;
             self.inserts_saved += inserts * saved;
-            self.emissions += entry.pending.len() as u64;
+            self.emissions += pending;
+            self.parent_feeds += feed.len() as u64;
+            if let (Some(p), Some(buf)) = (parent, parent_pending) {
+                self.entries[p]
+                    .as_mut()
+                    .expect("trie parent is live")
+                    .pending = buf;
+            }
         }
     }
 
@@ -631,7 +1103,8 @@ impl SharedJoinIndex {
             .iter()
             .find(|s| s.id == id)
             .expect("subscription is listed on its entry");
-        let mut matches = Vec::new();
+        let mut matches = self.feed_pool.pop().unwrap_or_default();
+        debug_assert!(matches.is_empty());
         if entry.advanced_for == Some(edge.id) {
             for m in &entry.pending {
                 if let Some(tw) = sub.window {
@@ -649,8 +1122,18 @@ impl SharedJoinIndex {
         Some(PrefixFeed {
             depth: entry.depth(),
             matches,
-            shared: entry.subs.len() > 1,
+            shared: entry.subtree_subs > 1,
         })
+    }
+
+    /// Hands a drained feed's emission buffer back to the pool, so the next
+    /// [`SharedJoinIndex::feed_for`] reuses its capacity instead of
+    /// allocating. The registry calls this right after the subscriber's
+    /// engine consumed the feed.
+    pub fn recycle_feed(&mut self, feed: PrefixFeed) {
+        let mut buf = feed.matches;
+        buf.clear();
+        self.feed_pool.push(buf);
     }
 
     /// Purges every table against the current graph (dead edges and the
@@ -686,6 +1169,7 @@ impl SharedJoinIndex {
         self.emissions = 0;
         self.deliveries = 0;
         self.replays = 0;
+        self.parent_feeds = 0;
     }
 
     fn create_entry(&mut self, sig: PrefixSignature, now: u64) -> usize {
@@ -867,6 +1351,148 @@ mod tests {
             index.subscribe(QueryId(1), &vf2, 0, 0, &g),
             JoinSubscription::Private
         );
+    }
+
+    #[test]
+    fn nested_chain_forms_a_trie_child() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        assert!(index.trie_enabled());
+        let a = chain_engine(&[1, 2], None);
+        let b = chain_engine(&[1, 2], None);
+        index.subscribe(QueryId(0), &a, 0, 0, &g);
+        index.subscribe(QueryId(1), &b, 0, 0, &g);
+        index.attach_partner(QueryId(0), &a, 0, &g);
+        // The first [1,2,3] query attaches at the existing [1,2] node...
+        let c = chain_engine(&[1, 2, 3], None);
+        assert_eq!(
+            index.subscribe(QueryId(2), &c, 0, 0, &g),
+            JoinSubscription::Shared {
+                depth: 2,
+                migrations: vec![]
+            }
+        );
+        // ... and its partner materializes the depth-3 node as a trie child
+        // of [1,2], re-pointing query 2 from the shallower node.
+        let d = chain_engine(&[1, 2, 3], None);
+        match index.subscribe(QueryId(3), &d, 0, 0, &g) {
+            JoinSubscription::Shared { depth, migrations } => {
+                assert_eq!(depth, 3);
+                assert_eq!(migrations, vec![QueryId(2)]);
+            }
+            other => panic!("expected a deep node, got {other:?}"),
+        }
+        assert_eq!(index.attach_partner(QueryId(2), &c, 0, &g), Some(3));
+        let nodes = index.trie_nodes();
+        assert_eq!(nodes.len(), 2);
+        let (shallow, deep) = (&nodes[0], &nodes[1]);
+        assert_eq!(
+            (
+                shallow.depth,
+                shallow.parent_depth,
+                shallow.children,
+                shallow.subscribers
+            ),
+            (2, None, 1, 2)
+        );
+        assert_eq!(
+            (
+                deep.depth,
+                deep.parent_depth,
+                deep.children,
+                deep.subscribers
+            ),
+            (3, Some(2), 0, 2)
+        );
+        assert_eq!(index.stats().max_depth, 3);
+        // Dropping the deep pair collapses only the child; the parent node
+        // keeps serving its own subscribers.
+        index.unsubscribe(QueryId(2));
+        index.unsubscribe(QueryId(3));
+        let nodes = index.trie_nodes();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!((nodes[0].depth, nodes[0].children), (2, 0));
+    }
+
+    #[test]
+    fn later_shallow_pair_splits_the_trie_edge() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        // The deep pair arrives first: a parentless depth-3 node.
+        let a = chain_engine(&[1, 2, 3], None);
+        let b = chain_engine(&[1, 2, 3], None);
+        index.subscribe(QueryId(0), &a, 0, 0, &g);
+        index.subscribe(QueryId(1), &b, 0, 0, &g);
+        index.attach_partner(QueryId(0), &a, 0, &g);
+        let nodes = index.trie_nodes();
+        assert_eq!(nodes.len(), 1);
+        assert_eq!(nodes[0].parent_depth, None);
+        // A [1,2] pair arrives later: the depth-2 node materializes and the
+        // existing depth-3 node is spliced in underneath it.
+        let c = chain_engine(&[1, 2], None);
+        let d = chain_engine(&[1, 2], None);
+        assert_eq!(
+            index.subscribe(QueryId(2), &c, 0, 0, &g),
+            JoinSubscription::Private,
+            "a lone depth-2 chain cannot use the deeper node"
+        );
+        match index.subscribe(QueryId(3), &d, 0, 0, &g) {
+            JoinSubscription::Shared { depth, migrations } => {
+                assert_eq!(depth, 2);
+                assert_eq!(migrations, vec![QueryId(2)]);
+            }
+            other => panic!("expected the split node, got {other:?}"),
+        }
+        assert_eq!(index.attach_partner(QueryId(2), &c, 0, &g), Some(2));
+        let nodes = index.trie_nodes();
+        assert_eq!(nodes.len(), 2);
+        assert_eq!(
+            (
+                nodes[0].depth,
+                nodes[0].parent_depth,
+                nodes[0].children,
+                nodes[0].subscribers
+            ),
+            (2, None, 1, 2)
+        );
+        assert_eq!(
+            (nodes[1].depth, nodes[1].parent_depth, nodes[1].subscribers),
+            (3, Some(2), 2)
+        );
+        // The deep subscribers leaving unwinds the child but not the new
+        // parent; the shallow pair leaving empties the trie.
+        index.unsubscribe(QueryId(0));
+        index.unsubscribe(QueryId(1));
+        assert_eq!(index.trie_nodes().len(), 1);
+        index.unsubscribe(QueryId(2));
+        index.unsubscribe(QueryId(3));
+        assert_eq!(index.stats().tables, 0);
+    }
+
+    #[test]
+    fn flat_mode_keeps_nested_tables_independent() {
+        let g = graph();
+        let mut index = SharedJoinIndex::new();
+        index.set_trie(false);
+        assert!(!index.trie_enabled());
+        let a = chain_engine(&[1, 2, 3], None);
+        let b = chain_engine(&[1, 2, 3], None);
+        index.subscribe(QueryId(0), &a, 0, 0, &g);
+        index.subscribe(QueryId(1), &b, 0, 0, &g);
+        index.attach_partner(QueryId(0), &a, 0, &g);
+        let c = chain_engine(&[1, 2], None);
+        let d = chain_engine(&[1, 2], None);
+        index.subscribe(QueryId(2), &c, 0, 0, &g);
+        index.subscribe(QueryId(3), &d, 0, 0, &g);
+        index.attach_partner(QueryId(2), &c, 0, &g);
+        // Two tables whose signatures nest, yet no trie links: each runs
+        // (and stores) its prefix independently under the PR 5 policy.
+        let nodes = index.trie_nodes();
+        assert_eq!(nodes.len(), 2);
+        assert!(nodes
+            .iter()
+            .all(|n| n.parent_depth.is_none() && n.children == 0));
+        assert_eq!(index.stats().parent_feeds, 0);
     }
 
     #[test]

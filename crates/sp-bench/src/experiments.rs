@@ -630,6 +630,41 @@ pub fn sharedjoin_rule_pack(schema: &Schema, n: usize) -> Vec<(QueryGraph, Optio
     rules.into_iter().take(n).collect()
 }
 
+/// A rule pack where *nesting* dominates: every 2-step chain appears under
+/// two windows AND is the proper prefix of a 3-step chain that itself
+/// appears under two windows. Registration order is shallow-first, so the
+/// shallow pair materializes a depth-2 trie node and the deep pair then
+/// creates its depth-3 child — two 2-node tries (`[TCP,ESP]→[TCP,ESP,TCP]`
+/// and `[ICMP,TCP]→[ICMP,TCP,UDP]`). Under the flat index the same four
+/// signatures get four *independent* tables, each re-running the shared
+/// prefix's leaf searches and storing its partials again; the trie-vs-flat
+/// columns of the `sharedjoin` experiment measure exactly that delta.
+/// Returns the first `n` rules (≤ 8).
+pub fn sharedjoin_nested_rule_pack(schema: &Schema, n: usize) -> Vec<(QueryGraph, Option<u64>)> {
+    let t = |name: &str| schema.edge_type(name).expect("netflow protocol interned");
+    let chain = |name: &str, protos: &[&str]| {
+        let mut q = QueryGraph::new(name);
+        let mut prev = q.add_any_vertex();
+        for p in protos {
+            let next = q.add_any_vertex();
+            q.add_edge(prev, next, t(p));
+            prev = next;
+        }
+        q
+    };
+    let rules = [
+        (chain("exfil-alert", &["TCP", "ESP"]), Some(400u64)),
+        (chain("exfil-forensic", &["TCP", "ESP"]), None),
+        (chain("bounce-alert", &["TCP", "ESP", "TCP"]), Some(2_000)),
+        (chain("bounce-forensic", &["TCP", "ESP", "TCP"]), None),
+        (chain("scan-alert", &["ICMP", "TCP"]), Some(400)),
+        (chain("scan-forensic", &["ICMP", "TCP"]), Some(4_000)),
+        (chain("flood-alert", &["ICMP", "TCP", "UDP"]), Some(2_000)),
+        (chain("flood-forensic", &["ICMP", "TCP", "UDP"]), None),
+    ];
+    rules.into_iter().take(n).collect()
+}
+
 /// Shared-join measurements for the windowed rule-pack sweep: pack sizes
 /// 4/8 under the eager and lazy 1-edge strategies (the 2-edge
 /// decompositions fold the 2-step chains into single leaves — nothing to
@@ -652,6 +687,30 @@ pub fn sharedjoin_measurements(scale: Scale) -> Vec<SharedJoinMeasurement> {
             ));
         }
     }
+    // The nested-prefix pack is where the trie earns its keep over the flat
+    // index: the bench smoke fails outright if the trie does not strictly
+    // reduce both join-stage inserts and leaf searches there.
+    let nested = sharedjoin_nested_rule_pack(&dataset.schema, 8);
+    for strategy in [Strategy::Single, Strategy::SingleLazy] {
+        let m = run_sharedjoin(dataset, &estimator, &nested, strategy, scale.stream_edges());
+        assert!(
+            m.sharedjoin_join_inserts < m.flat_join_inserts,
+            "{}: trie join index must strictly reduce join-stage inserts vs flat \
+             on the nested pack ({} >= {})",
+            m.strategy,
+            m.sharedjoin_join_inserts,
+            m.flat_join_inserts,
+        );
+        assert!(
+            m.sharedjoin_searches < m.flat_searches,
+            "{}: trie join index must strictly reduce leaf searches vs flat \
+             on the nested pack ({} >= {})",
+            m.strategy,
+            m.sharedjoin_searches,
+            m.flat_searches,
+        );
+        out.push(m);
+    }
     out
 }
 
@@ -668,40 +727,50 @@ pub fn render_sharedjoin(measurements: &[SharedJoinMeasurement]) -> String {
         rows.push(vec![
             m.queries.to_string(),
             m.strategy.clone(),
-            m.tables.to_string(),
+            format!("{} (d{})", m.trie_nodes, m.trie_max_depth),
             m.join_subscriptions.to_string(),
             m.leafonly_join_inserts.to_string(),
+            m.flat_join_inserts.to_string(),
             m.sharedjoin_join_inserts.to_string(),
             format!("{:.1}%", 100.0 * m.insert_reduction()),
-            m.prefix_searches_saved.to_string(),
-            m.emissions.to_string(),
+            format!("{:.1}%", 100.0 * m.trie_insert_reduction()),
+            format!("{:.1}%", 100.0 * m.trie_search_reduction()),
+            m.parent_feeds.to_string(),
             fmt_seconds(m.leafonly_elapsed.as_secs_f64()),
+            fmt_seconds(m.flat_elapsed.as_secs_f64()),
             fmt_seconds(m.sharedjoin_elapsed.as_secs_f64()),
             fmt_ratio(m.speedup()),
             m.matches.to_string(),
         ]);
     }
     format!(
-        "## Shared join stage — refcounted prefix tables vs leaf-only sharing\n\n\
+        "## Shared join stage — trie-structured prefix tables vs flat vs leaf-only\n\n\
          Overlapping windowed netflow rules: identical chains under different windows\n\
          share one canonical prefix table (window filtering at emit time), and rules\n\
-         extending a shared chain consume its root emissions into their private\n\
-         suffix. Match multisets are asserted identical between the arms; `inserts`\n\
-         counts every partial-match insert actually performed in the join stage\n\
-         (per-engine tables plus each shared table once).\n\n{}",
+         extending a shared chain nest as *child trie nodes* that consume the parent\n\
+         node's root emissions instead of re-running its leaf searches and joins\n\
+         (`fed` counts those consumed emissions). The flat arm is the PR 5 index —\n\
+         one independent table per distinct signature — so `trie vs flat` is the\n\
+         marginal benefit of nesting. Match multisets are asserted identical across\n\
+         all arms; `inserts` counts every partial-match insert actually performed in\n\
+         the join stage (per-engine tables plus each shared node once), `searches`\n\
+         every leaf search physically run.\n\n{}",
         markdown_table(
             &[
                 "queries",
                 "strategy",
-                "tables",
+                "trie nodes",
                 "subscribed",
                 "inserts (leaf-only)",
-                "inserts (shared)",
+                "inserts (flat)",
+                "inserts (trie)",
                 "insert reduction",
-                "prefix searches saved",
-                "emissions",
+                "trie vs flat",
+                "searches: trie vs flat",
+                "fed",
                 "leaf-only",
-                "shared",
+                "flat",
+                "trie",
                 "speedup",
                 "matches",
             ],
@@ -1408,6 +1477,44 @@ mod tests {
             );
             assert!(m.prefix_searches_saved > 0);
             assert!(m.emissions > 0);
+        }
+    }
+
+    #[test]
+    fn trie_beats_flat_on_the_nested_prefix_pack() {
+        // The acceptance bar for the trie restructure: on the nested-prefix
+        // pack (every 2-step chain is also the prefix of a registered
+        // 3-step pair), the trie must strictly reduce BOTH join-stage
+        // inserts and physically-run leaf searches versus the flat PR 5
+        // index, while actually forming depth-3 children that consume
+        // parent emissions. Multiset equality across all three arms is
+        // asserted inside run_sharedjoin.
+        let d = &datasets(Scale::Small)[0];
+        let est = d.estimator_from_prefix(d.len() / 4);
+        let pack = sharedjoin_nested_rule_pack(&d.schema, 8);
+        for strategy in [Strategy::Single, Strategy::SingleLazy] {
+            let m = run_sharedjoin(d, &est, &pack, strategy, 2_000);
+            assert!(
+                m.trie_max_depth >= 3,
+                "{strategy:?}: nested pack must materialize a depth-3 trie child, got {}",
+                m.trie_max_depth
+            );
+            assert!(
+                m.parent_feeds > 0,
+                "{strategy:?}: child nodes consumed no parent emissions"
+            );
+            assert!(
+                m.sharedjoin_join_inserts < m.flat_join_inserts,
+                "{strategy:?}: trie inserts {} not < flat inserts {}",
+                m.sharedjoin_join_inserts,
+                m.flat_join_inserts,
+            );
+            assert!(
+                m.sharedjoin_searches < m.flat_searches,
+                "{strategy:?}: trie searches {} not < flat searches {}",
+                m.sharedjoin_searches,
+                m.flat_searches,
+            );
         }
     }
 }

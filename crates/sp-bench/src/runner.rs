@@ -430,9 +430,11 @@ pub fn run_sharing(
 }
 
 /// One measured shared-join run: the same rule pack executed on one
-/// shared-graph [`StreamProcessor`] twice — leaf-only sharing (the PR 3
-/// architecture) versus leaf+join sharing (refcounted canonical prefix
-/// tables) — with identical match multisets asserted.
+/// shared-graph [`StreamProcessor`] three times — leaf-only sharing (the
+/// PR 3 architecture), the flat join index (PR 5: one canonical table per
+/// distinct prefix signature, nested prefixes independent), and the trie
+/// join index (nested prefixes share storage, parent emissions feed child
+/// nodes) — with identical match multisets asserted across all arms.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SharedJoinMeasurement {
     /// Number of registered queries.
@@ -444,7 +446,10 @@ pub struct SharedJoinMeasurement {
     /// Wall-clock time with leaf-only sharing.
     #[serde(with = "serde_duration")]
     pub leafonly_elapsed: Duration,
-    /// Wall-clock time with the shared join stage on top.
+    /// Wall-clock time with the flat (PR 5) shared join index.
+    #[serde(with = "serde_duration")]
+    pub flat_elapsed: Duration,
+    /// Wall-clock time with the trie-structured shared join index.
     #[serde(with = "serde_duration")]
     pub sharedjoin_elapsed: Duration,
     /// Matches found (asserted identical between the two arms).
@@ -456,9 +461,20 @@ pub struct SharedJoinMeasurement {
     /// Join-stage partial-match inserts of the leaf-only arm (every
     /// engine's own tables).
     pub leafonly_join_inserts: u64,
-    /// Join-stage inserts of the shared arm (engines' remaining private
-    /// tables plus the canonical shared tables, each insert counted once).
+    /// Join-stage inserts of the flat arm (engines' remaining private
+    /// tables plus one canonical table per distinct prefix signature).
+    pub flat_join_inserts: u64,
+    /// Join-stage inserts of the trie arm (engines' remaining private
+    /// tables plus each trie node once; a nested prefix's partials live
+    /// only in its deepest covering node).
     pub sharedjoin_join_inserts: u64,
+    /// Total leaf searches the flat arm physically ran (engines' private
+    /// leaf searches plus the shared stage's prefix leaf searches).
+    pub flat_searches: u64,
+    /// Total leaf searches the trie arm physically ran, accounted the same
+    /// way — a child trie node consumes its parent's emissions instead of
+    /// re-running the parent's leaf searches.
+    pub sharedjoin_searches: u64,
     /// Prefix leaf searches the shared stage executed.
     pub prefix_searches_run: u64,
     /// Prefix leaf searches subscribers no longer run (per advance,
@@ -469,11 +485,21 @@ pub struct SharedJoinMeasurement {
     pub prefix_inserts_saved: u64,
     /// Prefix-root matches emitted by the shared tables.
     pub emissions: u64,
+    /// Live trie nodes at end of run (equals `tables`; named for the
+    /// trie-vs-flat comparison in the report).
+    pub trie_nodes: usize,
+    /// Deepest live trie node (> the flat arm's deepest table exactly when
+    /// nesting prefixes folded into one trie path).
+    pub trie_max_depth: usize,
+    /// Parent-node emissions child trie nodes consumed in place of
+    /// re-running the parent's leaf searches and joins (0 in the flat arm
+    /// by construction).
+    pub parent_feeds: u64,
 }
 
 impl SharedJoinMeasurement {
-    /// Fraction of the leaf-only arm's join-stage inserts the shared join
-    /// stage eliminated.
+    /// Fraction of the leaf-only arm's join-stage inserts the trie-shared
+    /// join stage eliminated.
     pub fn insert_reduction(&self) -> f64 {
         if self.leafonly_join_inserts == 0 {
             0.0
@@ -482,16 +508,38 @@ impl SharedJoinMeasurement {
         }
     }
 
-    /// Speedup of the shared-join arm over the leaf-only arm.
+    /// Fraction of the *flat* index's join-stage inserts the trie
+    /// eliminated — the marginal benefit of nesting prefixes sharing
+    /// storage, over and above PR 5's signature-level sharing.
+    pub fn trie_insert_reduction(&self) -> f64 {
+        if self.flat_join_inserts == 0 {
+            0.0
+        } else {
+            1.0 - self.sharedjoin_join_inserts as f64 / self.flat_join_inserts as f64
+        }
+    }
+
+    /// Fraction of the flat index's physically-run leaf searches the trie
+    /// eliminated (child nodes consume parent emissions instead of
+    /// re-searching the shared prefix ranks).
+    pub fn trie_search_reduction(&self) -> f64 {
+        if self.flat_searches == 0 {
+            0.0
+        } else {
+            1.0 - self.sharedjoin_searches as f64 / self.flat_searches as f64
+        }
+    }
+
+    /// Speedup of the trie-shared arm over the leaf-only arm.
     pub fn speedup(&self) -> f64 {
         self.leafonly_elapsed.as_secs_f64() / self.sharedjoin_elapsed.as_secs_f64().max(1e-12)
     }
 }
 
-/// Runs `rules` (query, window) over the first `limit` events twice on a
-/// shared-graph [`StreamProcessor`] — leaf-only sharing versus leaf+join
-/// sharing — asserting identical match multisets and reporting both
-/// timings plus the join-stage work deltas.
+/// Runs `rules` (query, window) over the first `limit` events three times
+/// on a shared-graph [`StreamProcessor`] — leaf-only sharing, the flat
+/// join index, and the trie join index — asserting identical match
+/// multisets and reporting all timings plus the join-stage work deltas.
 pub fn run_sharedjoin(
     dataset: &Dataset,
     estimator: &SelectivityEstimator,
@@ -504,13 +552,15 @@ pub fn run_sharedjoin(
         elapsed: Duration,
         matches: Vec<(streampattern::QueryId, String)>,
         join_inserts: u64,
+        searches: u64,
         stats: streampattern::SharedJoinStats,
     }
-    let run = |join_sharing: bool| -> Arm {
+    let run = |join_sharing: bool, trie: bool| -> Arm {
         let mut proc = StreamProcessor::new(dataset.schema.clone())
             .with_estimator(estimator.clone())
             .with_statistics(false)
-            .with_join_sharing(join_sharing);
+            .with_join_sharing(join_sharing)
+            .with_join_trie(trie);
         for (query, window) in rules {
             proc.register(query.clone(), strategy, *window)
                 .expect("query decomposes");
@@ -543,35 +593,56 @@ pub fn run_sharedjoin(
             elapsed,
             matches,
             join_inserts: engine_inserts + stats.inserts_run,
+            searches: proc.profile().iso_searches + stats.searches_run,
             stats,
         }
     };
     // Interleave two passes per arm and keep the faster one, so allocator /
     // page-cache warm-up does not systematically favor whichever arm runs
-    // second (the counter-based statistics are identical across passes).
-    let leafonly_first = run(false);
-    let shared_first = run(true);
-    let leafonly_second = run(false);
-    let shared_second = run(true);
+    // last (the counter-based statistics are identical across passes).
+    let leafonly_first = run(false, true);
+    let flat_first = run(true, false);
+    let trie_first = run(true, true);
+    let leafonly_second = run(false, true);
+    let flat_second = run(true, false);
+    let trie_second = run(true, true);
     assert_eq!(
-        shared_first.matches, leafonly_first.matches,
-        "the shared join stage changed the match multiset"
+        trie_first.matches, leafonly_first.matches,
+        "the trie join stage changed the match multiset"
+    );
+    assert_eq!(
+        flat_first.matches, leafonly_first.matches,
+        "the flat join stage changed the match multiset"
+    );
+    assert!(
+        trie_first.join_inserts <= flat_first.join_inserts,
+        "the trie join index performed MORE join-stage inserts than the flat index \
+         ({} > {})",
+        trie_first.join_inserts,
+        flat_first.join_inserts,
     );
     SharedJoinMeasurement {
         queries: rules.len(),
         edges: events.len(),
         strategy: strategy.label().to_owned(),
         leafonly_elapsed: leafonly_first.elapsed.min(leafonly_second.elapsed),
-        sharedjoin_elapsed: shared_first.elapsed.min(shared_second.elapsed),
-        matches: shared_first.matches.len() as u64,
-        tables: shared_first.stats.tables,
-        join_subscriptions: shared_first.stats.subscriptions,
+        flat_elapsed: flat_first.elapsed.min(flat_second.elapsed),
+        sharedjoin_elapsed: trie_first.elapsed.min(trie_second.elapsed),
+        matches: trie_first.matches.len() as u64,
+        tables: trie_first.stats.tables,
+        join_subscriptions: trie_first.stats.subscriptions,
         leafonly_join_inserts: leafonly_first.join_inserts,
-        sharedjoin_join_inserts: shared_first.join_inserts,
-        prefix_searches_run: shared_first.stats.searches_run,
-        prefix_searches_saved: shared_first.stats.searches_saved,
-        prefix_inserts_saved: shared_first.stats.inserts_saved,
-        emissions: shared_first.stats.emissions,
+        flat_join_inserts: flat_first.join_inserts,
+        sharedjoin_join_inserts: trie_first.join_inserts,
+        flat_searches: flat_first.searches,
+        sharedjoin_searches: trie_first.searches,
+        prefix_searches_run: trie_first.stats.searches_run,
+        prefix_searches_saved: trie_first.stats.searches_saved,
+        prefix_inserts_saved: trie_first.stats.inserts_saved,
+        emissions: trie_first.stats.emissions,
+        trie_nodes: trie_first.stats.tables,
+        trie_max_depth: trie_first.stats.max_depth,
+        parent_feeds: trie_first.stats.parent_feeds,
     }
 }
 

@@ -160,10 +160,13 @@ pub struct ParallelStreamProcessor {
     /// each worker's `SharedLeafIndex` holds; drives sharing-aware
     /// assignment.
     shard_sigs: Vec<HashMap<LeafSignature, usize>>,
-    /// Per-shard refcounts of resident canonical decomposition chains,
-    /// mirroring the chains each worker's `SharedJoinIndex` has recorded;
-    /// a new query is discounted on shards already hosting a chain with a
-    /// common prefix (the worker registry will share the join tables).
+    /// Per-shard refcounts of resident canonical chain **trie paths**: every
+    /// prefix truncation (depth [`MIN_PREFIX_DEPTH`]..=chain depth) of each
+    /// registered chain counts as one resident trie-path node, mirroring
+    /// the node set the worker's `SharedJoinIndex` trie can materialize. A
+    /// new query is discounted on shards whose resident paths cover a
+    /// prefix of its own chain (the worker registry will share — or nest
+    /// under — the join tables along that path).
     shard_chains: Vec<HashMap<PrefixSignature, usize>>,
     adaptive: Option<FacadeAdaptive>,
     next_id: u64,
@@ -339,11 +342,39 @@ impl ParallelStreamProcessor {
         self.shard_sigs.get(worker).map(HashMap::len).unwrap_or(0)
     }
 
-    /// Number of distinct canonical decomposition chains resident on a
-    /// shard (the facade's mirror of the worker registry's shared-join
-    /// chain records), used to observe prefix-sharing-aware placement.
+    /// Number of distinct canonical chain trie-path nodes resident on a
+    /// shard — every prefix truncation of every registered chain counts
+    /// once (the facade's mirror of the node set the worker registry's
+    /// shared-join trie can materialize), used to observe
+    /// prefix-sharing-aware placement. A shard hosting only depth-2 chains
+    /// reports one node per distinct chain; a depth-3 chain contributes its
+    /// depth-2 and depth-3 paths.
     pub fn shard_resident_chains(&self, worker: usize) -> usize {
         self.shard_chains.get(worker).map(HashMap::len).unwrap_or(0)
+    }
+
+    /// Refcounts every trie-path node of `chain` on `worker` — the
+    /// registration half of the facade's shared-join mirror.
+    fn add_chain_paths(&mut self, worker: usize, chain: &PrefixSignature) {
+        for d in MIN_PREFIX_DEPTH..=chain.depth() {
+            *self.shard_chains[worker]
+                .entry(chain.truncated(d))
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Releases every trie-path node of `chain` on `worker`, dropping nodes
+    /// whose refcount reaches zero.
+    fn remove_chain_paths(&mut self, worker: usize, chain: &PrefixSignature) {
+        for d in MIN_PREFIX_DEPTH..=chain.depth() {
+            let sig = chain.truncated(d);
+            if let Some(count) = self.shard_chains[worker].get_mut(&sig) {
+                *count -= 1;
+                if *count == 0 {
+                    self.shard_chains[worker].remove(&sig);
+                }
+            }
+        }
     }
 
     /// Registers a continuous query, mirroring
@@ -408,25 +439,24 @@ impl ParallelStreamProcessor {
         let mut cost = base_cost;
         let mut best_total = f64::INFINITY;
         for (w, &load) in self.shard_costs.iter().enumerate() {
-            // A shard already hosting a chain with a common prefix will
-            // share the join tables for that prefix, not just the leaf
-            // searches: the discount counts the prefix's internal join
-            // nodes on top of the resident leaves.
-            let shared_depth = chain
+            // A shard whose resident trie paths cover a prefix of this
+            // chain will share the join tables along that path, not just
+            // the leaf searches: the discount counts the covered prefix's
+            // internal join nodes on top of the resident leaves. Resident
+            // depths feed the trie-aware estimator as a set — nesting
+            // paths are one storage, never double-counted.
+            let resident_depths: Vec<usize> = chain
                 .as_ref()
                 .map(|c| {
-                    self.shard_chains[w]
-                        .keys()
-                        .map(|other| c.common_depth(other))
-                        .max()
-                        .unwrap_or(0)
+                    (MIN_PREFIX_DEPTH..=c.depth())
+                        .filter(|&d| self.shard_chains[w].contains_key(&c.truncated(d)))
+                        .collect()
                 })
-                .filter(|&d| d >= MIN_PREFIX_DEPTH)
-                .unwrap_or(0);
-            let benefit = self.estimator.estimate_sharing_benefit_with_prefix(
+                .unwrap_or_default();
+            let benefit = self.estimator.estimate_sharing_benefit_with_prefixes(
                 sigs.iter(),
                 |sig| self.shard_sigs[w].contains_key(sig),
-                shared_depth,
+                resident_depths.iter().copied(),
             );
             let discounted = base_cost * (1.0 - SHARING_COST_DISCOUNT * benefit);
             let total = load + discounted;
@@ -440,8 +470,8 @@ impl ParallelStreamProcessor {
         for sig in &sigs {
             *self.shard_sigs[worker].entry(sig.clone()).or_insert(0) += 1;
         }
-        if let Some(chain) = &chain {
-            *self.shard_chains[worker].entry(chain.clone()).or_insert(0) += 1;
+        if let Some(chain) = chain.clone() {
+            self.add_chain_paths(worker, &chain);
         }
         self.windows.insert(id, engine.window());
         self.assignments.insert(
@@ -501,13 +531,8 @@ impl ParallelStreamProcessor {
                 }
             }
         }
-        if let Some(chain) = &assignment.chain {
-            if let Some(count) = self.shard_chains[assignment.worker].get_mut(chain) {
-                *count -= 1;
-                if *count == 0 {
-                    self.shard_chains[assignment.worker].remove(chain);
-                }
-            }
+        if let Some(chain) = assignment.chain.clone() {
+            self.remove_chain_paths(assignment.worker, &chain);
         }
         let (reply_tx, reply_rx) = channel();
         self.send_to_worker(
@@ -743,23 +768,19 @@ impl ParallelStreamProcessor {
                 *self.shard_sigs[worker].entry(sig.clone()).or_insert(0) += 1;
             }
             assignment.sigs = new_sigs;
-            // Prefix refcounts move with the re-decomposition exactly like
-            // the leaf-shape refcounts: the worker's shared join index will
-            // drop/recreate tables on its `resubscribe`, and the facade's
-            // mirror must follow for future assignments to stay accurate.
+            // Trie-path refcounts move with the re-decomposition exactly
+            // like the leaf-shape refcounts: the worker's shared join index
+            // will drop/recreate trie nodes on its `resubscribe`, and the
+            // facade's mirror must follow for future assignments to stay
+            // accurate.
             let new_chain = tree_chain(&tree);
-            if let Some(chain) = &assignment.chain {
-                if let Some(count) = self.shard_chains[worker].get_mut(chain) {
-                    *count -= 1;
-                    if *count == 0 {
-                        self.shard_chains[worker].remove(chain);
-                    }
-                }
+            let old_chain = std::mem::replace(&mut assignment.chain, new_chain.clone());
+            if let Some(chain) = old_chain {
+                self.remove_chain_paths(worker, &chain);
             }
-            if let Some(chain) = &new_chain {
-                *self.shard_chains[worker].entry(chain.clone()).or_insert(0) += 1;
+            if let Some(chain) = new_chain {
+                self.add_chain_paths(worker, &chain);
             }
-            assignment.chain = new_chain;
             fqd.strategy = strategy;
             fqd.leaves = leaf_structure(&tree);
             adaptive.stats.redecompositions += 1;

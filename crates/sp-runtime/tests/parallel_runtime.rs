@@ -521,6 +521,49 @@ fn shard_assignment_co_locates_prefix_sharers() {
     let _ = (f1, f2);
 }
 
+/// The facade mirrors resident chains as *trie paths*: a depth-3 chain
+/// contributes both its depth-2 and depth-3 prefix nodes to the shard's
+/// resident set (the worker's shared-join trie can materialize either), and
+/// the refcounts release as a path when the queries leave.
+#[test]
+fn resident_chains_count_trie_paths() {
+    let schema = cyber_schema();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let dns = schema.edge_type("dns").unwrap();
+    let path3 = |name: &str| {
+        let mut q = QueryGraph::new(name);
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        let c = q.add_any_vertex();
+        let d = q.add_any_vertex();
+        q.add_edge(a, b, tcp);
+        q.add_edge(b, c, dns);
+        q.add_edge(c, d, tcp);
+        q
+    };
+    let mut runtime = ParallelStreamProcessor::new(
+        schema.clone(),
+        RuntimeConfig::with_workers(1).statistics(false),
+    );
+    let a = runtime
+        .register(path3("deep-1"), Strategy::SingleLazy, None)
+        .unwrap();
+    assert_eq!(
+        runtime.shard_resident_chains(0),
+        2,
+        "a depth-3 chain is resident as its depth-2 and depth-3 paths"
+    );
+    let b = runtime
+        .register(path3("deep-2"), Strategy::SingleLazy, None)
+        .unwrap();
+    assert_eq!(runtime.shard_resident_chains(0), 2, "paths are refcounted");
+    runtime.deregister(a).unwrap();
+    assert_eq!(runtime.shard_resident_chains(0), 2);
+    runtime.deregister(b).unwrap();
+    assert_eq!(runtime.shard_resident_chains(0), 0);
+    drop(runtime.shutdown());
+}
+
 /// Regression: `RuntimeStats::backpressure_events` used to be the only
 /// backpressure signal, and it is only observable from the ingest thread via
 /// `stats()` (in practice: after the run). With a `MetricsRegistry` attached,

@@ -345,6 +345,35 @@ impl SelectivityEstimator {
         I: IntoIterator<Item = &'a LeafSignature>,
         F: Fn(&LeafSignature) -> bool,
     {
+        self.estimate_sharing_benefit_with_prefixes(
+            leaves,
+            is_resident,
+            std::iter::once(shared_join_depth),
+        )
+    }
+
+    /// The trie-aware form of
+    /// [`SelectivityEstimator::estimate_sharing_benefit_with_prefix`]:
+    /// `shared_prefix_depths` lists the depth of **every** resident shared
+    /// prefix of the query's chain. Nesting prefixes of one chain share
+    /// storage in the join trie — a resident `[A,B]` node is the parent of a
+    /// resident `[A,B,C]` node, not an independent copy — so the covered
+    /// work is the **union** of the per-prefix coverage: each leaf and each
+    /// internal join node counts once, at the deepest prefix covering it.
+    /// Summing the singular estimate per prefix instead double-counts every
+    /// node the shallower prefixes cover.
+    pub fn estimate_sharing_benefit_with_prefixes<'a, I, F, D>(
+        &self,
+        leaves: I,
+        is_resident: F,
+        shared_prefix_depths: D,
+    ) -> f64
+    where
+        I: IntoIterator<Item = &'a LeafSignature>,
+        F: Fn(&LeafSignature) -> bool,
+        D: IntoIterator<Item = usize>,
+    {
+        let shared_join_depth = shared_prefix_depths.into_iter().max().unwrap_or(0);
         let rates: Vec<(f64, bool)> = leaves
             .into_iter()
             .map(|sig| {
@@ -610,6 +639,54 @@ mod tests {
         assert_eq!(
             est.estimate_sharing_benefit_with_prefix([].iter(), |_| true, 2),
             0.0
+        );
+    }
+
+    #[test]
+    fn nested_resident_prefixes_count_each_trie_node_once() {
+        use sp_query::{canonicalize_subgraph, QuerySubgraph};
+        let g = sample_graph();
+        let est = SelectivityEstimator::from_graph(&g);
+        let tcp = g.schema().edge_type("tcp").unwrap(); // rate 0.9
+        let udp = g.schema().edge_type("udp").unwrap(); // rate 0.1
+        let sig_for = |t| {
+            let mut q = QueryGraph::new("leaf");
+            let a = q.add_any_vertex();
+            let b = q.add_any_vertex();
+            q.add_edge(a, b, t);
+            let sub = QuerySubgraph::from_edges(&q, q.edge_ids());
+            canonicalize_subgraph(&q, &sub).unwrap().0
+        };
+        let hot = sig_for(tcp);
+        let cold = sig_for(udp);
+        // Chain [cold, hot, cold] with BOTH its depth-2 and depth-3
+        // prefixes resident (the trie nests them): pool = 1.3 as above, and
+        // the union of coverage is the full chain — benefit 1.0, identical
+        // to depth 3 alone. The shallower node adds nothing new.
+        let leaves3 = [cold.clone(), hot.clone(), cold.clone()];
+        let nested = est.estimate_sharing_benefit_with_prefixes(leaves3.iter(), |_| false, [2, 3]);
+        let deep_only = est.estimate_sharing_benefit_with_prefixes(leaves3.iter(), |_| false, [3]);
+        assert!((nested - 1.0).abs() < 1e-12, "nested = {nested}");
+        assert_eq!(nested, deep_only);
+        // The naive per-prefix sum double-counts everything the depth-2
+        // node covers (1.1 of the 1.3 pool) — the union stays a fraction.
+        let shallow = est.estimate_sharing_benefit_with_prefix(leaves3.iter(), |_| false, 2);
+        let deep = est.estimate_sharing_benefit_with_prefix(leaves3.iter(), |_| false, 3);
+        assert!(nested < shallow + deep, "union beats the double-count");
+        assert!(shallow + deep > 1.0, "the naive sum overflows the pool");
+        // Depth order is irrelevant, and the singular form is the
+        // one-element special case.
+        assert_eq!(
+            est.estimate_sharing_benefit_with_prefixes(leaves3.iter(), |_| false, [3, 2]),
+            nested
+        );
+        assert_eq!(
+            est.estimate_sharing_benefit_with_prefixes(leaves3.iter(), |_| false, [2]),
+            shallow
+        );
+        assert_eq!(
+            est.estimate_sharing_benefit_with_prefixes(leaves3.iter(), |_| false, []),
+            est.estimate_sharing_benefit_with_prefix(leaves3.iter(), |_| false, 0)
         );
     }
 

@@ -116,8 +116,7 @@ impl MatchStore {
         window: Option<u64>,
         complete: &mut Vec<SubgraphMatch>,
     ) {
-        let mut trace = Vec::new();
-        self.insert_traced(tree, node, m, window, complete, &mut trace);
+        self.insert_inner(tree, node, m, window, complete, None);
     }
 
     /// Like [`MatchStore::insert`], but additionally records every
@@ -133,6 +132,25 @@ impl MatchStore {
         window: Option<u64>,
         complete: &mut Vec<SubgraphMatch>,
         trace: &mut Vec<(NodeId, SubgraphMatch)>,
+    ) {
+        self.insert_inner(tree, node, m, window, complete, Some(trace));
+    }
+
+    /// The recursive update behind both insert flavours. The trace is
+    /// optional so the untraced path (single-edge strategies and the shared
+    /// join stage's per-edge feed, i.e. the steady-state hot path) never
+    /// materialises a trace vector. Join results are accumulated into a
+    /// vector drawn from the bucket free list and recycled afterwards, so a
+    /// warm store performs the whole recursive update without touching the
+    /// allocator.
+    fn insert_inner(
+        &mut self,
+        tree: &SjTree,
+        node: NodeId,
+        m: SubgraphMatch,
+        window: Option<u64>,
+        complete: &mut Vec<SubgraphMatch>,
+        mut trace: Option<&mut Vec<(NodeId, SubgraphMatch)>>,
     ) {
         // A single-node tree: the leaf *is* the query. The window constraint
         // still applies (τ(g) < tW).
@@ -165,17 +183,18 @@ impl MatchStore {
         };
 
         // Probe the sibling's table with the same key and join (lines 4-7 of
-        // Algorithm 2).
-        let joined: Vec<SubgraphMatch> = self.tables[sibling.0]
-            .get(&key)
-            .map(|bucket| {
+        // Algorithm 2). The accumulator comes from the recycled-bucket free
+        // list: a freshly collected vector here would put one heap
+        // allocation on every joining insert.
+        let mut joined = self.spare.pop().unwrap_or_default();
+        if let Some(bucket) = self.tables[sibling.0].get(&key) {
+            joined.extend(
                 bucket
                     .iter()
                     .filter_map(|ms| m.join(ms))
-                    .filter(|j| window.is_none_or(|tw| j.within_window(tw)))
-                    .collect()
-            })
-            .unwrap_or_default();
+                    .filter(|j| window.is_none_or(|tw| j.within_window(tw))),
+            );
+        }
 
         // Store the new match at this node (line 12), preserving the sorted
         // bucket invariant.
@@ -185,18 +204,24 @@ impl MatchStore {
                 .get_mut(&key)
                 .expect("bucket existed at the dedup probe above"),
         };
-        bucket.insert(insert_at, m.clone());
         self.inserted[node.0] += 1;
-        trace.push((node, m));
+        match trace.as_deref_mut() {
+            Some(t) => {
+                bucket.insert(insert_at, m.clone());
+                t.push((node, m));
+            }
+            None => bucket.insert(insert_at, m),
+        }
 
         // Push successful joins up the tree (lines 8-11).
-        for msup in joined {
+        for msup in joined.drain(..) {
             if parent == tree.root() {
                 complete.push(msup);
             } else {
-                self.insert_traced(tree, parent, msup, window, complete, trace);
+                self.insert_inner(tree, parent, msup, window, complete, trace.as_deref_mut());
             }
         }
+        recycle(&mut self.spare, joined);
     }
 
     /// Number of partial matches currently stored at a node.

@@ -287,6 +287,98 @@ mod alloc_regression {
         );
     }
 
+    /// The shared-join delivery path is allocation-light even when every
+    /// edge cycle reports matches through the trie: prefix-root emissions
+    /// ride the recycled feed-buffer pool, rebases stay inline
+    /// (`MATCH_INLINE_BINDINGS`), and store buckets recycle through the
+    /// purge — so a match-heavy nested-prefix stream settles near zero
+    /// allocations per edge after warmup.
+    #[test]
+    fn shared_join_match_delivery_is_allocation_light() {
+        let schema = cyber_schema();
+        let ip = schema.vertex_type("ip").unwrap();
+        let tcp = schema.edge_type("tcp").unwrap();
+        let esp = schema.edge_type("esp").unwrap();
+
+        let chain = |name: &str, types: &[sp_graph::EdgeType]| {
+            let mut q = sp_query::QueryGraph::new(name);
+            let mut prev = q.add_any_vertex();
+            for &t in types {
+                let next = q.add_any_vertex();
+                q.add_edge(prev, next, t);
+                prev = next;
+            }
+            q
+        };
+        let mut proc = StreamProcessor::new(schema.clone())
+            .with_statistics(false)
+            .with_purge_interval(512);
+        // Two [tcp,esp] subscribers on the parent node, two [tcp,esp,tcp]
+        // subscribers on its trie child: every completed cycle reports four
+        // matches, two of them through the parent-feed path.
+        for name in ["exfil-a", "exfil-b"] {
+            proc.register(chain(name, &[tcp, esp]), Strategy::SingleLazy, Some(300))
+                .unwrap();
+        }
+        for name in ["bounce-a", "bounce-b"] {
+            proc.register(
+                chain(name, &[tcp, esp, tcp]),
+                Strategy::SingleLazy,
+                Some(300),
+            )
+            .unwrap();
+        }
+        assert_eq!(proc.shared_join_stats().tables, 2);
+        assert_eq!(proc.shared_join_stats().max_depth, 3);
+
+        // Disjoint 4-host chains from a rotating pool; the 300-tick window
+        // expires a group's edges well before its hosts are reused (every
+        // 384 ticks), so state and match fan-out stay bounded.
+        let mut sink = streampattern::CountSink::new();
+        let mut run = |cycles: std::ops::Range<u64>, sink: &mut streampattern::CountSink| {
+            for c in cycles {
+                let b = (c % 128) * 4;
+                let t = 3 * c;
+                proc.process_into(
+                    &EdgeEvent::homogeneous(b, b + 1, ip, tcp, Timestamp(t)),
+                    sink,
+                );
+                proc.process_into(
+                    &EdgeEvent::homogeneous(b + 1, b + 2, ip, esp, Timestamp(t + 1)),
+                    sink,
+                );
+                proc.process_into(
+                    &EdgeEvent::homogeneous(b + 2, b + 3, ip, tcp, Timestamp(t + 2)),
+                    sink,
+                );
+            }
+        };
+        run(0..3_000, &mut sink);
+        let warm_matches = sink.matches;
+        assert!(warm_matches > 0, "warmup produced no matches");
+
+        let metered = 1_500u64;
+        let (a0, _) = sp_metrics::alloc_counts();
+        run(3_000..3_000 + metered, &mut sink);
+        let (a1, _) = sp_metrics::alloc_counts();
+        let delivered = sink.matches - warm_matches;
+        assert_eq!(
+            delivered,
+            4 * metered,
+            "each metered cycle must deliver all four subscribers' matches"
+        );
+        let allocs_per_edge = (a1 - a0) as f64 / (3 * metered) as f64;
+        let allocs_per_match = (a1 - a0) as f64 / delivered as f64;
+        println!(
+            "shared-join match delivery: {allocs_per_edge:.4} allocs/edge, \
+             {allocs_per_match:.4} allocs/match"
+        );
+        assert!(
+            allocs_per_match < 0.5,
+            "match delivery through the trie allocates: {allocs_per_match:.4} allocs/match"
+        );
+    }
+
     #[test]
     fn scratch_reuse_reduces_allocations_on_a_match_heavy_stream() {
         let dataset = NetflowConfig {

@@ -35,10 +35,11 @@ fn worker_counts() -> Vec<usize> {
 }
 
 /// An overlapping netflow rule pack with identical chains (exfil vs
-/// exfil-wide — different windows, one table), a proper-prefix overlap
-/// (bounce extends the exfil chain) and non-overlapping rules, so the
-/// shared join stage exercises full-depth sharing, prefix-consumer
-/// continuation and the private fallback at once.
+/// exfil-wide — different windows, one table), *nesting* prefix overlaps
+/// (bounce and bounce-wide extend the exfil chain, so under the trie policy
+/// their depth-3 node consumes the depth-2 exfil node's emissions) and
+/// non-overlapping rules, so the shared join stage exercises full-depth
+/// sharing, parent-to-child trie feeding and the private fallback at once.
 fn pack(schema: &Schema) -> Vec<(QueryGraph, Option<u64>)> {
     let chain = |name: &str, protos: &[&str]| {
         let mut q = QueryGraph::new(name);
@@ -54,6 +55,7 @@ fn pack(schema: &Schema) -> Vec<(QueryGraph, Option<u64>)> {
         (chain("exfil", &["TCP", "ESP"]), Some(5_000)),
         (chain("exfil-wide", &["TCP", "ESP"]), None),
         (chain("bounce", &["TCP", "ESP", "TCP"]), Some(5_000)),
+        (chain("bounce-wide", &["TCP", "ESP", "TCP"]), None),
         (chain("scan", &["ICMP", "TCP"]), Some(2_000)),
         (chain("scan-flood", &["ICMP", "TCP", "UDP"]), Some(4_000)),
         (chain("relay", &["TCP", "TCP"]), Some(1_000)),
@@ -93,12 +95,13 @@ fn shared_join_is_semantics_preserving_across_strategies_and_windows() {
         StrategySpec::Auto,
     ];
     for spec in specs {
-        let run = |leaf_sharing: bool, join_sharing: bool| {
+        let run = |leaf_sharing: bool, join_sharing: bool, trie: bool| {
             let mut proc = StreamProcessor::new(schema.clone())
                 .with_estimator(estimator.clone())
                 .with_statistics(false)
                 .with_sharing(leaf_sharing)
-                .with_join_sharing(join_sharing);
+                .with_join_sharing(join_sharing)
+                .with_join_trie(trie);
             let ids: Vec<QueryId> = rules
                 .iter()
                 .map(|(q, w)| proc.register(q.clone(), spec, *w).unwrap())
@@ -114,9 +117,14 @@ fn shared_join_is_semantics_preserving_across_strategies_and_windows() {
             });
             (multiset, proc.shared_join_stats(), ids, proc)
         };
-        let (full, join_stats, ids, proc) = run(true, true);
-        let (leaf_only, leaf_only_stats, _, _) = run(true, false);
-        let (unshared, _, _, _) = run(false, false);
+        let (full, join_stats, ids, proc) = run(true, true, true);
+        let (flat, flat_stats, _, flat_proc) = run(true, true, false);
+        let (leaf_only, leaf_only_stats, _, _) = run(true, false, true);
+        let (unshared, _, _, _) = run(false, false, true);
+        assert_eq!(
+            full, flat,
+            "trie vs flat join tables changed the multiset under {spec:?}"
+        );
         assert_eq!(
             full, leaf_only,
             "join sharing changed the multiset under {spec:?}"
@@ -129,6 +137,10 @@ fn shared_join_is_semantics_preserving_across_strategies_and_windows() {
         assert_eq!(
             leaf_only_stats.tables, 0,
             "join sharing off must not create tables"
+        );
+        assert_eq!(
+            flat_stats.parent_feeds, 0,
+            "flat tables must not feed each other"
         );
         // Under the 1-edge decompositions every 2-edge rule is join-capable
         // and the identical exfil/exfil-wide chains must coalesce into one
@@ -150,6 +162,43 @@ fn shared_join_is_semantics_preserving_across_strategies_and_windows() {
                 "no join work eliminated under {spec:?}: {join_stats:?}"
             );
             assert!(join_stats.deliveries > 0);
+            // The bounce pair's depth-3 node nests under the exfil pair's
+            // depth-2 node and consumes its emissions instead of re-running
+            // the shared leaves — and doing strictly less physical join
+            // work than the flat layout on the same stream.
+            assert!(
+                join_stats.max_depth >= 3,
+                "no nested trie node under {spec:?}: {join_stats:?}"
+            );
+            assert!(
+                join_stats.parent_feeds > 0,
+                "the trie never fed a child under {spec:?}: {join_stats:?}"
+            );
+            // Total physical join-stage work (every engine's private
+            // tables plus the shared stage, each insert/search counted
+            // once): nesting under the trie must cost strictly less than
+            // the flat layout, where each deep subscriber re-runs its
+            // suffix privately.
+            let engine_inserts = |p: &StreamProcessor| -> u64 {
+                p.query_ids()
+                    .iter()
+                    .filter_map(|&id| p.engine_for(id))
+                    .filter_map(|e| e.store_stats())
+                    .map(|s| s.total_inserted_per_node.iter().sum::<u64>())
+                    .sum()
+            };
+            let trie_inserts = engine_inserts(&proc) + join_stats.inserts_run;
+            let flat_inserts = engine_inserts(&flat_proc) + flat_stats.inserts_run;
+            assert!(
+                trie_inserts < flat_inserts,
+                "trie did not reduce join-stage inserts under {spec:?}: {trie_inserts} vs flat {flat_inserts}"
+            );
+            let trie_searches = proc.profile().iso_searches + join_stats.searches_run;
+            let flat_searches = flat_proc.profile().iso_searches + flat_stats.searches_run;
+            assert!(
+                trie_searches < flat_searches,
+                "trie did not reduce leaf searches under {spec:?}: {trie_searches} vs flat {flat_searches}"
+            );
             // Per-engine accounting: the identical-chain queries consumed
             // their matches from the shared stage.
             let exfil_profile = proc.profile_for(ids[0]).unwrap();
@@ -436,4 +485,193 @@ fn mixed_windows_share_one_table_and_filter_at_emit() {
     let matches = proc.process(&EdgeEvent::homogeneous(11, 12, ip, esp, Timestamp(210)));
     assert_eq!(matches.iter().filter(|(q, _)| *q == wide).count(), 1);
     assert_eq!(matches.iter().filter(|(q, _)| *q == narrow).count(), 1);
+}
+
+fn three_hop(schema: &Schema, name: &str) -> QueryGraph {
+    let tcp = schema.edge_type("tcp").unwrap();
+    let esp = schema.edge_type("esp").unwrap();
+    let mut q = QueryGraph::new(name);
+    let a = q.add_any_vertex();
+    let b = q.add_any_vertex();
+    let c = q.add_any_vertex();
+    let d = q.add_any_vertex();
+    q.add_edge(a, b, tcp);
+    q.add_edge(b, c, esp);
+    q.add_edge(c, d, tcp);
+    q
+}
+
+/// Storage contract of the trie: with a `[tcp, esp]` node feeding a
+/// `[tcp, esp, tcp]` child, every tcp→esp partial is stored exactly once —
+/// in the child's consume slot — while the child's parent-owned stages stay
+/// empty and both prefix roots store nothing.
+#[test]
+fn nested_prefix_partials_are_stored_exactly_once() {
+    let schema = cyber_schema();
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let esp = schema.edge_type("esp").unwrap();
+
+    let mut proc = StreamProcessor::new(schema.clone()).with_statistics(false);
+    proc.register(two_hop(&schema, "n1"), Strategy::SingleLazy, None)
+        .unwrap();
+    proc.register(two_hop(&schema, "n2"), Strategy::SingleLazy, None)
+        .unwrap();
+    proc.register(three_hop(&schema, "d1"), Strategy::SingleLazy, None)
+        .unwrap();
+    proc.register(three_hop(&schema, "d2"), Strategy::SingleLazy, None)
+        .unwrap();
+
+    // 20 disjoint tcp→esp pairs, none completed to three hops: every pair
+    // is a live partial of both prefixes.
+    for i in 0..20u64 {
+        let v = 100 * i;
+        proc.process(&EdgeEvent::homogeneous(v, v + 1, ip, tcp, Timestamp(2 * i)));
+        proc.process(&EdgeEvent::homogeneous(
+            v + 1,
+            v + 2,
+            ip,
+            esp,
+            Timestamp(2 * i + 1),
+        ));
+    }
+
+    let stats = proc.shared_join_stats();
+    assert_eq!(stats.tables, 2);
+    assert_eq!(stats.max_depth, 3);
+    assert_eq!(
+        stats.parent_feeds, 20,
+        "each pair completion must flow parent → child exactly once"
+    );
+    let nodes = proc.registry().shared_joins().trie_nodes();
+    assert_eq!(nodes.len(), 2);
+    let (shallow, deep) = (&nodes[0], &nodes[1]);
+    assert_eq!(
+        (shallow.depth, shallow.parent_depth, shallow.children),
+        (2, None, 1)
+    );
+    assert_eq!((deep.depth, deep.parent_depth), (3, Some(2)));
+    // Shallow node layout [leaf0, leaf1, root]: it owns the tcp and esp
+    // leaf partials; its root (the [tcp,esp] completions) is emitted, never
+    // stored.
+    assert_eq!(shallow.live_by_node, vec![20, 20, 0]);
+    // Deep node layout [leaf0, leaf1, leaf2, join(0..=1), root]: the
+    // parent-owned stages (leaves 0 and 1) stay empty, the 20 fed pair
+    // partials live only in the consume slot, its own rank-2 tcp leaf
+    // keeps its partials, and the root again stores nothing.
+    assert_eq!(deep.live_by_node, vec![0, 0, 20, 20, 0]);
+}
+
+/// A later shallow pair splits an existing trie edge *while partials are in
+/// flight*: the depth-3 node keeps its live consume-slot and suffix
+/// partials across the re-parenting (its parent-owned stages drop, the new
+/// parent back-fills by replay), and the full scripted timeline reports the
+/// same match multiset as the flat layout and as no join sharing at all.
+#[test]
+fn trie_edge_split_repoints_live_subscribers_with_partials_in_flight() {
+    let schema = cyber_schema();
+    let ip = schema.vertex_type("ip").unwrap();
+    let tcp = schema.edge_type("tcp").unwrap();
+    let esp = schema.edge_type("esp").unwrap();
+
+    // Scripted timeline: the deep pair registers first, half the pairs
+    // stream (live partials), the shallow pair registers mid-stream, the
+    // remaining pairs and all completions follow.
+    let run = |join_sharing: bool, trie: bool| {
+        let mut proc = StreamProcessor::new(schema.clone())
+            .with_statistics(false)
+            .with_join_sharing(join_sharing)
+            .with_join_trie(trie);
+        let mut out: Vec<(usize, String)> = Vec::new();
+        let mut ids: Vec<QueryId> = Vec::new();
+        let mut collect = |ids: &[QueryId], matches: Vec<(QueryId, SubgraphMatch)>| {
+            for (q, m) in matches {
+                let slot = ids.iter().position(|&i| i == q).unwrap();
+                out.push((slot, format!("{:?}", m.edge_pairs().collect::<Vec<_>>())));
+            }
+        };
+        ids.push(
+            proc.register(three_hop(&schema, "d1"), Strategy::SingleLazy, None)
+                .unwrap(),
+        );
+        ids.push(
+            proc.register(three_hop(&schema, "d2"), Strategy::SingleLazy, None)
+                .unwrap(),
+        );
+        for i in 0..15u64 {
+            let v = 100 * i;
+            let m = proc.process(&EdgeEvent::homogeneous(v, v + 1, ip, tcp, Timestamp(2 * i)));
+            collect(&ids, m);
+            let m = proc.process(&EdgeEvent::homogeneous(
+                v + 1,
+                v + 2,
+                ip,
+                esp,
+                Timestamp(2 * i + 1),
+            ));
+            collect(&ids, m);
+        }
+        ids.push(
+            proc.register(two_hop(&schema, "n1"), Strategy::SingleLazy, None)
+                .unwrap(),
+        );
+        ids.push(
+            proc.register(two_hop(&schema, "n2"), Strategy::SingleLazy, None)
+                .unwrap(),
+        );
+        if join_sharing && trie {
+            // The second shallow registration must have split the trie
+            // edge: the depth-3 node now hangs off the fresh depth-2 node,
+            // which was back-filled from the retained graph.
+            let nodes = proc.registry().shared_joins().trie_nodes();
+            assert_eq!(nodes.len(), 2);
+            assert_eq!((nodes[0].depth, nodes[0].children), (2, 1));
+            assert_eq!((nodes[1].depth, nodes[1].parent_depth), (3, Some(2)));
+            assert!(
+                proc.shared_join_stats().replays >= 1,
+                "the split must back-fill the new parent"
+            );
+        }
+        for i in 15..30u64 {
+            let v = 100 * i;
+            let m = proc.process(&EdgeEvent::homogeneous(v, v + 1, ip, tcp, Timestamp(2 * i)));
+            collect(&ids, m);
+            let m = proc.process(&EdgeEvent::homogeneous(
+                v + 1,
+                v + 2,
+                ip,
+                esp,
+                Timestamp(2 * i + 1),
+            ));
+            collect(&ids, m);
+        }
+        for i in 0..30u64 {
+            let v = 100 * i;
+            let m = proc.process(&EdgeEvent::homogeneous(
+                v + 2,
+                v + 3,
+                ip,
+                tcp,
+                Timestamp(100 + i),
+            ));
+            collect(&ids, m);
+        }
+        out.sort();
+        out
+    };
+
+    let trie = run(true, true);
+    let flat = run(true, false);
+    let unshared = run(false, false);
+    assert_eq!(trie, flat, "split/re-point diverged from flat tables");
+    assert_eq!(trie, unshared, "split/re-point diverged from no sharing");
+    // Every deep query completes all 30 chains (partials from before the
+    // split included); the late shallow pair sees only the pairs completed
+    // after its registration.
+    let per_slot =
+        |set: &[(usize, String)], slot: usize| set.iter().filter(|(s, _)| *s == slot).count();
+    assert_eq!(per_slot(&trie, 0), 30);
+    assert_eq!(per_slot(&trie, 1), 30);
+    assert_eq!(per_slot(&trie, 2), 15);
+    assert_eq!(per_slot(&trie, 3), 15);
 }
