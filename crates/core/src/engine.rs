@@ -28,7 +28,7 @@ use sp_iso::{
 use sp_query::QueryGraph;
 use sp_query::QuerySubgraph;
 use sp_selectivity::SelectivityEstimator;
-use sp_sjtree::{decompose, MatchStore, NodeId, SjTree, StoreStats};
+use sp_sjtree::{decompose, InsertTrace, MatchStore, NodeId, SjTree, StoreStats};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
@@ -101,8 +101,11 @@ struct EngineScratch {
     /// Pending `(tree node, match)` insertions; always empty between edges.
     worklist: VecDeque<(NodeId, SubgraphMatch)>,
     /// Newly stored matches of one `insert_traced` call (Lazy Search
-    /// enablement); cleared per worklist item.
-    trace: Vec<(NodeId, SubgraphMatch)>,
+    /// enablement), as a flat node/vertex record — the enablement loop only
+    /// needs each new match's bound data vertices, so the trace never clones
+    /// a match (which would heap-allocate for spilled widths). Cleared per
+    /// worklist item.
+    trace: InsertTrace,
     /// Edge types of a multi-edge leaf (enablement propagation).
     leaf_types: Vec<EdgeType>,
     /// One-hop neighbors to propagate enablement to.
@@ -175,6 +178,10 @@ pub struct ContinuousQueryEngine {
     strategy: Strategy,
     window: Option<u64>,
     backend: Backend,
+    /// Whether the match store interns partial matches as fixed-width arena
+    /// rows (the default) or keeps materialized `SubgraphMatch` buckets.
+    /// Carried on the engine so a rebuild reconstructs the same backing.
+    match_interning: bool,
     profile: ProfileCounters,
     /// Reusable hot-path buffers; semantically invisible (always drained
     /// between edges), kept so steady-state processing is allocation-free.
@@ -198,7 +205,7 @@ impl ContinuousQueryEngine {
         let backend = match strategy.policy() {
             Some(policy) => {
                 let tree = decompose(&query, policy, estimator)?;
-                Self::backend_from_tree(tree, strategy.is_lazy())?
+                Self::backend_from_tree(tree, strategy.is_lazy(), true)?
             }
             None => {
                 if !query.is_connected() {
@@ -216,6 +223,7 @@ impl ContinuousQueryEngine {
             strategy,
             window,
             backend,
+            match_interning: true,
             profile: ProfileCounters::new(),
             scratch: EngineScratch::default(),
         })
@@ -233,31 +241,70 @@ impl ContinuousQueryEngine {
             (false, true) => Strategy::Path,
             (false, false) => Strategy::Single,
         };
-        let backend = Self::backend_from_tree(tree, lazy)?;
+        let backend = Self::backend_from_tree(tree, lazy, true)?;
         Ok(Self {
             query,
             strategy,
             window,
             backend,
+            match_interning: true,
             profile: ProfileCounters::new(),
             scratch: EngineScratch::default(),
         })
     }
 
-    fn backend_from_tree(tree: SjTree, lazy: bool) -> Result<Backend, EngineError> {
+    fn backend_from_tree(
+        tree: SjTree,
+        lazy: bool,
+        interning: bool,
+    ) -> Result<Backend, EngineError> {
         if tree.num_leaves() > MAX_LEAVES {
             return Err(EngineError::TooManyLeaves {
                 leaves: tree.num_leaves(),
                 max: MAX_LEAVES,
             });
         }
-        let store = MatchStore::new(&tree);
+        let store = if interning {
+            MatchStore::new_interned(&tree)
+        } else {
+            MatchStore::new(&tree)
+        };
         Ok(Backend::SjTree {
             tree,
             store,
             lazy,
             bitmap: LazyBitmap::new(),
         })
+    }
+
+    /// Switches the partial-match store between the interned (arena-row) and
+    /// materialized representations **in place**, converting any live state —
+    /// stored matches, join keys and per-bucket order all survive, so this is
+    /// safe mid-stream. The flag also governs the store a future
+    /// [`ContinuousQueryEngine::rebuild`] constructs. No-op for the VF2
+    /// baseline (which stores no partial matches) and when already in the
+    /// requested representation.
+    pub fn set_match_interning(&mut self, enabled: bool) {
+        self.match_interning = enabled;
+        if let Backend::SjTree { tree, store, .. } = &mut self.backend {
+            store.set_interning(tree, enabled);
+        }
+    }
+
+    /// Whether partial matches are stored as interned arena rows.
+    pub fn match_interning(&self) -> bool {
+        self.match_interning
+    }
+
+    /// Total partial matches ever stored by this engine's match store (0 for
+    /// the VF2 baseline). The soak harness aggregates this across engines,
+    /// shared-prefix tables and workers as the denominator of
+    /// `alloc.allocs_per_match`.
+    pub fn stored_matches(&self) -> u64 {
+        match &self.backend {
+            Backend::SjTree { store, .. } => store.lifetime_inserted(),
+            Backend::Vf2 { .. } => 0,
+        }
     }
 
     /// The query this engine answers.
@@ -583,7 +630,7 @@ impl ContinuousQueryEngine {
                         continue;
                     }
                     for item in 0..self.scratch.trace.len() {
-                        let node = self.scratch.trace[item].0;
+                        let node = self.scratch.trace.node(item);
                         let Some(next_leaf) = tree.next_leaf_to_enable(node) else {
                             continue;
                         };
@@ -592,8 +639,7 @@ impl ContinuousQueryEngine {
                             .leaf_rank
                             .expect("next_leaf_to_enable returns leaves");
                         let next_subgraph = tree.subgraph(next_leaf);
-                        let created = &self.scratch.trace[item].1;
-                        for (_, dv) in created.vertex_pairs() {
+                        for &dv in self.scratch.trace.vertices(item) {
                             // Retroactive search on every fresh enablement:
                             // the next leaf's matches may already exist around
                             // this vertex (arrival-order robustness,
@@ -756,7 +802,7 @@ impl ContinuousQueryEngine {
         if strategy.policy().is_none() || !same_query(&self.query, tree.query()) {
             return Err(EngineError::RebuildMismatch);
         }
-        self.backend = Self::backend_from_tree(tree, strategy.is_lazy())?;
+        self.backend = Self::backend_from_tree(tree, strategy.is_lazy(), self.match_interning)?;
         self.strategy = strategy;
         // Replay the retained graph. Only edges whose type occurs in the
         // query can contribute leaf matches or enablements; the rest would

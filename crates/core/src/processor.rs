@@ -219,6 +219,27 @@ impl StreamProcessor {
         self.registry.shared_join_stats()
     }
 
+    /// Switches every partial-match store — each engine's and each shared
+    /// prefix table's — between the **interned** representation (on by
+    /// default: a stored match is a fixed-width arena row addressed by a
+    /// copyable id, so storing/joining spilled-width matches is
+    /// allocation-free) and the materialized representation (buckets hold
+    /// `SubgraphMatch` values). Live state converts in place, so the toggle
+    /// is safe at any point in the stream. The reported match multiset is
+    /// identical either way — the toggle exists for allocation accounting
+    /// and equivalence testing.
+    pub fn with_match_interning(mut self, enabled: bool) -> Self {
+        self.registry.set_match_interning(enabled);
+        self
+    }
+
+    /// Total partial matches ever stored across every engine and shared
+    /// prefix table — the denominator of the soak's
+    /// `alloc.allocs_per_match`.
+    pub fn stored_matches(&self) -> u64 {
+        self.registry.stored_matches()
+    }
+
     /// Enables drift-adaptive re-decomposition (off by default): every
     /// [`DriftConfig::check_interval`] processed edges, each registered
     /// query's [`DriftDetector`](sp_selectivity::DriftDetector) compares the

@@ -91,6 +91,14 @@ pub struct QueryRegistry {
     /// cache after each edge — the algorithm is identical, only the
     /// allocator traffic differs (the equivalence tests run both).
     scratch_reuse: bool,
+    /// Whether partial-match stores — every engine's and every shared
+    /// prefix table's — intern matches as fixed-width arena rows (default)
+    /// or keep materialized buckets. The registry is authoritative:
+    /// registration applies the flag to the incoming engine, and toggling
+    /// converts all live state in place. Match output is identical either
+    /// way (the equivalence tests run both); only allocator traffic and
+    /// store memory differ.
+    match_interning: bool,
     /// The next subscription boundary: one past the id of the last
     /// processed edge. A query registered now is entitled to matches
     /// anchored at edge ids `>= boundary` (see the shared-join module docs).
@@ -114,6 +122,7 @@ impl Default for QueryRegistry {
             cache: EdgeSearchCache::new(),
             complete: Vec::new(),
             scratch_reuse: true,
+            match_interning: true,
             boundary: 0,
             origins: HashMap::new(),
             next_id: 0,
@@ -153,6 +162,37 @@ impl QueryRegistry {
     /// Whether the per-edge hot path retains warmed-up scratch capacity.
     pub fn scratch_reuse_enabled(&self) -> bool {
         self.scratch_reuse
+    }
+
+    /// Switches every partial-match store the registry reaches — each
+    /// engine's and each shared prefix table's — between the interned
+    /// (fixed-width arena row, default) and materialized representations,
+    /// converting live state in place; engines registered later adopt the
+    /// flag at registration. Reported matches are identical either way —
+    /// this knob exists for allocation accounting and the equivalence
+    /// tests.
+    pub fn set_match_interning(&mut self, enabled: bool) {
+        self.match_interning = enabled;
+        for engine in self.engines.values_mut() {
+            engine.set_match_interning(enabled);
+        }
+        self.join.set_match_interning(enabled);
+    }
+
+    /// Whether partial matches are stored as interned arena rows.
+    pub fn match_interning_enabled(&self) -> bool {
+        self.match_interning
+    }
+
+    /// Total partial matches ever stored across every live engine and
+    /// shared prefix table — the denominator of the soak's
+    /// `alloc.allocs_per_match`.
+    pub fn stored_matches(&self) -> u64 {
+        self.engines
+            .values()
+            .map(ContinuousQueryEngine::stored_matches)
+            .sum::<u64>()
+            + self.join.lifetime_stored()
     }
 
     /// Snapshot of the shared-leaf index bookkeeping (distinct shapes,
@@ -215,7 +255,10 @@ impl QueryRegistry {
     /// registry does not own); callers with a graph at hand — the
     /// [`StreamProcessor`](crate::StreamProcessor) — use
     /// [`QueryRegistry::register_shared`].
-    pub fn register(&mut self, engine: ContinuousQueryEngine) -> QueryId {
+    pub fn register(&mut self, mut engine: ContinuousQueryEngine) -> QueryId {
+        // The registry's representation choice is authoritative; an engine
+        // built elsewhere converts (usually a no-op — both default on).
+        engine.set_match_interning(self.match_interning);
         let id = QueryId(self.next_id);
         self.next_id += 1;
         for edge_type in query_edge_types(&engine) {

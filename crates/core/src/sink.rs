@@ -4,6 +4,14 @@
 //! pushes every complete match into a [`MatchSink`] instead of returning an
 //! allocated vector, so high-throughput consumers (benchmarks, counters,
 //! alert pipelines) can consume matches without per-event allocation.
+//!
+//! The sink is the **copy-on-emit boundary** of the interned match
+//! representation: partial matches live as fixed-width arena rows inside
+//! their `MatchStore`s, and only a completion crossing into `on_match` is
+//! materialized into the caller-visible [`SubgraphMatch`] form (one decode
+//! per reported match, at the root join). Everything a sink receives is an
+//! owned, self-contained match — no arena ids or store lifetimes leak past
+//! this trait.
 
 use crate::registry::QueryId;
 use sp_iso::SubgraphMatch;

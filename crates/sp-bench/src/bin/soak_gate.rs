@@ -8,14 +8,16 @@
 //!     --current BENCH_soak.json --baseline ci/soak_baseline.json [--tolerance 0.2]
 //! ```
 //!
-//! The baseline file maps worker counts to conservative steady-eps floors
-//! and p99 latency ceilings (`{"steady_eps": {"1": 50000.0, ...},
-//! "latency_p99_ns": {...}, "allocs_per_edge": {...}}`), deliberately far
-//! from typical hardware so the gates only trip on real regressions, not
-//! machine noise. `allocs_per_edge` is reported against its reference but
-//! never gates — allocation accounting needs a `count-allocs` build and is
-//! informational on runs without one (reported as −1). Worker counts
-//! missing from a baseline map are reported but do not gate.
+//! The baseline file maps worker counts to conservative steady-eps floors,
+//! p99 latency ceilings and allocation ceilings (`{"steady_eps":
+//! {"1": 50000.0, ...}, "latency_p99_ns": {...}, "allocs_per_edge": {...},
+//! "allocs_per_match": {...}}`), deliberately far from typical hardware so
+//! the gates only trip on real regressions, not machine noise. The
+//! allocation gates (`allocs_per_edge`, `allocs_per_match`) fail when a
+//! metered run lands more than [`ALLOCS_HEADROOM`] above its ceiling; they
+//! need a `count-allocs` build — runs without one report −1 and stay
+//! informational. Worker counts missing from a baseline map are reported
+//! but do not gate.
 
 use sp_bench::SoakReport;
 use std::collections::BTreeMap;
@@ -24,15 +26,25 @@ use std::collections::BTreeMap;
 /// gate fails (a >25% regression trips it).
 const LATENCY_P99_HEADROOM: f64 = 0.25;
 
+/// Fractional headroom over the baseline allocation ceilings
+/// (`allocs_per_edge`, `allocs_per_match`) before those gates fail.
+/// Allocation counts are near-deterministic but channel/report buffer
+/// growth varies a little with thread scheduling, so the ceilings get more
+/// room than latency.
+const ALLOCS_HEADROOM: f64 = 0.5;
+
 #[derive(serde::Deserialize)]
 struct Baseline {
     /// Worker count (as a JSON-object string key) → steady edges/s floor.
     steady_eps: BTreeMap<String, f64>,
     /// Worker count → p99 detection-latency ceiling in nanoseconds.
     latency_p99_ns: BTreeMap<String, f64>,
-    /// Worker count → reference steady-state allocations per edge
-    /// (report-only, never gates).
+    /// Worker count → steady-state allocations-per-edge ceiling (gates
+    /// metered runs; report-only without a `count-allocs` build).
     allocs_per_edge: BTreeMap<String, f64>,
+    /// Worker count → steady-state allocations-per-stored-match ceiling
+    /// (gates metered runs; report-only without a `count-allocs` build).
+    allocs_per_match: BTreeMap<String, f64>,
 }
 
 struct Args {
@@ -138,23 +150,47 @@ fn main() {
                 run.latency_p99_ns as f64 / 1e6
             ),
         }
-        // Allocation accounting: informational on every run, never a gate
-        // (the metric needs a `count-allocs` build; plain builds report −1).
-        let reference = baseline.allocs_per_edge.get(&key);
-        if run.allocs_per_edge < 0.0 {
-            println!(
-                "[soak_gate] {} workers: allocs/edge not metered (build without count-allocs)",
-                run.workers
-            );
-        } else {
-            match reference {
-                Some(&r) => println!(
-                    "[soak_gate] {} workers: {:.2} allocs/edge (reference {:.2}) — report only",
-                    run.workers, run.allocs_per_edge, r
-                ),
+        // Allocation gates: fail when a metered run exceeds its baseline
+        // ceiling by more than the headroom. Unmetered runs (−1: the build
+        // lacks `count-allocs`) and missing baseline entries stay
+        // informational.
+        for (metric, value, ceilings) in [
+            (
+                "allocs/edge",
+                run.allocs_per_edge,
+                &baseline.allocs_per_edge,
+            ),
+            (
+                "allocs/match",
+                run.allocs_per_match,
+                &baseline.allocs_per_match,
+            ),
+        ] {
+            if value < 0.0 {
+                println!(
+                    "[soak_gate] {} workers: {metric} not metered (build without count-allocs)",
+                    run.workers
+                );
+                continue;
+            }
+            match ceilings.get(&key) {
+                Some(&ceiling) => {
+                    let gate = ceiling * (1.0 + ALLOCS_HEADROOM);
+                    let verdict = if value > gate {
+                        failed = true;
+                        "FAIL"
+                    } else {
+                        "ok"
+                    };
+                    println!(
+                        "[soak_gate] {} workers: {value:.3} {metric} vs ceiling {ceiling:.3} \
+                         (gate {gate:.3}) — {verdict}",
+                        run.workers
+                    );
+                }
                 None => println!(
-                    "[soak_gate] {} workers: {:.2} allocs/edge — no reference, report only",
-                    run.workers, run.allocs_per_edge
+                    "[soak_gate] {} workers: {value:.3} {metric} — no baseline entry, not gated",
+                    run.workers
                 ),
             }
         }
@@ -164,10 +200,7 @@ fn main() {
         100.0 * report.overhead.overhead
     );
     if failed {
-        eprintln!(
-            "[soak_gate] steady-state throughput regressed more than {:.0}% below baseline",
-            100.0 * args.tolerance
-        );
+        eprintln!("[soak_gate] one or more gates failed (see FAIL lines above)");
         std::process::exit(1);
     }
 }

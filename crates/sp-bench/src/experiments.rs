@@ -13,8 +13,8 @@ use crate::runner::{
     SharingMeasurement, SoakReport,
 };
 use sp_datasets::{
-    Dataset, LsbenchConfig, NetflowConfig, NetflowDriftConfig, NytimesConfig, QueryGenerator,
-    QueryKind,
+    soc_chain_rule, wide_soc_rules, Dataset, LsbenchConfig, NetflowConfig, NetflowDriftConfig,
+    NytimesConfig, QueryGenerator, QueryKind,
 };
 use sp_graph::Schema;
 use sp_query::QueryGraph;
@@ -665,6 +665,59 @@ pub fn sharedjoin_nested_rule_pack(schema: &Schema, n: usize) -> Vec<(QueryGraph
     rules.into_iter().take(n).collect()
 }
 
+/// The wide-pattern shared-join pack: 8-edge chains (17 bindings — already
+/// past the inline capacity of 8) appearing under two windows AND as the
+/// proper prefix of a 9-edge extension that itself appears under two
+/// windows, mirroring [`sharedjoin_nested_rule_pack`]'s trie shape but in
+/// the spilled-match regime, so the trie-vs-flat assertions in the bench
+/// smoke exercise the interned row path on rows wider than any inline
+/// match. Returns the first `n` rules (≤ 8).
+pub fn sharedjoin_wide_rule_pack(schema: &Schema, n: usize) -> Vec<(QueryGraph, Option<u64>)> {
+    let lateral = ["TCP", "ESP", "TCP", "GRE", "TCP", "ESP", "TCP", "GRE"];
+    let lateral_ext = [
+        "TCP", "ESP", "TCP", "GRE", "TCP", "ESP", "TCP", "GRE", "TCP",
+    ];
+    let staging = ["ICMP", "TCP", "ESP", "UDP", "GRE", "TCP", "ESP", "UDP"];
+    let staging_ext = [
+        "ICMP", "TCP", "ESP", "UDP", "GRE", "TCP", "ESP", "UDP", "ESP",
+    ];
+    let rules = [
+        (
+            soc_chain_rule(schema, "wide-lateral-alert", &lateral),
+            Some(400u64),
+        ),
+        (
+            soc_chain_rule(schema, "wide-lateral-forensic", &lateral),
+            None,
+        ),
+        (
+            soc_chain_rule(schema, "wide-hop-alert", &lateral_ext),
+            Some(2_000),
+        ),
+        (
+            soc_chain_rule(schema, "wide-hop-forensic", &lateral_ext),
+            None,
+        ),
+        (
+            soc_chain_rule(schema, "wide-staging-alert", &staging),
+            Some(400),
+        ),
+        (
+            soc_chain_rule(schema, "wide-staging-forensic", &staging),
+            Some(4_000),
+        ),
+        (
+            soc_chain_rule(schema, "wide-exfil-alert", &staging_ext),
+            Some(2_000),
+        ),
+        (
+            soc_chain_rule(schema, "wide-exfil-forensic", &staging_ext),
+            None,
+        ),
+    ];
+    rules.into_iter().take(n).collect()
+}
+
 /// Shared-join measurements for the windowed rule-pack sweep: pack sizes
 /// 4/8 under the eager and lazy 1-edge strategies (the 2-edge
 /// decompositions fold the 2-step chains into single leaves — nothing to
@@ -687,29 +740,36 @@ pub fn sharedjoin_measurements(scale: Scale) -> Vec<SharedJoinMeasurement> {
             ));
         }
     }
-    // The nested-prefix pack is where the trie earns its keep over the flat
-    // index: the bench smoke fails outright if the trie does not strictly
-    // reduce both join-stage inserts and leaf searches there.
-    let nested = sharedjoin_nested_rule_pack(&dataset.schema, 8);
-    for strategy in [Strategy::Single, Strategy::SingleLazy] {
-        let m = run_sharedjoin(dataset, &estimator, &nested, strategy, scale.stream_edges());
-        assert!(
-            m.sharedjoin_join_inserts < m.flat_join_inserts,
-            "{}: trie join index must strictly reduce join-stage inserts vs flat \
-             on the nested pack ({} >= {})",
-            m.strategy,
-            m.sharedjoin_join_inserts,
-            m.flat_join_inserts,
-        );
-        assert!(
-            m.sharedjoin_searches < m.flat_searches,
-            "{}: trie join index must strictly reduce leaf searches vs flat \
-             on the nested pack ({} >= {})",
-            m.strategy,
-            m.sharedjoin_searches,
-            m.flat_searches,
-        );
-        out.push(m);
+    // The nested-prefix packs are where the trie earns its keep over the
+    // flat index: the bench smoke fails outright if the trie does not
+    // strictly reduce both join-stage inserts and leaf searches there. The
+    // wide pack repeats the check in the spilled-match regime (>8 bindings
+    // per stored partial), so a regression in the interned wide-row path
+    // fails CI the same way a trie regression does.
+    for (pack_name, pack) in [
+        ("nested", sharedjoin_nested_rule_pack(&dataset.schema, 8)),
+        ("wide", sharedjoin_wide_rule_pack(&dataset.schema, 8)),
+    ] {
+        for strategy in [Strategy::Single, Strategy::SingleLazy] {
+            let m = run_sharedjoin(dataset, &estimator, &pack, strategy, scale.stream_edges());
+            assert!(
+                m.sharedjoin_join_inserts < m.flat_join_inserts,
+                "{} ({pack_name} pack): trie join index must strictly reduce join-stage \
+                 inserts vs flat ({} >= {})",
+                m.strategy,
+                m.sharedjoin_join_inserts,
+                m.flat_join_inserts,
+            );
+            assert!(
+                m.sharedjoin_searches < m.flat_searches,
+                "{} ({pack_name} pack): trie join index must strictly reduce leaf \
+                 searches vs flat ({} >= {})",
+                m.strategy,
+                m.sharedjoin_searches,
+                m.flat_searches,
+            );
+            out.push(m);
+        }
     }
     out
 }
@@ -1107,16 +1167,19 @@ pub fn costmodel(scale: Scale) -> String {
     )
 }
 
-/// The soak workload: the full 12-rule netflow pack plus generated 2- and
-/// 3-step path queries, most-selective-first, growing the registry far past
-/// the hand-written rules (56 queries at [`Scale::Large`]) so the soak run
-/// measures sustained *multi-query* throughput, not a boutique rule pack.
+/// The soak workload: the full 12-rule netflow pack, the two wide 9-edge
+/// spill-regime rules, plus generated 2- and 3-step path queries,
+/// most-selective-first, growing the registry far past the hand-written
+/// rules (58 queries at [`Scale::Large`]) so the soak run measures
+/// sustained *multi-query* throughput — including the spilled-match regime
+/// the interned row representation targets — not a boutique rule pack.
 pub fn soak_query_pack(
     dataset: &Dataset,
     estimator: &SelectivityEstimator,
     scale: Scale,
 ) -> Vec<QueryGraph> {
     let mut pack = netflow_rule_pack(&dataset.schema, 12);
+    pack.extend(wide_soc_rules(&dataset.schema, 2));
     let extra = match scale {
         Scale::Small => 4,
         Scale::Medium => 24,
@@ -1202,6 +1265,11 @@ pub fn render_soak(report: &SoakReport) -> String {
             } else {
                 format!("{:.2}", m.allocs_per_edge)
             },
+            if m.allocs_per_match < 0.0 {
+                "n/a".to_owned()
+            } else {
+                format!("{:.3}", m.allocs_per_match)
+            },
             m.matches.to_string(),
         ]);
     }
@@ -1218,6 +1286,7 @@ pub fn render_soak(report: &SoakReport) -> String {
             "stalls",
             "metrics cost",
             "allocs/edge",
+            "allocs/match",
             "matches",
         ],
         &rows,
@@ -1236,8 +1305,9 @@ pub fn render_soak(report: &SoakReport) -> String {
     let split = markdown_table(&["stage", "cpu time", "share"], &split_rows);
     format!(
         "## Soak — sustained throughput under live telemetry\n\n\
-         Netflow firehose against the soak query pack (12 SOC rules + generated path\n\
-         queries), processed in 10 drained intervals per worker count with a live\n\
+         Netflow firehose against the soak query pack (12 SOC rules + 2 wide 9-edge\n\
+         spill-regime rules + generated path queries), processed in 10 drained\n\
+         intervals per worker count with a live\n\
          metrics registry. Match multisets are asserted identical to metrics-off runs;\n\
          `metrics cost` is the throughput the live registry consumed, and the stage\n\
          split (first run, summed over worker replicas) reproduces the §6.4 claim that\n\

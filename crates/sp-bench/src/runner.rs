@@ -1044,6 +1044,15 @@ pub struct SoakMeasurement {
     /// Steady-state heap bytes requested per stream edge over the same
     /// metering slice. `-1` when the `count-allocs` feature is off.
     pub bytes_per_edge: f64,
+    /// Steady-state heap allocations per **stored partial match** over the
+    /// same metering slice: the allocation delta divided by the growth of
+    /// the lifetime-inserted counters across every worker replica's match
+    /// stores (engines plus shared prefix tables). With interned match
+    /// storage this stays near zero even when matches spill the inline
+    /// binding width — each stored match is a fixed-width arena row, and
+    /// steady-state rows recycle through the arena free list. `-1` when the
+    /// `count-allocs` feature is off.
+    pub allocs_per_match: f64,
     /// Whole-run throughput of the metrics-off pass over the same stream,
     /// same interval structure (edges/s).
     pub metrics_off_eps: f64,
@@ -1211,23 +1220,30 @@ pub fn run_soak(
     // traffic in reporting noise. The first half of the stream warms the
     // scratch buffers and channels; only the second half is differenced.
     #[cfg(feature = "count-allocs")]
-    let (allocs_per_edge, bytes_per_edge) = {
+    let (allocs_per_edge, bytes_per_edge, allocs_per_match) = {
         let mut par = build(None);
         let warm = events.len() / 2;
         let mut sink = streampattern::CountSink::new();
         par.process_all_into(events[..warm].iter(), &mut sink);
+        // The stored-match snapshots bracket the alloc counters from the
+        // *outside* (s0 before a0, s1 after a1): collecting worker reports
+        // allocates, and that reporting traffic must not land in the metered
+        // window.
+        let s0 = par.stored_matches();
         let (a0, b0) = sp_metrics::alloc_counts();
         par.process_all_into(events[warm..].iter(), &mut sink);
         let (a1, b1) = sp_metrics::alloc_counts();
+        let s1 = par.stored_matches();
         drop(par.shutdown());
         let metered_edges = (events.len() - warm).max(1) as f64;
         (
             (a1 - a0) as f64 / metered_edges,
             (b1 - b0) as f64 / metered_edges,
+            (a1 - a0) as f64 / (s1 - s0).max(1) as f64,
         )
     };
     #[cfg(not(feature = "count-allocs"))]
-    let (allocs_per_edge, bytes_per_edge) = (-1.0, -1.0);
+    let (allocs_per_edge, bytes_per_edge, allocs_per_match) = (-1.0, -1.0, -1.0);
 
     let total_elapsed: Duration = intervals.iter().map(|i| i.elapsed).sum();
     let plain_elapsed: Duration = plain_intervals.iter().map(|i| i.elapsed).sum();
@@ -1276,6 +1292,7 @@ pub fn run_soak(
         stage_split_ns,
         allocs_per_edge,
         bytes_per_edge,
+        allocs_per_match,
         metrics_off_eps,
         metrics_overhead: 1.0 - overall_eps / metrics_off_eps.max(1e-12),
     }

@@ -36,5 +36,5 @@ pub use dataset::Dataset;
 pub use lsbench::LsbenchConfig;
 pub use netflow::{NetflowConfig, NetflowDriftConfig};
 pub use nytimes::NytimesConfig;
-pub use queries::{QueryGenerator, QueryKind};
+pub use queries::{soc_chain_rule, wide_soc_rules, QueryGenerator, QueryKind};
 pub use zipf::ZipfSampler;

@@ -129,6 +129,20 @@ macro_rules! small_sorted_map {
                 true
             }
 
+            /// Appends an entry whose key is strictly greater than every
+            /// existing key, skipping the binary search. The decode path of
+            /// the interned match representation produces bindings in
+            /// ascending slot (= key) order, so materializing a stored row
+            /// is a plain append per slot.
+            fn push(&mut self, key: $k, value: $v) {
+                debug_assert!(
+                    self.as_slice().last().is_none_or(|&(k, _)| k < key),
+                    "push requires strictly ascending keys"
+                );
+                let len = self.len();
+                self.insert_at(len, (key, value));
+            }
+
             /// Resets to empty, dropping any spilled storage (inline storage
             /// is simply re-zeroed).
             fn clear(&mut self) {
@@ -209,6 +223,31 @@ impl SubgraphMatch {
             earliest: Timestamp(u64::MAX),
             latest: Timestamp(0),
         }
+    }
+
+    /// Builds a match directly from binding pairs given in strictly
+    /// ascending key order (the order [`SubgraphMatch::edge_pairs`] /
+    /// [`SubgraphMatch::vertex_pairs`] iterate), plus the precomputed time
+    /// interval. This is the decode half of the interned (fixed-width row)
+    /// match representation: the row stores bindings in ascending query-id
+    /// slot order, so materialization appends each binding in `O(1)` with no
+    /// searching and no re-derivation of the interval.
+    pub fn from_sorted_bindings(
+        edges: impl IntoIterator<Item = (QueryEdgeId, EdgeId)>,
+        vertices: impl IntoIterator<Item = (QueryVertexId, VertexId)>,
+        earliest: Timestamp,
+        latest: Timestamp,
+    ) -> Self {
+        let mut out = Self::new();
+        for (qe, de) in edges {
+            out.edge_map.push(qe, de);
+        }
+        for (qv, dv) in vertices {
+            out.vertex_map.push(qv, dv);
+        }
+        out.earliest = earliest;
+        out.latest = latest;
+        out
     }
 
     /// `true` while both binding maps still fit their inline storage —

@@ -660,6 +660,15 @@ impl ParallelStreamProcessor {
         self.merge_reports(&reports)
     }
 
+    /// Total partial matches ever stored across every worker replica's
+    /// match stores (drains the pipeline first) — the runtime's
+    /// `alloc.allocs_per_match` denominator. Replicas store independently,
+    /// so this grows with the worker count even though the reported match
+    /// multiset does not.
+    pub fn stored_matches(&mut self) -> u64 {
+        self.worker_reports().iter().map(|r| r.stored_matches).sum()
+    }
+
     /// Profiling counters of one query's engine (a snapshot; drains the
     /// pipeline first).
     pub fn profile_for(&mut self, id: QueryId) -> Option<ProfileCounters> {

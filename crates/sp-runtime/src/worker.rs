@@ -109,6 +109,10 @@ pub struct WorkerReport {
     pub matches_found: u64,
     /// Edges currently live in the shard's graph replica.
     pub graph_edges_live: usize,
+    /// Total partial matches ever stored by this replica's match stores
+    /// (engines plus shared prefix tables) — this worker's share of the
+    /// soak's `alloc.allocs_per_match` denominator.
+    pub stored_matches: u64,
 }
 
 /// The worker thread body. Runs until [`WorkerMsg::Shutdown`] arrives or the
@@ -125,7 +129,8 @@ pub(crate) fn worker_loop(
     // stream prefix a sequential processor would have seen.
     let mut proc = StreamProcessor::new(schema)
         .with_statistics(false)
-        .with_purge_interval(config.purge_interval);
+        .with_purge_interval(config.purge_interval)
+        .with_match_interning(config.match_interning);
     let mut to_global: HashMap<QueryId, QueryId> = HashMap::new();
     let mut to_local: HashMap<QueryId, QueryId> = HashMap::new();
     let mut retention_override: Option<Option<u64>> = None;
@@ -240,6 +245,7 @@ pub(crate) fn worker_loop(
                     vertex_type_conflicts: stream.vertex_type_conflicts,
                     matches_found: emitted,
                     graph_edges_live: proc.graph().num_edges(),
+                    stored_matches: proc.stored_matches(),
                 });
             }
             WorkerMsg::Drain { reply } => {

@@ -11,23 +11,52 @@
 //! match of the sibling; each successful join is recursively inserted one
 //! level up. A join that reaches the root is a complete match of the query
 //! and is returned to the caller instead of being stored.
+//!
+//! # Two storage backings
+//!
+//! A store runs in one of two representations:
+//!
+//! * **Materialized** — buckets hold [`SubgraphMatch`] values directly. For
+//!   queries whose matches fit the inline binding maps this is already
+//!   allocation-free, and it is the representation callers observe at the
+//!   emit boundary.
+//! * **Interned** — every stored match is a fixed-width row of `u64` slots
+//!   in a store-owned [`RowArena`]: one slot per query edge (slot index =
+//!   `QueryEdgeId.0`), one per query vertex (`ew + QueryVertexId.0`), plus
+//!   two timestamp words. Buckets hold copyable `u32` row ids; joins read
+//!   and write slots at fixed offsets; matches are materialized back into
+//!   [`SubgraphMatch`] form only when a join reaches the root
+//!   (*copy-on-emit*). Matches that spill the inline binding maps (> 8
+//!   bindings) heap-allocate on every clone in the materialized backing —
+//!   the interned backing stores them with **zero** steady-state
+//!   allocations, because expired rows recycle through the arena free list.
+//!
+//! Both backings run the identical Algorithm-2 flow (same keys, same
+//! per-bucket sort order, same window filter), which the multiset
+//! equivalence suites pin down.
 
 use crate::node::NodeId;
 use crate::tree::SjTree;
-use sp_graph::{DynamicGraph, Timestamp};
-use sp_iso::{JoinKey, SubgraphMatch};
+use sp_graph::{DynamicGraph, EdgeId, Timestamp, VertexId};
+use sp_iso::{JoinKey, SubgraphMatch, JOIN_KEY_INLINE};
+use sp_query::QueryVertexId;
 use std::collections::HashMap;
 
-/// Hash table of matches for one SJ-Tree node, keyed by the projection of
-/// each match onto the parent's cut vertices. Keys are interned
-/// [`JoinKey`]s — cut sets of up to three vertices (every tree the built-in
-/// decompositions produce) are stored inline, so computing the key per
-/// insert no longer heap-allocates. Every bucket is kept **sorted** (by
+/// Hash table of materialized matches for one SJ-Tree node, keyed by the
+/// projection of each match onto the parent's cut vertices. Keys are
+/// interned [`JoinKey`]s — cut sets of up to three vertices (every tree the
+/// built-in decompositions produce) are stored inline, so computing the key
+/// per insert does not heap-allocate. Every bucket is kept **sorted** (by
 /// `SubgraphMatch`'s derived ordering) so duplicate detection on insert is a
 /// binary search instead of a linear scan — on a high-fan-in cut vertex a
 /// single bucket can hold thousands of partial matches, and the old
 /// `bucket.contains(&m)` scan made every insert `O(n)`.
-type NodeTable = HashMap<JoinKey, Vec<SubgraphMatch>>;
+type MatTable = HashMap<JoinKey, Vec<SubgraphMatch>>;
+
+/// Hash table of interned matches for one node: buckets hold arena row ids,
+/// sorted by the rows' full-slot lexicographic order (which coincides with
+/// the materialized ordering inside a bucket — see [`RowArena::cmp_rows`]).
+type RowTable = HashMap<JoinKey, Vec<u32>>;
 
 /// Upper bound on recycled bucket vectors kept in a store's free list. A
 /// purge can empty thousands of buckets at once; retaining a bounded pool
@@ -35,31 +64,315 @@ type NodeTable = HashMap<JoinKey, Vec<SubgraphMatch>>;
 /// window's worth of peak memory forever.
 const SPARE_BUCKETS_CAP: usize = 1024;
 
-/// Runtime partial-match storage for one SJ-Tree.
-///
-/// Bucket memory is arena-style: match bindings small enough for the inline
-/// representation (every tree the built-in decompositions produce) live
-/// directly in the bucket vector — dropping a match is a plain `Vec`
-/// truncation, no per-match heap traffic — and bucket vectors emptied by
-/// window expiry are recycled through a bounded free list (`spare`) instead
-/// of being freed, so the next insert at a fresh join key reuses their
-/// capacity.
-#[derive(Debug, Clone)]
-pub struct MatchStore {
-    tables: Vec<NodeTable>,
-    inserted: Vec<u64>,
-    /// Free list of emptied bucket vectors (capacity preserved), refilled by
-    /// the purge/clear paths and drained by inserts at previously unseen
-    /// join keys.
-    spare: Vec<Vec<SubgraphMatch>>,
-}
+/// Slot value marking an unbound query edge/vertex in an interned row. Data
+/// ids are dense indices assigned by the graph, so `u64::MAX` can never be a
+/// real binding (debug-asserted on encode).
+const UNBOUND: u64 = u64::MAX;
 
 /// Moves an emptied bucket into the free list, dropping it instead when the
 /// pool is full or the bucket never grew.
-fn recycle(spare: &mut Vec<Vec<SubgraphMatch>>, mut bucket: Vec<SubgraphMatch>) {
+fn recycle<T>(spare: &mut Vec<Vec<T>>, mut bucket: Vec<T>) {
     if spare.len() < SPARE_BUCKETS_CAP && bucket.capacity() > 0 {
         bucket.clear();
         spare.push(bucket);
+    }
+}
+
+/// The slab behind an interned [`MatchStore`]: every stored match is one
+/// fixed-width row of `stride` consecutive `u64` words in `data`.
+///
+/// Row layout (slot schema), derived from the query's canonical numbering:
+///
+/// ```text
+/// [ edge slots 0..ew ][ vertex slots ew..ew+vw ][ earliest ][ latest ]
+///   slot i = QueryEdgeId(i)   slot ew+j = QueryVertexId(j)
+/// ```
+///
+/// Unbound slots hold [`UNBOUND`]. Rows freed by window expiry, duplicate
+/// rejection or emit go on `free` and are reused by the next alloc, so a
+/// warm arena grows only while live state grows.
+#[derive(Debug, Clone)]
+struct RowArena {
+    /// Edge-slot count = the query's edge count.
+    ew: usize,
+    /// Vertex-slot count = the query's vertex count.
+    vw: usize,
+    /// Words per row: `ew + vw + 2` timestamp words.
+    stride: usize,
+    data: Vec<u64>,
+    /// Recycled row ids.
+    free: Vec<u32>,
+}
+
+impl RowArena {
+    fn new(ew: usize, vw: usize) -> Self {
+        Self {
+            ew,
+            vw,
+            stride: ew + vw + 2,
+            data: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Claims a row (recycled when possible) with every binding slot reset
+    /// to [`UNBOUND`]. Callers overwrite the timestamp words.
+    fn alloc(&mut self) -> u32 {
+        match self.free.pop() {
+            Some(r) => {
+                let b = r as usize * self.stride;
+                self.data[b..b + self.stride].fill(UNBOUND);
+                r
+            }
+            None => {
+                let r = (self.data.len() / self.stride) as u32;
+                self.data.resize(self.data.len() + self.stride, UNBOUND);
+                r
+            }
+        }
+    }
+
+    /// Returns a row to the free list.
+    fn release(&mut self, row: u32) {
+        self.free.push(row);
+    }
+
+    fn base(&self, row: u32) -> usize {
+        row as usize * self.stride
+    }
+
+    /// Encodes a materialized match into a fresh row.
+    fn encode(&mut self, m: &SubgraphMatch) -> u32 {
+        let row = self.alloc();
+        let b = self.base(row);
+        for (qe, de) in m.edge_pairs() {
+            debug_assert!(qe.0 < self.ew && de.0 != UNBOUND);
+            self.data[b + qe.0] = de.0;
+        }
+        for (qv, dv) in m.vertex_pairs() {
+            debug_assert!(qv.0 < self.vw && dv.0 != UNBOUND);
+            self.data[b + self.ew + qv.0] = dv.0;
+        }
+        let (earliest, latest) = m.time_span();
+        self.data[b + self.ew + self.vw] = earliest.0;
+        self.data[b + self.ew + self.vw + 1] = latest.0;
+        row
+    }
+
+    /// Materializes a row back into caller-visible [`SubgraphMatch`] form —
+    /// the copy-on-emit boundary. Slots are scanned in ascending index (=
+    /// ascending query-id) order, so the binding maps are built by plain
+    /// appends.
+    fn decode(&self, row: u32) -> SubgraphMatch {
+        let b = self.base(row);
+        SubgraphMatch::from_sorted_bindings(
+            (0..self.ew).filter_map(|i| {
+                let v = self.data[b + i];
+                (v != UNBOUND).then_some((sp_query::QueryEdgeId(i), EdgeId(v)))
+            }),
+            (0..self.vw).filter_map(|i| {
+                let v = self.data[b + self.ew + i];
+                (v != UNBOUND).then_some((QueryVertexId(i), VertexId(v)))
+            }),
+            Timestamp(self.data[b + self.ew + self.vw]),
+            Timestamp(self.data[b + self.ew + self.vw + 1]),
+        )
+    }
+
+    /// The bound data vertices of a row in ascending query-vertex order —
+    /// what the Lazy Search trace records per newly stored match.
+    fn row_vertices(&self, row: u32) -> impl Iterator<Item = VertexId> + '_ {
+        let b = self.base(row);
+        (0..self.vw).filter_map(move |i| {
+            let v = self.data[b + self.ew + i];
+            (v != UNBOUND).then_some(VertexId(v))
+        })
+    }
+
+    /// Projects a row onto the parent's cut vertices as an interned
+    /// [`JoinKey`], reading each cut vertex from its fixed slot offset.
+    /// Returns `None` when any cut vertex is unbound (mirrors
+    /// [`SubgraphMatch::project_key`]).
+    fn project_key(&self, row: u32, cut: &[QueryVertexId]) -> Option<JoinKey> {
+        let b = self.base(row) + self.ew;
+        if cut.len() <= JOIN_KEY_INLINE {
+            let mut ids = [VertexId(0); JOIN_KEY_INLINE];
+            for (slot, &q) in ids.iter_mut().zip(cut) {
+                let v = self.data[b + q.0];
+                if v == UNBOUND {
+                    return None;
+                }
+                *slot = VertexId(v);
+            }
+            Some(JoinKey::Inline(cut.len() as u8, ids))
+        } else {
+            let mut ids = Vec::with_capacity(cut.len());
+            for &q in cut {
+                let v = self.data[b + q.0];
+                if v == UNBOUND {
+                    return None;
+                }
+                ids.push(VertexId(v));
+            }
+            Some(JoinKey::Spilled(ids))
+        }
+    }
+
+    /// Full-row lexicographic comparison. Inside one bucket every row binds
+    /// exactly the same slot set (all matches at node `n` are matches of
+    /// `subgraph(n)`), so unbound slots compare equal and the order reduces
+    /// to data bindings in ascending query-id order followed by the time
+    /// span — exactly `SubgraphMatch`'s derived ordering restricted to a
+    /// bucket. Dedup and sorted-insert therefore behave identically in both
+    /// backings.
+    fn cmp_rows(&self, a: u32, b: u32) -> std::cmp::Ordering {
+        let (ab, bb) = (self.base(a), self.base(b));
+        self.data[ab..ab + self.stride].cmp(&self.data[bb..bb + self.stride])
+    }
+
+    /// Joins two rows if they are compatible, writing the union into a fresh
+    /// row — the interned mirror of [`SubgraphMatch::compatible_with`] +
+    /// [`SubgraphMatch::join`], plus the window filter (applied *before*
+    /// allocating, so rejected joins cost no row traffic):
+    ///
+    /// * vertex slots bound by both rows must agree;
+    /// * the union binding must stay injective (no data vertex at two
+    ///   distinct vertex slots);
+    /// * no edge slot may be bound by both rows (the decomposition
+    ///   partitions query edges) and no data edge may be reused;
+    /// * `earliest`/`latest` are the union interval, and with a window `tw`
+    ///   the joined span must stay `< tw`.
+    fn join_rows(&mut self, a: u32, b: u32, window: Option<u64>) -> Option<u32> {
+        let (ew, vw) = (self.ew, self.vw);
+        let (ab, bb) = (self.base(a), self.base(b));
+        for i in 0..vw {
+            let (av, bv) = (self.data[ab + ew + i], self.data[bb + ew + i]);
+            if av != UNBOUND && bv != UNBOUND && av != bv {
+                return None;
+            }
+            let ui = if av != UNBOUND { av } else { bv };
+            if ui == UNBOUND {
+                continue;
+            }
+            for j in 0..i {
+                let (aj, bj) = (self.data[ab + ew + j], self.data[bb + ew + j]);
+                let uj = if aj != UNBOUND { aj } else { bj };
+                if uj == ui {
+                    return None;
+                }
+            }
+        }
+        for i in 0..ew {
+            let ae = self.data[ab + i];
+            if ae == UNBOUND {
+                continue;
+            }
+            if self.data[bb + i] != UNBOUND {
+                return None;
+            }
+            for j in 0..ew {
+                if self.data[bb + j] == ae {
+                    return None;
+                }
+            }
+        }
+        let earliest = self.data[ab + ew + vw].min(self.data[bb + ew + vw]);
+        let latest = self.data[ab + ew + vw + 1].max(self.data[bb + ew + vw + 1]);
+        if let Some(tw) = window {
+            if latest.saturating_sub(earliest) >= tw {
+                return None;
+            }
+        }
+        let out = self.alloc();
+        // `alloc` may grow `data`; the row *offsets* stay valid, so re-index
+        // rather than holding slices across it.
+        let (ab, bb, ob) = (self.base(a), self.base(b), self.base(out));
+        for i in 0..ew + vw {
+            let av = self.data[ab + i];
+            self.data[ob + i] = if av != UNBOUND { av } else { self.data[bb + i] };
+        }
+        self.data[ob + ew + vw] = earliest;
+        self.data[ob + ew + vw + 1] = latest;
+        Some(out)
+    }
+
+    /// `earliest` of a row slice (for the purge paths, which walk raw rows).
+    fn slice_earliest(row: &[u64], ew: usize, vw: usize) -> u64 {
+        row[ew + vw]
+    }
+}
+
+/// The storage backing of a [`MatchStore`]; see the module docs for the
+/// trade-off. Both variants share the `inserted` lifetime counters on the
+/// store itself, so conversion preserves every externally visible counter.
+#[derive(Debug, Clone)]
+enum Backing {
+    Materialized {
+        tables: Vec<MatTable>,
+        /// Free list of emptied bucket vectors (capacity preserved),
+        /// refilled by the purge/clear paths and drained by inserts at
+        /// previously unseen join keys.
+        spare: Vec<Vec<SubgraphMatch>>,
+    },
+    Interned {
+        arena: RowArena,
+        tables: Vec<RowTable>,
+        spare: Vec<Vec<u32>>,
+    },
+}
+
+/// The flat, allocation-free record of one recursive insert: which nodes
+/// stored a new match, and each new match's bound data vertices in ascending
+/// query-vertex order. The Lazy Search engine consumes exactly this (the
+/// vertices seed `ENABLE-SEARCH-SIBLING`, Algorithm 3); recording full
+/// `SubgraphMatch` clones — as the trace used to — put one allocation per
+/// traced insert back on the hot path for spilled (>8-binding) matches.
+#[derive(Debug, Clone, Default)]
+pub struct InsertTrace {
+    /// `(node, start, end)`: one entry per newly stored match, with
+    /// `vertices[start..end]` its bound data vertices.
+    items: Vec<(NodeId, u32, u32)>,
+    vertices: Vec<VertexId>,
+}
+
+impl InsertTrace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the trace, keeping both buffers' capacity.
+    pub fn clear(&mut self) {
+        self.items.clear();
+        self.vertices.clear();
+    }
+
+    /// Number of newly stored matches recorded.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The node the `i`-th recorded match was stored at.
+    pub fn node(&self, i: usize) -> NodeId {
+        self.items[i].0
+    }
+
+    /// The `i`-th recorded match's bound data vertices, in ascending
+    /// query-vertex order.
+    pub fn vertices(&self, i: usize) -> &[VertexId] {
+        let (_, start, end) = self.items[i];
+        &self.vertices[start as usize..end as usize]
+    }
+
+    fn record(&mut self, node: NodeId, vs: impl Iterator<Item = VertexId>) {
+        let start = self.vertices.len() as u32;
+        self.vertices.extend(vs);
+        self.items.push((node, start, self.vertices.len() as u32));
     }
 }
 
@@ -76,25 +389,119 @@ pub struct StoreStats {
     pub total_inserted_per_node: Vec<u64>,
 }
 
+/// Runtime partial-match storage for one SJ-Tree.
+///
+/// Bucket memory is arena-style in both backings: materialized matches small
+/// enough for the inline representation live directly in the bucket vector —
+/// dropping a match is a plain `Vec` truncation — while the interned backing
+/// stores *every* match (spilled or not) as a fixed-width arena row
+/// addressed by a copyable id. Bucket vectors emptied by window expiry are
+/// recycled through a bounded free list (`spare`) instead of being freed, so
+/// the next insert at a fresh join key reuses their capacity.
+#[derive(Debug, Clone)]
+pub struct MatchStore {
+    backing: Backing,
+    inserted: Vec<u64>,
+}
+
 impl MatchStore {
-    /// Creates an empty store shaped for the given tree.
+    /// Creates an empty **materialized** store shaped for the given tree.
     pub fn new(tree: &SjTree) -> Self {
         Self {
-            tables: vec![NodeTable::new(); tree.num_nodes()],
+            backing: Backing::Materialized {
+                tables: vec![MatTable::new(); tree.num_nodes()],
+                spare: Vec::new(),
+            },
             inserted: vec![0; tree.num_nodes()],
-            spare: Vec::new(),
+        }
+    }
+
+    /// Creates an empty **interned** store shaped for the given tree: the
+    /// row schema is one slot per query edge and vertex of `tree.query()`.
+    pub fn new_interned(tree: &SjTree) -> Self {
+        let q = tree.query();
+        Self {
+            backing: Backing::Interned {
+                arena: RowArena::new(q.num_edges(), q.num_vertices()),
+                tables: vec![RowTable::new(); tree.num_nodes()],
+                spare: Vec::new(),
+            },
+            inserted: vec![0; tree.num_nodes()],
+        }
+    }
+
+    /// `true` when matches are stored as interned arena rows.
+    pub fn is_interned(&self) -> bool {
+        matches!(self.backing, Backing::Interned { .. })
+    }
+
+    /// Converts the store between backings **in place**, preserving every
+    /// stored match, every join key and the per-bucket order (row order and
+    /// match order coincide inside a bucket — `RowArena::cmp_rows`), so a
+    /// live engine can switch representations mid-stream without replay.
+    /// The lifetime-inserted counters are untouched. A no-op when the store
+    /// is already in the requested backing.
+    pub fn set_interning(&mut self, tree: &SjTree, enabled: bool) {
+        if enabled == self.is_interned() {
+            return;
+        }
+        if enabled {
+            let Backing::Materialized { tables, .. } = &mut self.backing else {
+                unreachable!("checked above");
+            };
+            let q = tree.query();
+            let mut arena = RowArena::new(q.num_edges(), q.num_vertices());
+            let new_tables: Vec<RowTable> = tables
+                .iter_mut()
+                .map(|t| {
+                    t.drain()
+                        .map(|(k, bucket)| (k, bucket.iter().map(|m| arena.encode(m)).collect()))
+                        .collect()
+                })
+                .collect();
+            self.backing = Backing::Interned {
+                arena,
+                tables: new_tables,
+                spare: Vec::new(),
+            };
+        } else {
+            let Backing::Interned { arena, tables, .. } = &mut self.backing else {
+                unreachable!("checked above");
+            };
+            let new_tables: Vec<MatTable> = tables
+                .iter_mut()
+                .map(|t| {
+                    t.drain()
+                        .map(|(k, bucket)| (k, bucket.iter().map(|&r| arena.decode(r)).collect()))
+                        .collect()
+                })
+                .collect();
+            self.backing = Backing::Materialized {
+                tables: new_tables,
+                spare: Vec::new(),
+            };
         }
     }
 
     /// Number of recycled bucket vectors currently in the free list.
     pub fn spare_buckets(&self) -> usize {
-        self.spare.len()
+        match &self.backing {
+            Backing::Materialized { spare, .. } => spare.len(),
+            Backing::Interned { spare, .. } => spare.len(),
+        }
     }
 
     /// Drops the recycled-bucket free list (the `scratch reuse off`
-    /// measurement arm; steady-state operation never calls this).
+    /// measurement arm; steady-state operation never calls this). In the
+    /// interned backing the arena's row free list is dropped too.
     pub fn release_spare(&mut self) {
-        self.spare = Vec::new();
+        match &mut self.backing {
+            Backing::Materialized { spare, .. } => *spare = Vec::new(),
+            Backing::Interned { spare, arena, .. } => {
+                *spare = Vec::new();
+                arena.free = Vec::new();
+            }
+        }
     }
 
     /// Inserts a match of `node`'s subgraph, performing the recursive hash
@@ -119,11 +526,12 @@ impl MatchStore {
         self.insert_inner(tree, node, m, window, complete, None);
     }
 
-    /// Like [`MatchStore::insert`], but additionally records every
-    /// `(node, match)` pair that was *newly stored* during the recursive
-    /// update (the inserted leaf match and every intermediate join). The Lazy
-    /// Search engine uses the trace to decide which vertices to enable the
-    /// next leaf's search on (`ENABLE-SEARCH-SIBLING`, Algorithm 3).
+    /// Like [`MatchStore::insert`], but additionally records every newly
+    /// stored match (node + bound data vertices) in `trace` — the inserted
+    /// leaf match and every intermediate join. The Lazy Search engine uses
+    /// the trace to decide which vertices to enable the next leaf's search
+    /// on (`ENABLE-SEARCH-SIBLING`, Algorithm 3). The trace is **appended
+    /// to**, not cleared.
     pub fn insert_traced(
         &mut self,
         tree: &SjTree,
@@ -131,18 +539,15 @@ impl MatchStore {
         m: SubgraphMatch,
         window: Option<u64>,
         complete: &mut Vec<SubgraphMatch>,
-        trace: &mut Vec<(NodeId, SubgraphMatch)>,
+        trace: &mut InsertTrace,
     ) {
         self.insert_inner(tree, node, m, window, complete, Some(trace));
     }
 
-    /// The recursive update behind both insert flavours. The trace is
-    /// optional so the untraced path (single-edge strategies and the shared
-    /// join stage's per-edge feed, i.e. the steady-state hot path) never
-    /// materialises a trace vector. Join results are accumulated into a
-    /// vector drawn from the bucket free list and recycled afterwards, so a
-    /// warm store performs the whole recursive update without touching the
-    /// allocator.
+    /// The entry point behind both insert flavours: handles the single-node
+    /// (root) case, then dispatches to the backing-specific recursion. In
+    /// the interned backing the match is encoded into the arena exactly
+    /// once, here; every recursive step above works on row ids.
     fn insert_inner(
         &mut self,
         tree: &SjTree,
@@ -150,7 +555,7 @@ impl MatchStore {
         m: SubgraphMatch,
         window: Option<u64>,
         complete: &mut Vec<SubgraphMatch>,
-        mut trace: Option<&mut Vec<(NodeId, SubgraphMatch)>>,
+        trace: Option<&mut InsertTrace>,
     ) {
         // A single-node tree: the leaf *is* the query. The window constraint
         // still applies (τ(g) < tW).
@@ -160,73 +565,46 @@ impl MatchStore {
             }
             return;
         }
-        let parent = tree.parent(node).expect("non-root node has a parent");
-        let sibling = tree.sibling(node).expect("non-root node has a sibling");
-        let cut = &tree.node(parent).cut_vertices;
-        let Some(key) = m.project_key(cut) else {
-            // The match does not bind all cut vertices; this cannot happen
-            // for leaf matches produced by the anchored matcher (leaves bind
-            // every vertex of their subgraph), so treat it as a no-op.
-            return;
-        };
-
-        // Deduplicate: buckets are sorted, so membership is O(log n). The
-        // failed search also yields the position that keeps the bucket
-        // sorted when the match is stored below. A miss on the key itself
-        // claims a recycled bucket vector from the free list up front.
-        let (insert_at, recycled) = match self.tables[node.0].get(&key) {
-            Some(bucket) => match bucket.binary_search(&m) {
-                Ok(_) => return,
-                Err(pos) => (pos, None),
-            },
-            None => (0, Some(self.spare.pop().unwrap_or_default())),
-        };
-
-        // Probe the sibling's table with the same key and join (lines 4-7 of
-        // Algorithm 2). The accumulator comes from the recycled-bucket free
-        // list: a freshly collected vector here would put one heap
-        // allocation on every joining insert.
-        let mut joined = self.spare.pop().unwrap_or_default();
-        if let Some(bucket) = self.tables[sibling.0].get(&key) {
-            joined.extend(
-                bucket
-                    .iter()
-                    .filter_map(|ms| m.join(ms))
-                    .filter(|j| window.is_none_or(|tw| j.within_window(tw))),
-            );
-        }
-
-        // Store the new match at this node (line 12), preserving the sorted
-        // bucket invariant.
-        let bucket = match recycled {
-            Some(fresh) => self.tables[node.0].entry(key).or_insert(fresh),
-            None => self.tables[node.0]
-                .get_mut(&key)
-                .expect("bucket existed at the dedup probe above"),
-        };
-        self.inserted[node.0] += 1;
-        match trace.as_deref_mut() {
-            Some(t) => {
-                bucket.insert(insert_at, m.clone());
-                t.push((node, m));
-            }
-            None => bucket.insert(insert_at, m),
-        }
-
-        // Push successful joins up the tree (lines 8-11).
-        for msup in joined.drain(..) {
-            if parent == tree.root() {
-                complete.push(msup);
-            } else {
-                self.insert_inner(tree, parent, msup, window, complete, trace.as_deref_mut());
+        match &mut self.backing {
+            Backing::Materialized { tables, spare } => insert_mat(
+                tables,
+                spare,
+                &mut self.inserted,
+                tree,
+                node,
+                m,
+                window,
+                complete,
+                trace,
+            ),
+            Backing::Interned {
+                arena,
+                tables,
+                spare,
+            } => {
+                let row = arena.encode(&m);
+                insert_rows(
+                    arena,
+                    tables,
+                    spare,
+                    &mut self.inserted,
+                    tree,
+                    node,
+                    row,
+                    window,
+                    complete,
+                    trace,
+                );
             }
         }
-        recycle(&mut self.spare, joined);
     }
 
     /// Number of partial matches currently stored at a node.
     pub fn live_matches(&self, node: NodeId) -> usize {
-        self.tables[node.0].values().map(Vec::len).sum()
+        match &self.backing {
+            Backing::Materialized { tables, .. } => tables[node.0].values().map(Vec::len).sum(),
+            Backing::Interned { tables, .. } => tables[node.0].values().map(Vec::len).sum(),
+        }
     }
 
     /// Total matches ever inserted at a node.
@@ -236,14 +614,40 @@ impl MatchStore {
 
     /// Total matches ever inserted across all nodes (the per-edge delta of
     /// this is what the shared join stage reports as deduplicated insert
-    /// work).
+    /// work, and the denominator of the soak's `alloc.allocs_per_match`).
     pub fn lifetime_inserted(&self) -> u64 {
         self.inserted.iter().sum()
     }
 
     /// Iterates over the matches stored at a node.
+    ///
+    /// Only available on the materialized backing (the interned rows have no
+    /// `SubgraphMatch` to borrow); use
+    /// [`MatchStore::collect_matches_at`] for a backing-agnostic snapshot.
+    ///
+    /// # Panics
+    /// Panics when the store is interned.
     pub fn matches_at(&self, node: NodeId) -> impl Iterator<Item = &SubgraphMatch> + '_ {
-        self.tables[node.0].values().flat_map(|v| v.iter())
+        let Backing::Materialized { tables, .. } = &self.backing else {
+            panic!("matches_at requires the materialized backing");
+        };
+        tables[node.0].values().flat_map(|v| v.iter())
+    }
+
+    /// Decoded copies of the matches stored at a node, in bucket-iteration
+    /// order. Works for both backings (test/diagnostic helper — it
+    /// materializes every match).
+    pub fn collect_matches_at(&self, node: NodeId) -> Vec<SubgraphMatch> {
+        match &self.backing {
+            Backing::Materialized { tables, .. } => {
+                tables[node.0].values().flatten().cloned().collect()
+            }
+            Backing::Interned { arena, tables, .. } => tables[node.0]
+                .values()
+                .flatten()
+                .map(|&r| arena.decode(r))
+                .collect(),
+        }
     }
 
     /// Single-pass maintenance: removes every stored partial match that is
@@ -257,7 +661,15 @@ impl MatchStore {
         let cutoff = window.map(|tw| latest.0.saturating_sub(tw));
         // The expiry check runs first — it is a field read, while liveness
         // probes the graph per matched edge.
-        self.retain_matches(|m| cutoff.is_none_or(|c| m.earliest().0 >= c) && m.is_live(graph))
+        self.retain_matches(
+            |m| cutoff.is_none_or(|c| m.earliest().0 >= c) && m.is_live(graph),
+            |row, ew, vw| {
+                cutoff.is_none_or(|c| RowArena::slice_earliest(row, ew, vw) >= c)
+                    && row[..ew]
+                        .iter()
+                        .all(|&e| e == UNBOUND || graph.contains_edge(EdgeId(e)))
+            },
+        )
     }
 
     /// Removes every stored partial match that can no longer participate in a
@@ -267,49 +679,126 @@ impl MatchStore {
     /// Returns the number of matches removed.
     pub fn purge_expired(&mut self, latest: Timestamp, window: u64) -> usize {
         let cutoff = latest.0.saturating_sub(window);
-        self.retain_matches(|m| m.earliest().0 >= cutoff)
+        self.retain_matches(
+            |m| m.earliest().0 >= cutoff,
+            |row, ew, vw| RowArena::slice_earliest(row, ew, vw) >= cutoff,
+        )
     }
 
     /// Removes every stored partial match that references an edge that has
     /// been expired out of the data graph. Returns the number removed.
     pub fn purge_dead(&mut self, graph: &DynamicGraph) -> usize {
-        self.retain_matches(|m| m.is_live(graph))
+        self.retain_matches(
+            |m| m.is_live(graph),
+            |row, ew, _vw| {
+                row[..ew]
+                    .iter()
+                    .all(|&e| e == UNBOUND || graph.contains_edge(EdgeId(e)))
+            },
+        )
     }
 
-    /// One walk over every bucket keeping only matches that satisfy `keep`;
-    /// the single implementation behind every purge flavour. `retain`
-    /// preserves relative order, so the sorted-bucket invariant survives.
-    /// Returns the number of matches removed.
-    fn retain_matches(&mut self, keep: impl Fn(&SubgraphMatch) -> bool) -> usize {
-        let Self { tables, spare, .. } = self;
+    /// One walk over every bucket keeping only matches that satisfy the
+    /// backing-appropriate predicate (`keep_m` sees a materialized match,
+    /// `keep_row` a raw row slice plus the edge/vertex widths); the single
+    /// implementation behind every purge flavour. `retain` preserves
+    /// relative order, so the sorted-bucket invariant survives. Removed
+    /// interned rows go back to the arena free list. Returns the number of
+    /// matches removed.
+    fn retain_matches(
+        &mut self,
+        keep_m: impl Fn(&SubgraphMatch) -> bool,
+        keep_row: impl Fn(&[u64], usize, usize) -> bool,
+    ) -> usize {
         let mut removed = 0;
-        for table in tables {
-            for bucket in table.values_mut() {
-                let before = bucket.len();
-                bucket.retain(&keep);
-                removed += before - bucket.len();
-            }
-            // Emptied buckets leave the table but their capacity goes to the
-            // free list — window expiry returns memory to the store, not the
-            // allocator.
-            table.retain(|_, bucket| {
-                if bucket.is_empty() {
-                    recycle(spare, std::mem::take(bucket));
-                    false
-                } else {
-                    true
+        match &mut self.backing {
+            Backing::Materialized { tables, spare } => {
+                for table in tables {
+                    for bucket in table.values_mut() {
+                        let before = bucket.len();
+                        bucket.retain(&keep_m);
+                        removed += before - bucket.len();
+                    }
+                    // Emptied buckets leave the table but their capacity
+                    // goes to the free list — window expiry returns memory
+                    // to the store, not the allocator.
+                    table.retain(|_, bucket| {
+                        if bucket.is_empty() {
+                            recycle(spare, std::mem::take(bucket));
+                            false
+                        } else {
+                            true
+                        }
+                    });
                 }
-            });
+            }
+            Backing::Interned {
+                arena,
+                tables,
+                spare,
+            } => {
+                // Split the arena so the predicate can read `data` while
+                // removed rows push onto `free`.
+                let RowArena {
+                    ew,
+                    vw,
+                    stride,
+                    data,
+                    free,
+                } = arena;
+                let (ew, vw, stride) = (*ew, *vw, *stride);
+                for table in tables {
+                    for bucket in table.values_mut() {
+                        let before = bucket.len();
+                        bucket.retain(|&r| {
+                            let b = r as usize * stride;
+                            if keep_row(&data[b..b + stride], ew, vw) {
+                                true
+                            } else {
+                                free.push(r);
+                                false
+                            }
+                        });
+                        removed += before - bucket.len();
+                    }
+                    table.retain(|_, bucket| {
+                        if bucket.is_empty() {
+                            recycle(spare, std::mem::take(bucket));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
         }
         removed
     }
 
-    /// Clears every table, recycling every bucket vector.
+    /// Clears every table, recycling every bucket vector (and, interned,
+    /// resetting the whole arena — no live rows remain, so the slab restarts
+    /// empty with its capacity preserved).
     pub fn clear(&mut self) {
-        let Self { tables, spare, .. } = self;
-        for table in tables {
-            for (_, bucket) in table.drain() {
-                recycle(spare, bucket);
+        match &mut self.backing {
+            Backing::Materialized { tables, spare } => {
+                for table in tables {
+                    for (_, bucket) in table.drain() {
+                        recycle(spare, bucket);
+                    }
+                }
+            }
+            Backing::Interned {
+                arena,
+                tables,
+                spare,
+            } => {
+                for table in tables {
+                    for (_, bucket) in table.drain() {
+                        recycle(spare, bucket);
+                    }
+                }
+                arena.data.clear();
+                arena.free.clear();
             }
         }
     }
@@ -321,18 +810,31 @@ impl MatchStore {
     /// table is repopulated by replaying the retained graph) and would
     /// otherwise linger until window expiry.
     pub fn clear_node(&mut self, node: NodeId) {
-        let Self { tables, spare, .. } = self;
-        for (_, bucket) in tables[node.0].drain() {
-            recycle(spare, bucket);
+        match &mut self.backing {
+            Backing::Materialized { tables, spare } => {
+                for (_, bucket) in tables[node.0].drain() {
+                    recycle(spare, bucket);
+                }
+            }
+            Backing::Interned {
+                arena,
+                tables,
+                spare,
+            } => {
+                for (_, bucket) in tables[node.0].drain() {
+                    for &r in &bucket {
+                        arena.release(r);
+                    }
+                    recycle(spare, bucket);
+                }
+            }
         }
     }
 
     /// Aggregate statistics.
     pub fn stats(&self) -> StoreStats {
-        let live_matches_per_node: Vec<usize> = self
-            .tables
-            .iter()
-            .map(|t| t.values().map(Vec::len).sum())
+        let live_matches_per_node: Vec<usize> = (0..self.inserted.len())
+            .map(|n| self.live_matches(NodeId(n)))
             .collect();
         StoreStats {
             total_live_matches: live_matches_per_node.iter().sum(),
@@ -340,6 +842,181 @@ impl MatchStore {
             total_inserted_per_node: self.inserted.clone(),
         }
     }
+}
+
+/// The recursive update over the materialized backing. The trace is
+/// optional so the untraced path (single-edge strategies and the shared
+/// join stage's per-edge feed, i.e. the steady-state hot path) never
+/// materialises a trace. Join results are accumulated into a vector drawn
+/// from the bucket free list and recycled afterwards, so a warm store
+/// performs the whole recursive update without touching the allocator (for
+/// inline-width matches).
+#[allow(clippy::too_many_arguments)]
+fn insert_mat(
+    tables: &mut [MatTable],
+    spare: &mut Vec<Vec<SubgraphMatch>>,
+    inserted: &mut [u64],
+    tree: &SjTree,
+    node: NodeId,
+    m: SubgraphMatch,
+    window: Option<u64>,
+    complete: &mut Vec<SubgraphMatch>,
+    mut trace: Option<&mut InsertTrace>,
+) {
+    let parent = tree.parent(node).expect("non-root node has a parent");
+    let sibling = tree.sibling(node).expect("non-root node has a sibling");
+    let cut = &tree.node(parent).cut_vertices;
+    let Some(key) = m.project_key(cut) else {
+        // The match does not bind all cut vertices; this cannot happen
+        // for leaf matches produced by the anchored matcher (leaves bind
+        // every vertex of their subgraph), so treat it as a no-op.
+        return;
+    };
+
+    // Deduplicate: buckets are sorted, so membership is O(log n). The
+    // failed search also yields the position that keeps the bucket
+    // sorted when the match is stored below. A miss on the key itself
+    // claims a recycled bucket vector from the free list up front.
+    let (insert_at, recycled) = match tables[node.0].get(&key) {
+        Some(bucket) => match bucket.binary_search(&m) {
+            Ok(_) => return,
+            Err(pos) => (pos, None),
+        },
+        None => (0, Some(spare.pop().unwrap_or_default())),
+    };
+
+    // Probe the sibling's table with the same key and join (lines 4-7 of
+    // Algorithm 2). The accumulator comes from the recycled-bucket free
+    // list: a freshly collected vector here would put one heap
+    // allocation on every joining insert.
+    let mut joined = spare.pop().unwrap_or_default();
+    if let Some(bucket) = tables[sibling.0].get(&key) {
+        joined.extend(
+            bucket
+                .iter()
+                .filter_map(|ms| m.join(ms))
+                .filter(|j| window.is_none_or(|tw| j.within_window(tw))),
+        );
+    }
+
+    // Store the new match at this node (line 12), preserving the sorted
+    // bucket invariant.
+    let bucket = match recycled {
+        Some(fresh) => tables[node.0].entry(key).or_insert(fresh),
+        None => tables[node.0]
+            .get_mut(&key)
+            .expect("bucket existed at the dedup probe above"),
+    };
+    inserted[node.0] += 1;
+    if let Some(t) = trace.as_deref_mut() {
+        t.record(node, m.vertex_pairs().map(|(_, dv)| dv));
+    }
+    bucket.insert(insert_at, m);
+
+    // Push successful joins up the tree (lines 8-11).
+    for msup in joined.drain(..) {
+        if parent == tree.root() {
+            complete.push(msup);
+        } else {
+            insert_mat(
+                tables,
+                spare,
+                inserted,
+                tree,
+                parent,
+                msup,
+                window,
+                complete,
+                trace.as_deref_mut(),
+            );
+        }
+    }
+    recycle(spare, joined);
+}
+
+/// The recursive update over the interned backing: identical control flow
+/// to [`insert_mat`], but every probe, key projection, dedup comparison and
+/// join works on fixed-width arena rows addressed by copyable ids. A joined
+/// row that reaches the root is decoded into `complete` and its row freed —
+/// the copy-on-emit boundary; everything below the root moves **zero**
+/// match bytes through the allocator, spilled or not.
+#[allow(clippy::too_many_arguments)]
+fn insert_rows(
+    arena: &mut RowArena,
+    tables: &mut [RowTable],
+    spare: &mut Vec<Vec<u32>>,
+    inserted: &mut [u64],
+    tree: &SjTree,
+    node: NodeId,
+    row: u32,
+    window: Option<u64>,
+    complete: &mut Vec<SubgraphMatch>,
+    mut trace: Option<&mut InsertTrace>,
+) {
+    let parent = tree.parent(node).expect("non-root node has a parent");
+    let sibling = tree.sibling(node).expect("non-root node has a sibling");
+    let cut = &tree.node(parent).cut_vertices;
+    let Some(key) = arena.project_key(row, cut) else {
+        arena.release(row);
+        return;
+    };
+
+    let (insert_at, recycled) = match tables[node.0].get(&key) {
+        Some(bucket) => match bucket.binary_search_by(|&r| arena.cmp_rows(r, row)) {
+            Ok(_) => {
+                // Duplicate: the row never entered a table, recycle it.
+                arena.release(row);
+                return;
+            }
+            Err(pos) => (pos, None),
+        },
+        None => (0, Some(spare.pop().unwrap_or_default())),
+    };
+
+    // Sibling probe: failed joins (incompatible or out-of-window) are
+    // rejected before any row is allocated, so only *stored or emitted*
+    // joins ever touch the arena.
+    let mut joined = spare.pop().unwrap_or_default();
+    if let Some(bucket) = tables[sibling.0].get(&key) {
+        for &other in bucket {
+            if let Some(j) = arena.join_rows(row, other, window) {
+                joined.push(j);
+            }
+        }
+    }
+
+    let bucket = match recycled {
+        Some(fresh) => tables[node.0].entry(key).or_insert(fresh),
+        None => tables[node.0]
+            .get_mut(&key)
+            .expect("bucket existed at the dedup probe above"),
+    };
+    inserted[node.0] += 1;
+    if let Some(t) = trace.as_deref_mut() {
+        t.record(node, arena.row_vertices(row));
+    }
+    bucket.insert(insert_at, row);
+
+    for j in joined.drain(..) {
+        if parent == tree.root() {
+            complete.push(arena.decode(j));
+            arena.release(j);
+        } else {
+            insert_rows(
+                arena,
+                tables,
+                spare,
+                inserted,
+                tree,
+                parent,
+                j,
+                window,
+                complete,
+                trace.as_deref_mut(),
+            );
+        }
+    }
+    recycle(spare, joined);
 }
 
 #[cfg(test)]
@@ -734,7 +1411,7 @@ mod tests {
         assert_eq!(store.total_inserted(tree.leaf(1)), FAN);
         // Micro-assert for the join-stage allocation satellite: every stored
         // partial match of this workload-sized query fits the inline binding
-        // maps, so the per-insert `m.clone()` above never heap-allocated.
+        // maps, so the per-insert move above never heap-allocated.
         assert!(store.matches_at(tree.leaf(1)).all(|m| m.bindings_inline()));
         // Joining against the fan still produces every combination once.
         store.insert(
@@ -809,5 +1486,294 @@ mod tests {
         // The inserted counters survive a clear (they are lifetime totals).
         assert_eq!(store.total_inserted(tree.leaf(0)), 1);
         assert_eq!(store.matches_at(tree.leaf(0)).count(), 0);
+    }
+
+    // ---- interned backing ------------------------------------------------
+
+    /// Sorted multiset view of a match list for order-insensitive equality.
+    fn multiset(mut ms: Vec<SubgraphMatch>) -> Vec<SubgraphMatch> {
+        ms.sort();
+        ms
+    }
+
+    /// Drives the same insert sequence through a materialized and an
+    /// interned store, asserting identical complete-match multisets, live
+    /// counts and inserted counters at every step.
+    fn assert_equivalent(tree: &SjTree, window: Option<u64>, inserts: &[(usize, SubgraphMatch)]) {
+        let mut mat = MatchStore::new(tree);
+        let mut int = MatchStore::new_interned(tree);
+        let mut mat_complete = Vec::new();
+        let mut int_complete = Vec::new();
+        for (rank, m) in inserts {
+            let node = tree.leaf(*rank);
+            mat.insert(tree, node, m.clone(), window, &mut mat_complete);
+            int.insert(tree, node, m.clone(), window, &mut int_complete);
+        }
+        assert_eq!(
+            multiset(mat_complete),
+            multiset(int_complete),
+            "complete-match multisets diverged"
+        );
+        for n in 0..tree.num_nodes() {
+            let node = NodeId(n);
+            assert_eq!(mat.live_matches(node), int.live_matches(node));
+            assert_eq!(mat.total_inserted(node), int.total_inserted(node));
+            assert_eq!(
+                multiset(mat.collect_matches_at(node)),
+                multiset(int.collect_matches_at(node)),
+                "stored matches diverged at node {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn interned_store_matches_materialized_on_joins_and_duplicates() {
+        let tree = two_leaf_tree();
+        let mut inserts = Vec::new();
+        // Fan-in, duplicates, a non-joining key and both arrival orders.
+        for i in 0..20u64 {
+            inserts.push((1usize, leaf1_match(11, 100 + i, 1_000 + i, 2 + i)));
+        }
+        inserts.push((1, leaf1_match(11, 100, 1_000, 2))); // duplicate
+        inserts.push((0, leaf0_match(10, 11, 5, 1)));
+        inserts.push((0, leaf0_match(10, 11, 5, 1))); // duplicate
+        inserts.push((0, leaf0_match(40, 41, 6, 1))); // never joins
+        inserts.push((1, leaf1_match(11, 200, 2_000, 3))); // late sibling
+        assert_equivalent(&tree, None, &inserts);
+        assert_equivalent(&tree, Some(10), &inserts);
+    }
+
+    #[test]
+    fn interned_store_handles_single_node_trees() {
+        let mut q = QueryGraph::new("one");
+        let a = q.add_any_vertex();
+        let b = q.add_any_vertex();
+        q.add_edge(a, b, EdgeType(0));
+        let tree =
+            SjTree::from_leaves(q.clone(), vec![QuerySubgraph::from_edges(&q, q.edge_ids())]);
+        let mut store = MatchStore::new_interned(&tree);
+        let mut complete = Vec::new();
+        store.insert(
+            &tree,
+            tree.root(),
+            leaf0_match(1, 2, 3, 0),
+            None,
+            &mut complete,
+        );
+        assert_eq!(complete.len(), 1);
+        assert_eq!(store.stats().total_live_matches, 0);
+    }
+
+    #[test]
+    fn interned_purge_recycles_rows_and_buckets() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new_interned(&tree);
+        let mut complete = Vec::new();
+        for i in 0..8u64 {
+            store.insert(
+                &tree,
+                tree.leaf(0),
+                leaf0_match(10 + i, 50 + i, 100 + i, i),
+                None,
+                &mut complete,
+            );
+        }
+        assert_eq!(store.spare_buckets(), 0);
+        let removed = store.purge_expired(Timestamp(1_000), 10);
+        assert_eq!(removed, 8);
+        assert_eq!(store.spare_buckets(), 8);
+        // Freed rows are reused: eight more inserts and the arena has not
+        // grown past its 8-row high-water mark.
+        let Backing::Interned { arena, .. } = &store.backing else {
+            panic!("interned store");
+        };
+        let words_before = arena.data.len();
+        for i in 0..8u64 {
+            store.insert(
+                &tree,
+                tree.leaf(0),
+                leaf0_match(200 + i, 300 + i, 400 + i, 2_000),
+                None,
+                &mut complete,
+            );
+        }
+        let Backing::Interned { arena, .. } = &store.backing else {
+            panic!("interned store");
+        };
+        assert_eq!(arena.data.len(), words_before);
+        assert_eq!(store.stats().total_live_matches, 8);
+    }
+
+    #[test]
+    fn interned_purge_dead_probes_the_graph() {
+        use sp_graph::Schema;
+        let mut schema = Schema::new();
+        let vt = schema.intern_vertex_type("v");
+        let t0 = schema.intern_edge_type("t0");
+        let mut g = DynamicGraph::with_window(schema, 10);
+        let a = g.add_vertex(vt);
+        let b = g.add_vertex(vt);
+        let e_old = g.add_edge(a, b, t0, Timestamp(1));
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new_interned(&tree);
+        let mut complete = Vec::new();
+        let mut m = SubgraphMatch::new();
+        m.bind_vertex(QueryVertexId(0), a);
+        m.bind_vertex(QueryVertexId(1), b);
+        m.bind_edge(QueryEdgeId(0), e_old, Timestamp(1));
+        store.insert(&tree, tree.leaf(0), m, None, &mut complete);
+        assert_eq!(store.purge_dead(&g), 0);
+        g.add_edge(a, b, t0, Timestamp(1000));
+        g.expire();
+        assert_eq!(store.purge_dead(&g), 1);
+        assert_eq!(store.stats().total_live_matches, 0);
+    }
+
+    #[test]
+    fn set_interning_round_trips_live_state() {
+        let tree = two_leaf_tree();
+        let mut store = MatchStore::new(&tree);
+        let mut complete = Vec::new();
+        for i in 0..6u64 {
+            store.insert(
+                &tree,
+                tree.leaf(1),
+                leaf1_match(11, 100 + i, 1_000 + i, 2),
+                None,
+                &mut complete,
+            );
+        }
+        store.insert(
+            &tree,
+            tree.leaf(0),
+            leaf0_match(10, 11, 5, 1),
+            None,
+            &mut complete,
+        );
+        assert_eq!(complete.len(), 6);
+        let before: Vec<Vec<SubgraphMatch>> = (0..tree.num_nodes())
+            .map(|n| multiset(store.collect_matches_at(NodeId(n))))
+            .collect();
+        let inserted_before = store.lifetime_inserted();
+
+        // Materialized -> interned: state survives and joining continues.
+        store.set_interning(&tree, true);
+        assert!(store.is_interned());
+        assert_eq!(store.lifetime_inserted(), inserted_before);
+        for (n, expected) in before.iter().enumerate() {
+            assert_eq!(&multiset(store.collect_matches_at(NodeId(n))), expected);
+        }
+        let mut complete2 = Vec::new();
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(11, 200, 9_000, 2),
+            None,
+            &mut complete2,
+        );
+        assert_eq!(complete2.len(), 1, "joins keep working after conversion");
+        // Duplicates are still rejected against the converted buckets.
+        store.insert(
+            &tree,
+            tree.leaf(1),
+            leaf1_match(11, 200, 9_000, 2),
+            None,
+            &mut complete2,
+        );
+        assert_eq!(complete2.len(), 1);
+
+        // Interned -> materialized: round-trip restores everything.
+        store.set_interning(&tree, false);
+        assert!(!store.is_interned());
+        assert_eq!(
+            store.live_matches(tree.leaf(1)),
+            7,
+            "6 originals + 1 post-conversion insert"
+        );
+        assert!(store.matches_at(tree.leaf(1)).all(|m| m.bindings_inline()));
+    }
+
+    #[test]
+    fn interned_rows_handle_spilled_width_queries() {
+        // A 9-edge path: 10 vertex bindings — past MATCH_INLINE_BINDINGS, so
+        // the materialized representation heap-allocates per clone while the
+        // interned rows stay fixed-width. Semantics must be identical.
+        const LEN: usize = 9;
+        let mut q = QueryGraph::new("wide");
+        let v: Vec<_> = (0..=LEN).map(|_| q.add_any_vertex()).collect();
+        for i in 0..LEN {
+            q.add_edge(v[i], v[i + 1], EdgeType(i as u32));
+        }
+        let leaves = (0..LEN)
+            .map(|i| QuerySubgraph::from_edges(&q, [QueryEdgeId(i)]))
+            .collect();
+        let tree = SjTree::from_leaves(q, leaves);
+
+        let edge_match = |i: usize, base: u64| {
+            let mut m = SubgraphMatch::new();
+            m.bind_vertex(QueryVertexId(i), VertexId(base + i as u64));
+            m.bind_vertex(QueryVertexId(i + 1), VertexId(base + i as u64 + 1));
+            m.bind_edge(
+                QueryEdgeId(i),
+                EdgeId(1_000 + i as u64),
+                Timestamp(i as u64),
+            );
+            m
+        };
+        let inserts: Vec<(usize, SubgraphMatch)> =
+            (0..LEN).map(|i| (i, edge_match(i, 500))).collect();
+        assert_equivalent(&tree, None, &inserts);
+
+        // And explicitly: the interned store emits the full 10-vertex match.
+        let mut store = MatchStore::new_interned(&tree);
+        let mut complete = Vec::new();
+        for (rank, m) in &inserts {
+            store.insert(&tree, tree.leaf(*rank), m.clone(), None, &mut complete);
+        }
+        assert_eq!(complete.len(), 1);
+        assert_eq!(complete[0].num_vertices(), LEN + 1);
+        assert_eq!(complete[0].num_edges(), LEN);
+        assert!(!complete[0].bindings_inline(), "this width must spill");
+    }
+
+    #[test]
+    fn insert_trace_records_nodes_and_vertices() {
+        let tree = two_leaf_tree();
+        for interned in [false, true] {
+            let mut store = if interned {
+                MatchStore::new_interned(&tree)
+            } else {
+                MatchStore::new(&tree)
+            };
+            let mut complete = Vec::new();
+            let mut trace = InsertTrace::new();
+            store.insert_traced(
+                &tree,
+                tree.leaf(0),
+                leaf0_match(10, 11, 100, 1),
+                None,
+                &mut complete,
+                &mut trace,
+            );
+            assert_eq!(trace.len(), 1);
+            assert_eq!(trace.node(0), tree.leaf(0));
+            assert_eq!(trace.vertices(0), &[VertexId(10), VertexId(11)]);
+            trace.clear();
+            assert!(trace.is_empty());
+            // The joining insert stores at the leaf; the root join is
+            // emitted, not stored, so it is not traced.
+            store.insert_traced(
+                &tree,
+                tree.leaf(1),
+                leaf1_match(11, 12, 101, 2),
+                None,
+                &mut complete,
+                &mut trace,
+            );
+            assert_eq!(trace.len(), 1);
+            assert_eq!(trace.node(0), tree.leaf(1));
+            assert_eq!(trace.vertices(0), &[VertexId(11), VertexId(12)]);
+            assert_eq!(complete.len(), 1);
+        }
     }
 }

@@ -87,11 +87,12 @@ fn scratch_reuse_is_semantics_preserving_across_strategies() {
         StrategySpec::Auto,
     ];
     for spec in specs {
-        let run = |scratch_reuse: bool| {
+        let run = |scratch_reuse: bool, interning: bool| {
             let mut proc = StreamProcessor::new(schema.clone())
                 .with_estimator(estimator.clone())
                 .with_statistics(false)
-                .with_scratch_reuse(scratch_reuse);
+                .with_scratch_reuse(scratch_reuse)
+                .with_match_interning(interning);
             let ids: Vec<QueryId> = rules
                 .iter()
                 .map(|(q, w)| proc.register(q.clone(), spec, *w).unwrap())
@@ -105,8 +106,9 @@ fn scratch_reuse_is_semantics_preserving_across_strategies() {
                 }
             })
         };
-        let reused = run(true);
-        let released = run(false);
+        let reused = run(true, true);
+        let released = run(false, true);
+        let materialized = run(true, false);
         assert!(
             !reused.is_empty(),
             "workload found no matches under {spec:?}"
@@ -114,6 +116,10 @@ fn scratch_reuse_is_semantics_preserving_across_strategies() {
         assert_eq!(
             reused, released,
             "scratch reuse changed the multiset under {spec:?}"
+        );
+        assert_eq!(
+            reused, materialized,
+            "interned match rows changed the multiset under {spec:?}"
         );
 
         // Pre-sharing architecture: one independent single-query processor
@@ -125,7 +131,8 @@ fn scratch_reuse_is_semantics_preserving_across_strategies() {
                     .with_statistics(false)
                     .with_sharing(false)
                     .with_join_sharing(false)
-                    .with_scratch_reuse(false);
+                    .with_scratch_reuse(false)
+                    .with_match_interning(false);
                 proc.register(q.clone(), spec, *w).unwrap();
                 let mut sink = FnSink(|_q: QueryId, m: SubgraphMatch| emit(slot, m));
                 for ev in dataset.events() {
@@ -152,12 +159,15 @@ fn scratch_reuse_matches_parallel_runtime_across_worker_counts() {
     let estimator = dataset.estimator_from_prefix(dataset.len() / 4);
     let rules = pack(&schema);
 
-    // Sequential reference with per-edge scratch release (the conservative
-    // configuration), against the parallel runtime's always-warm workers.
+    // Sequential reference with per-edge scratch release and materialized
+    // matches (the conservative configuration), against the parallel
+    // runtime's always-warm workers storing interned rows — so every worker
+    // count is also a cross-representation parity check.
     let mut seq = StreamProcessor::new(schema.clone())
         .with_estimator(estimator.clone())
         .with_statistics(false)
-        .with_scratch_reuse(false);
+        .with_scratch_reuse(false)
+        .with_match_interning(false);
     let seq_ids: Vec<QueryId> = rules
         .iter()
         .map(|(q, w)| seq.register(q.clone(), Strategy::SingleLazy, *w).unwrap())
@@ -376,6 +386,109 @@ mod alloc_regression {
         assert!(
             allocs_per_match < 0.5,
             "match delivery through the trie allocates: {allocs_per_match:.4} allocs/match"
+        );
+    }
+
+    /// The interned-row contract on the spill regime: storing a partial
+    /// match wider than `MATCH_INLINE_BINDINGS` must not touch the
+    /// allocator in steady state. A 9-edge chain over nine distinct
+    /// protocols (9 edge + 10 vertex bindings when full; every partial from
+    /// depth 4 onward spills the inline capacity) is driven by a ring walk
+    /// whose type sequence cycles `p0..p7, keepalive` — the ninth protocol
+    /// `p8` never arrives, so the metered slice stores deep spilled
+    /// partials without ever completing a match, isolating the storage
+    /// path from copy-on-emit materialization. The ring keeps every vertex
+    /// permanently live (no REMOVE-SUBGRAPH vertex eviction/re-creation
+    /// noise) and the join keys recurrent, so arena rows, buckets and
+    /// adjacency lists all recycle. With interning on, the slice must
+    /// average <0.1 allocations per stored match; the materialized
+    /// reference path, which heap-allocates each spilled binding map, must
+    /// allocate strictly more.
+    #[test]
+    fn interned_wide_pattern_storage_is_allocation_free_per_stored_match() {
+        // Nine *distinct* protocols so each stream edge matches exactly one
+        // leaf shape — the stored-match population is then dominated by the
+        // deep (spilled) internal partials the test is about, not by
+        // shallow leaf inserts.
+        let mut schema = Schema::new();
+        schema.intern_vertex_type("ip");
+        let types: Vec<sp_graph::EdgeType> = (0..9)
+            .map(|i| schema.intern_edge_type(&format!("p{i}")))
+            .collect();
+        let keepalive = schema.intern_edge_type("keepalive");
+        let ip = schema.vertex_type("ip").unwrap();
+
+        let mut wide = sp_query::QueryGraph::new("wide-lateral");
+        let mut prev = wide.add_any_vertex();
+        for &t in &types {
+            let next = wide.add_any_vertex();
+            wide.add_edge(prev, next, t);
+            prev = next;
+        }
+
+        // 64-host ring, one edge per tick: host h is touched every 64 ticks,
+        // well inside the 150-tick window, so no vertex ever drops to degree
+        // zero. A (ring position, protocol) pair recurs every
+        // lcm(64, 9) = 576 ticks — far outside the window — so each partial
+        // chain has exactly one live extension and match multiplicity stays
+        // bounded.
+        const HOSTS: u64 = 64;
+        let metered = |interning: bool| -> (f64, u64) {
+            let mut proc = StreamProcessor::new(schema.clone())
+                .with_statistics(false)
+                .with_purge_interval(256)
+                .with_match_interning(interning);
+            proc.register(wide.clone(), Strategy::Single, Some(150))
+                .unwrap();
+            let mut sink = streampattern::CountSink::new();
+            let run = |proc: &mut StreamProcessor,
+                       ticks: std::ops::Range<u64>,
+                       sink: &mut streampattern::CountSink| {
+                for t in ticks {
+                    let ty = match (t % 9) as usize {
+                        8 => keepalive, // the chain's ninth edge never arrives
+                        k => types[k],
+                    };
+                    proc.process_into(
+                        &EdgeEvent::homogeneous(t % HOSTS, (t + 1) % HOSTS, ip, ty, Timestamp(t)),
+                        sink,
+                    );
+                }
+            };
+            run(&mut proc, 0..16_000, &mut sink);
+            let s0 = proc.stored_matches();
+            let (a0, _) = sp_metrics::alloc_counts();
+            run(&mut proc, 16_000..24_000, &mut sink);
+            let (a1, _) = sp_metrics::alloc_counts();
+            let s1 = proc.stored_matches();
+            assert_eq!(
+                sink.matches, 0,
+                "the p0..p7 runs must never complete the 9-edge chain"
+            );
+            let stored = s1 - s0;
+            assert!(stored > 0, "metered slice stored no partial matches");
+            ((a1 - a0) as f64 / stored as f64, stored)
+        };
+
+        let (interned, stored_on) = metered(true);
+        let (materialized, stored_off) = metered(false);
+        assert_eq!(
+            stored_on, stored_off,
+            "interning changed how many partials were stored"
+        );
+        println!(
+            "wide-pattern steady state ({stored_on} partials stored): \
+             interned {interned:.4} vs materialized {materialized:.4} allocs/stored match"
+        );
+        assert!(
+            interned < 0.1,
+            "interned wide-row storage allocates in steady state: \
+             {interned:.4} allocs/stored match"
+        );
+        assert!(
+            interned < materialized,
+            "interned storage must allocate strictly less than the materialized \
+             reference path ({interned:.4} >= {materialized:.4})"
         );
     }
 
